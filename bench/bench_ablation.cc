@@ -1,0 +1,109 @@
+// Ablation studies for the design choices called out in DESIGN.md §5:
+//   A. prefix-filter similarity join vs nested loop (index build),
+//   B. paper bounds (Algorithm 1) vs tight two-sided bounds,
+//   C. schema voting on vs off,
+//   D. HERA vs the attribute-agnostic token-blocking baseline
+//      (the related-work alternative for heterogeneous ER).
+// Run on D_m1 (1000 records) at xi = delta = 0.5.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "blocking/token_blocking.h"
+#include "common/timer.h"
+#include "data/benchmark_datasets.h"
+#include "sim/metrics.h"
+
+using namespace hera;
+
+namespace {
+
+void Report(const char* label, const bench::HeraRun& run) {
+  const HeraStats& st = run.result.stats;
+  std::printf("%-28s F1=%.3f P=%.3f R=%.3f | cmps=%-5zu direct=%-5zu "
+              "pruned=%-6zu k=%-3zu votes=%-3zu | build=%6.1fms total=%7.1fms\n",
+              label, run.metrics.f1, run.metrics.precision, run.metrics.recall,
+              st.comparisons, st.direct_merges, st.pruned_by_bound,
+              st.iterations, st.decided_schema_matchings, st.index_build_ms,
+              st.total_ms);
+}
+
+bench::HeraRun RunWith(const Dataset& ds, HeraOptions opts) {
+  auto result = Hera(opts).Run(ds);
+  if (!result.ok()) {
+    std::fprintf(stderr, "HERA failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  bench::HeraRun run;
+  run.metrics = EvaluatePairs(result->entity_of, ds.entity_of());
+  run.result = std::move(result).value();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  Dataset ds = BuildBenchmarkDataset(BenchmarkDataset::kDm1);
+  std::printf("Ablations on D_m1 (n=%zu, xi=0.5, delta=0.5)\n", ds.size());
+  bench::PrintRule(100);
+
+  HeraOptions base;
+  base.xi = 0.5;
+  base.delta = 0.5;
+
+  // A. Join strategy for index construction.
+  {
+    HeraOptions opts = base;
+    Report("A1 prefix-filter join", RunWith(ds, opts));
+    opts.use_prefix_filter_join = false;
+    Report("A2 nested-loop join", RunWith(ds, opts));
+  }
+  bench::PrintRule(100);
+
+  // B. Bound mode.
+  {
+    HeraOptions opts = base;
+    opts.tight_bounds = false;
+    Report("B1 paper bounds (Alg. 1)", RunWith(ds, opts));
+    opts.tight_bounds = true;
+    Report("B2 tight two-sided bounds", RunWith(ds, opts));
+  }
+  bench::PrintRule(100);
+
+  // C. Schema-based method.
+  {
+    HeraOptions opts = base;
+    opts.enable_schema_voting = true;
+    Report("C1 schema voting on", RunWith(ds, opts));
+    opts.enable_schema_voting = false;
+    Report("C2 schema voting off", RunWith(ds, opts));
+  }
+  bench::PrintRule(100);
+
+  // D. Attribute-agnostic token blocking baseline (Papadakis-style).
+  {
+    auto metric = MakeSimilarity("jaccard_q2");
+    Timer timer;
+    auto blocks = BuildBlocks(ds);
+    size_t purged = PurgeBlocks(&blocks, ds.size());
+    auto candidates = CandidatePairsFromBlocks(blocks);
+    BlockingQuality bq = EvaluateBlocking(candidates, ds.entity_of());
+    std::printf("D  token blocking: %zu blocks (%zu purged), %zu candidates, "
+                "completeness=%.3f, reduction=%.3f\n",
+                blocks.size(), purged, bq.num_candidates, bq.pair_completeness,
+                bq.reduction_ratio);
+    auto labels = TokenBlockingER(ds, *metric, {});
+    PairMetrics m = EvaluatePairs(labels, ds.entity_of());
+    std::printf("%-28s F1=%.3f P=%.3f R=%.3f | total=%7.1fms\n",
+                "D  token-blocking ER", m.f1, m.precision, m.recall,
+                timer.ElapsedMillis());
+    std::printf("   (quality can rival HERA on data with high inter-source "
+                "attribute overlap, but it\n    verifies every co-blocked "
+                "pair pairwise: ~100x HERA's online cost here, no merge\n"
+                "    evidence accumulation, and no similarity bounds — see "
+                "bench_blocking)\n");
+  }
+  bench::PrintRule(100);
+  return 0;
+}

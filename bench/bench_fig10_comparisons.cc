@@ -1,0 +1,42 @@
+// Reproduces Fig 10(a): number of comparisons performed by HERA as
+// delta varies.
+//
+// Shape expectation: comparisons decline as delta rises (a higher
+// threshold shrinks the candidate set via the Up < delta prune).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hera;
+
+int main() {
+  const double deltas[] = {0.2, 0.4, 0.5, 0.6, 0.8, 1.0};
+
+  std::printf("Fig 10(a): # comparisons vs delta (xi=0.5)\n");
+  bench::PrintRule();
+  std::printf("%-8s", "dataset");
+  for (double d : deltas) std::printf("%10s%.1f", "d=", d);
+  std::printf("\n");
+  for (auto which : AllBenchmarkDatasets()) {
+    Dataset ds = BuildBenchmarkDataset(which);
+    auto pairs = bench::JoinOnce(ds, 0.5);
+    std::printf("%-8s", SpecFor(which).name.c_str());
+    for (double delta : deltas) {
+      bench::HeraRun run = bench::RunHeraWithPairs(ds, pairs, 0.5, delta);
+      std::printf("%12zu", run.result.stats.comparisons);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  std::printf("(also reporting bound-pruned groups and direct merges at "
+              "delta=0.5)\n");
+  for (auto which : AllBenchmarkDatasets()) {
+    Dataset ds = BuildBenchmarkDataset(which);
+    bench::HeraRun run = bench::RunHera(ds, 0.5, 0.5);
+    std::printf("%-8s pruned=%zu direct=%zu candidates=%zu\n",
+                SpecFor(which).name.c_str(), run.result.stats.pruned_by_bound,
+                run.result.stats.direct_merges, run.result.stats.candidates);
+  }
+  return 0;
+}

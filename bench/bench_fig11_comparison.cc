@@ -1,0 +1,120 @@
+// Reproduces Fig 11(a-c): HERA vs R-Swoosh vs CR (collective ER) vs CC
+// (correlation clustering) on the homogeneous projections
+// D_m1-S..D_m4-S, in precision / recall / F1.
+//
+// HERA runs on the original heterogeneous records (the paper's
+// framework, Fig 1-(d)); the baselines run on the lossy `-S`
+// projection (Fig 1-(c)). Both are scored against the same ground
+// truth. Each method is reported at its best-F1 record threshold from
+// a small delta sweep (the original paper does not publish per-method
+// thresholds; best-threshold comparison is the standard fair policy,
+// and the min-normalized similarity makes methods sharply
+// threshold-sensitive on sparse projections).
+//
+// Shape expectations from the paper: HERA best on all three measures
+// on every dataset (avg precision > 0.9, beats R-Swoosh by ~6%, CR by
+// ~10-12%, CC by ~13-16%); R-Swoosh is the closest competitor; CC/CR
+// have the weakest recall; HERA is least sensitive to dataset size.
+//
+// Pass --large to run on the D_m*-L projections instead (2/3 of the
+// distinct attributes) — the experiment the paper defers to its
+// technical report. With less information loss the baselines close
+// part of the gap.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/collective_er.h"
+#include "baselines/correlation_clustering.h"
+#include "baselines/rswoosh.h"
+#include "bench_util.h"
+#include "data/data_exchange.h"
+#include "sim/metrics.h"
+
+using namespace hera;
+
+namespace {
+
+const double kDeltas[] = {0.4, 0.5, 0.6, 0.7, 0.8};
+
+PairMetrics BestOf(const std::vector<PairMetrics>& candidates) {
+  PairMetrics best;
+  for (const PairMetrics& m : candidates) {
+    if (m.f1 > best.f1) best = m;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool small = !(argc > 1 && std::string(argv[1]) == "--large");
+  const char* suffix = small ? "-S" : "-L";
+  auto metric = MakeSimilarity("jaccard_q2");
+  const double xi = 0.5;
+
+  struct Row {
+    const char* algo;
+    PairMetrics m[4];
+  };
+  std::vector<Row> rows = {{"HERA", {}},
+                           {"R-Swoosh", {}},
+                           {"CR", {}},
+                           {"CC", {}}};
+
+  int d = 0;
+  for (auto which : AllBenchmarkDatasets()) {
+    std::fprintf(stderr, "running %s...\n", SpecFor(which).name.c_str());
+    Dataset heterogeneous = BuildBenchmarkDataset(which);
+    ExchangeResult projected = BuildHomogeneousProjection(which, small);
+    const Dataset& homogeneous = projected.dataset;
+    const std::vector<uint32_t>& truth = heterogeneous.entity_of();
+
+    auto hetero_pairs = bench::JoinOnce(heterogeneous, xi);
+    std::vector<PairMetrics> hera_runs, rs_runs, cr_runs, cc_runs;
+    for (double delta : kDeltas) {
+      hera_runs.push_back(
+          bench::RunHeraWithPairs(heterogeneous, hetero_pairs, xi, delta)
+              .metrics);
+      rs_runs.push_back(
+          EvaluatePairs(RSwoosh(homogeneous, *metric, {xi, delta}), truth));
+      cr_runs.push_back(EvaluatePairs(
+          CollectiveER(homogeneous, *metric, {xi, delta, 0.3}), truth));
+      cc_runs.push_back(EvaluatePairs(
+          CorrelationClustering(homogeneous, *metric, {xi, delta, 42}), truth));
+    }
+    rows[0].m[d] = BestOf(hera_runs);
+    rows[1].m[d] = BestOf(rs_runs);
+    rows[2].m[d] = BestOf(cr_runs);
+    rows[3].m[d] = BestOf(cc_runs);
+    ++d;
+  }
+
+  for (const char* measure : {"precision", "recall", "F1"}) {
+    std::printf("Fig 11 %s on D_m*%s (xi=%.1f, each method at its "
+                "best-F1 delta)\n",
+                measure, suffix, xi);
+    bench::PrintRule();
+    std::printf("%-10s", "algorithm");
+    for (auto which : AllBenchmarkDatasets()) {
+      std::printf("%8s%s", SpecFor(which).name.c_str(), suffix);
+    }
+    std::printf("%10s\n", "avg");
+    for (const Row& row : rows) {
+      std::printf("%-10s", row.algo);
+      double sum = 0.0;
+      for (int i = 0; i < 4; ++i) {
+        double v = measure[0] == 'p'   ? row.m[i].precision
+                   : measure[0] == 'r' ? row.m[i].recall
+                                       : row.m[i].f1;
+        sum += v;
+        std::printf("%11.3f", v);
+      }
+      std::printf("%10.3f\n", sum / 4.0);
+    }
+    bench::PrintRule();
+    std::printf("\n");
+  }
+  return 0;
+}

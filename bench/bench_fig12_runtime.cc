@@ -1,0 +1,50 @@
+// Reproduces Fig 12(a): HERA execution time vs delta per dataset.
+//
+// Shape expectations: larger datasets take longer; runtime falls as
+// delta rises, with the per-dataset spread narrowing at high delta
+// (the paper reports ~100 ms at delta = 0.8 on all datasets on their
+// hardware; absolute numbers differ here).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+
+using namespace hera;
+
+int main() {
+  const double deltas[] = {0.2, 0.4, 0.5, 0.6, 0.8, 1.0};
+
+  std::printf("Fig 12(a): execution time (ms) vs delta (xi=0.5)\n");
+  std::printf("(resolution time; the offline index build is excluded, as in "
+              "the paper, and\nreported separately below)\n");
+  bench::PrintRule();
+  std::printf("%-8s", "dataset");
+  for (double d : deltas) std::printf("   d=%.1f", d);
+  std::printf("\n");
+  for (auto which : AllBenchmarkDatasets()) {
+    Dataset ds = BuildBenchmarkDataset(which);
+    auto pairs = bench::JoinOnce(ds, 0.5);
+    std::printf("%-8s", SpecFor(which).name.c_str());
+    for (double delta : deltas) {
+      // Best of 3 runs to damp noise.
+      double best = 1e18;
+      for (int rep = 0; rep < 3; ++rep) {
+        bench::HeraRun run = bench::RunHeraWithPairs(ds, pairs, 0.5, delta);
+        best = std::min(best, run.result.stats.total_ms);
+      }
+      std::printf(" %7.1f", best);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  std::printf("index build time at delta=0.5 for reference:\n");
+  for (auto which : AllBenchmarkDatasets()) {
+    Dataset ds = BuildBenchmarkDataset(which);
+    bench::HeraRun run = bench::RunHera(ds, 0.5, 0.5);
+    std::printf("%-8s build=%.1f ms total=%.1f ms\n",
+                SpecFor(which).name.c_str(), run.result.stats.index_build_ms,
+                run.result.stats.total_ms);
+  }
+  return 0;
+}

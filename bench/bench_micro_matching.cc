@@ -1,0 +1,87 @@
+// Micro-benchmarks for the bipartite matching subsystem: Kuhn–Munkres
+// scaling (O(m^3)) and the effect of graph simplification (the paper's
+// m̄ ≈ 8-11 claim rests on it).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "matching/bipartite.h"
+
+namespace hera {
+namespace {
+
+std::vector<std::vector<double>> RandomMatrix(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> w(n, std::vector<double>(n));
+  for (auto& row : w) {
+    for (auto& x : row) x = rng.UniformDouble();
+  }
+  return w;
+}
+
+void BM_KuhnMunkres(benchmark::State& state) {
+  auto w = RandomMatrix(static_cast<size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    auto m = KuhnMunkres(w);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_KuhnMunkres)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/// Sparse field graph shaped like real verification inputs: mostly
+/// degree-1 nodes (simplified away) plus a small conflicted core.
+std::vector<WeightedEdge> FieldGraph(size_t fields, double conflict_rate,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  for (uint32_t f = 0; f < fields; ++f) {
+    edges.push_back({f, f, 0.5 + 0.5 * rng.UniformDouble()});
+    if (rng.Bernoulli(conflict_rate)) {
+      edges.push_back({f, static_cast<uint32_t>((f + 1) % fields),
+                       0.5 * rng.UniformDouble()});
+    }
+  }
+  return edges;
+}
+
+void BM_SolveFieldMatchingSparse(benchmark::State& state) {
+  auto edges = FieldGraph(static_cast<size_t>(state.range(0)), 0.2, 7);
+  for (auto _ : state) {
+    auto result = SolveFieldMatching(edges);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SolveFieldMatchingSparse)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SolveFieldMatchingDense(benchmark::State& state) {
+  // No simplification possible: every node conflicted.
+  Rng rng(13);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<WeightedEdge> edges;
+  for (uint32_t l = 0; l < n; ++l) {
+    for (uint32_t r = 0; r < n; ++r) {
+      edges.push_back({l, r, rng.UniformDouble()});
+    }
+  }
+  for (auto _ : state) {
+    auto result = SolveFieldMatching(edges);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SolveFieldMatchingDense)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GreedyMatching(benchmark::State& state) {
+  auto edges = FieldGraph(static_cast<size_t>(state.range(0)), 0.2, 7);
+  for (auto _ : state) {
+    auto result = GreedyMatching(edges);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GreedyMatching)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace hera
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Shared helpers for the table/figure reproduction harnesses.
+
+#ifndef HERA_BENCH_BENCH_UTIL_H_
+#define HERA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "core/hera.h"
+#include "data/benchmark_datasets.h"
+#include "eval/metrics.h"
+
+namespace hera {
+namespace bench {
+
+/// Runs HERA with (xi, delta) on a dataset and returns result+metrics.
+struct HeraRun {
+  HeraResult result;
+  PairMetrics metrics;
+};
+
+inline HeraRun RunHera(const Dataset& ds, double xi, double delta) {
+  HeraOptions opts;
+  opts.xi = xi;
+  opts.delta = delta;
+  auto result = Hera(opts).Run(ds);
+  if (!result.ok()) {
+    std::fprintf(stderr, "HERA failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  HeraRun run;
+  run.metrics = EvaluatePairs(result->entity_of, ds.entity_of());
+  run.result = std::move(result).value();
+  return run;
+}
+
+/// Offline join once per (dataset, xi); delta sweeps reuse it.
+inline std::vector<ValuePair> JoinOnce(const Dataset& ds, double xi) {
+  HeraOptions opts;
+  opts.xi = xi;
+  auto pairs = ComputeSimilarValuePairs(ds, opts);
+  if (!pairs.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 pairs.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(pairs).value();
+}
+
+inline HeraRun RunHeraWithPairs(const Dataset& ds,
+                                const std::vector<ValuePair>& pairs, double xi,
+                                double delta) {
+  HeraOptions opts;
+  opts.xi = xi;
+  opts.delta = delta;
+  auto result = Hera(opts).RunWithPairs(ds, pairs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "HERA failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  HeraRun run;
+  run.metrics = EvaluatePairs(result->entity_of, ds.entity_of());
+  run.result = std::move(result).value();
+  return run;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace hera
+
+#endif  // HERA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Bibliographic deduplication: resolve citation records shared among
+// DBLP-, ACM-, and Scholar-style sources — the classic ER benchmark
+// domain, with venue abbreviations ("PVLDB" vs the full proceedings
+// name) as a source-systematic variation on top of typographic noise.
+// Also demonstrates incremental resolution: a second batch of records
+// streams in after the first resolve.
+//
+//   $ ./build/examples/bibliography_dedup
+
+#include <cstdio>
+
+#include "core/incremental.h"
+#include "data/publication_generator.h"
+#include "eval/cluster_metrics.h"
+#include "eval/metrics.h"
+
+using namespace hera;
+
+int main() {
+  PublicationGeneratorConfig config;
+  config.num_records = 600;
+  config.num_entities = 100;
+  config.seed = 2024;
+  Dataset ds = GeneratePublicationDataset(config);
+
+  std::printf("Generated %zu citation records for %zu papers across "
+              "%zu sources.\n\n",
+              ds.size(), ds.NumEntities(), ds.schemas().size());
+
+  HeraOptions opts;
+  opts.xi = 0.5;
+  opts.delta = 0.5;
+  auto inc_or = IncrementalHera::Create(opts, ds.schemas());
+  if (!inc_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", inc_or.status().ToString().c_str());
+    return 1;
+  }
+  IncrementalHera& inc = **inc_or;
+
+  // First batch: 70% of the records.
+  const size_t first_batch = ds.size() * 7 / 10;
+  for (uint32_t r = 0; r < first_batch; ++r) {
+    auto id = inc.AddRecord(ds.record(r).schema_id(), ds.record(r).values());
+    if (!id.ok()) {
+      std::fprintf(stderr, "error: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+  inc.Resolve();
+  {
+    std::vector<uint32_t> truth(ds.entity_of().begin(),
+                                ds.entity_of().begin() + first_batch);
+    PairMetrics m = EvaluatePairs(inc.Labels(), truth);
+    std::printf("After batch 1 (%zu records): P=%.3f R=%.3f F1=%.3f\n",
+                first_batch, m.precision, m.recall, m.f1);
+  }
+
+  // Second batch streams in; resolution resumes incrementally.
+  for (uint32_t r = static_cast<uint32_t>(first_batch); r < ds.size(); ++r) {
+    auto id = inc.AddRecord(ds.record(r).schema_id(), ds.record(r).values());
+    if (!id.ok()) {
+      std::fprintf(stderr, "error: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+  inc.Resolve();
+  auto labels = inc.Labels();
+  PairMetrics m = EvaluatePairs(labels, ds.entity_of());
+  std::printf("After batch 2 (%zu records): P=%.3f R=%.3f F1=%.3f ARI=%.3f\n\n",
+              ds.size(), m.precision, m.recall, m.f1,
+              AdjustedRandIndex(labels, ds.entity_of()));
+
+  // Per-entity outcome breakdown.
+  auto outcomes = PerEntityBreakdown(labels, ds.entity_of());
+  BreakdownSummary summary = SummarizeBreakdown(outcomes);
+  std::printf("Entity outcomes: %zu exact, %zu split, %zu contaminated "
+              "(of %zu papers)\n",
+              summary.exact, summary.split, summary.contaminated,
+              outcomes.size());
+
+  // Show one resolved paper with its merged evidence.
+  for (const auto& [rid, sr] : inc.super_records()) {
+    (void)rid;
+    if (sr.members().size() >= 4) {
+      std::printf("\nExample super record (%zu source records merged):\n  %s\n",
+                  sr.members().size(), sr.ToString().c_str());
+      break;
+    }
+  }
+  std::printf("\nStats: index=%zu pairs, %zu iterations, %zu comparisons, "
+              "%zu schema matchings decided\n",
+              inc.stats().index_size, inc.stats().iterations,
+              inc.stats().comparisons, inc.stats().decided_schema_matchings);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Movie catalog integration: generate an IMDB/DBPedia-style
+// heterogeneous movie dataset, resolve it with HERA, and compare
+// against running a naive matcher on the lossy homogeneous projection
+// (the paper's conventional pipeline, Fig 1-(c)).
+//
+//   $ ./build/examples/movie_catalog [num_records] [num_entities]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/naive.h"
+#include "core/hera.h"
+#include "data/data_exchange.h"
+#include "data/movie_generator.h"
+#include "eval/metrics.h"
+#include "sim/metrics.h"
+
+using namespace hera;
+
+int main(int argc, char** argv) {
+  MovieGeneratorConfig config;
+  config.num_records = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  config.num_entities = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 60;
+  config.seed = 42;
+
+  std::printf("Generating %zu movie records for %zu entities across 4 "
+              "source profiles...\n",
+              config.num_records, config.num_entities);
+  Dataset ds = GenerateMovieDataset(config);
+  std::printf("  schemas: ");
+  for (uint32_t s = 0; s < ds.schemas().size(); ++s) {
+    std::printf("%s%s(%zu attrs)", s ? ", " : "",
+                ds.schemas().Get(s).name().c_str(), ds.schemas().Get(s).size());
+  }
+  std::printf("\n  distinct attribute concepts: %zu\n\n",
+              ds.NumDistinctAttributes());
+
+  // --- HERA on the heterogeneous records (the paper's Fig 1-(d)).
+  HeraOptions opts;
+  opts.xi = 0.5;
+  opts.delta = 0.5;
+  auto result = Hera(opts).Run(ds);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PairMetrics hera_m = EvaluatePairs(result->entity_of, ds.entity_of());
+  std::printf("HERA on heterogeneous records:\n");
+  std::printf("  P=%.3f R=%.3f F1=%.3f  (index=%zu pairs, k=%zu iterations, "
+              "%zu comparisons, %.1f ms)\n\n",
+              hera_m.precision, hera_m.recall, hera_m.f1,
+              result->stats.index_size, result->stats.iterations,
+              result->stats.comparisons, result->stats.total_ms);
+
+  // --- Conventional pipeline: exchange to a narrow random target
+  // schema, then match homogeneous records. Which attributes the
+  // random target schema keeps decides how lossy one projection is, so
+  // average over several draws (a lucky draw can keep exactly the
+  // discriminative attributes; an unlucky one loses them).
+  auto metric = MakeSimilarity("jaccard_q2");
+  double f1_sum = 0.0, f1_min = 1.0, f1_max = 0.0;
+  const int kDraws = 5;
+  size_t target_width = 0;
+  for (uint64_t seed = 1; seed <= kDraws; ++seed) {
+    ExchangeResult projected = ExchangeToTargetSchema(ds, 1.0 / 3.0, seed);
+    target_width = projected.target_concepts.size();
+    auto naive = NaivePairwiseER(projected.dataset, *metric, {0.5, 0.5, false});
+    double f1 = EvaluatePairs(naive, ds.entity_of()).f1;
+    f1_sum += f1;
+    f1_min = std::min(f1_min, f1);
+    f1_max = std::max(f1_max, f1);
+  }
+  double naive_f1 = f1_sum / kDraws;
+  std::printf("Conventional pipeline (project to a random %zu-attribute "
+              "target schema, then match;\naveraged over %d target-schema "
+              "draws):\n",
+              target_width, kDraws);
+  std::printf("  F1=%.3f (min %.3f, max %.3f across draws)\n\n", naive_f1,
+              f1_min, f1_max);
+
+  std::printf("F1 delta (HERA - conventional mean): %+.3f\n",
+              hera_m.f1 - naive_f1);
+  return 0;
+}

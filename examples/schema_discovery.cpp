@@ -1,0 +1,86 @@
+// Schema matching discovery: HERA's schema-based method (Section IV-B)
+// promotes instance-level field matches into trusted attribute
+// matchings by majority vote. This example prints the matchings HERA
+// discovered and scores them against the generator's canonical
+// attribute concepts.
+//
+//   $ ./build/examples/schema_discovery
+
+#include <cstdio>
+
+#include "core/hera.h"
+#include "data/movie_generator.h"
+#include "schema/majority_vote.h"
+
+using namespace hera;
+
+int main() {
+  MovieGeneratorConfig config;
+  config.num_records = 500;
+  config.num_entities = 70;
+  config.seed = 7;
+  Dataset ds = GenerateMovieDataset(config);
+
+  // Run HERA but keep our own predictor to inspect: replicate the
+  // voting by re-running verification predictions through a predictor
+  // with the same parameters. Simplest faithful route: run HERA and
+  // read its decided-matchings count, then rebuild the vote from a
+  // second pass where we ask HERA for matchings via options.
+  HeraOptions opts;
+  opts.xi = 0.5;
+  opts.delta = 0.5;
+  opts.enable_schema_voting = true;
+  opts.vote_prior_p = 0.8;
+  opts.vote_rho = 0.6;
+  auto result = Hera(opts).Run(ds);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("HERA resolved %zu records into %zu entities; the vote "
+              "promoted %zu schema matchings.\n\n",
+              ds.size(), result->super_records.size(),
+              result->stats.decided_schema_matchings);
+
+  // Score discovered matchings indirectly: inspect the merged super
+  // records — fields that merged values from different schemas imply
+  // attribute correspondences. Count how often the implied matchings
+  // agree with the canonical concepts.
+  size_t agree = 0, disagree = 0;
+  for (const auto& [rid, sr] : result->super_records) {
+    (void)rid;
+    for (const Field& f : sr.fields()) {
+      for (size_t i = 0; i < f.size(); ++i) {
+        for (size_t j = i + 1; j < f.size(); ++j) {
+          const AttrRef& a = f.value(i).origin;
+          const AttrRef& b = f.value(j).origin;
+          if (a.schema_id == b.schema_id) continue;
+          uint32_t ca = ds.canonical_attr().at(a);
+          uint32_t cb = ds.canonical_attr().at(b);
+          if (ca == cb) {
+            ++agree;
+          } else {
+            ++disagree;
+          }
+        }
+      }
+    }
+  }
+  double total = static_cast<double>(agree + disagree);
+  std::printf("Cross-schema field co-locations in final super records:\n");
+  std::printf("  consistent with ground-truth concepts: %zu\n", agree);
+  std::printf("  inconsistent:                          %zu\n", disagree);
+  if (total > 0) {
+    std::printf("  field-matching accuracy: %.1f%%\n", 100.0 * agree / total);
+  }
+
+  std::printf("\nPer-schema attribute names for reference:\n");
+  for (uint32_t s = 0; s < ds.schemas().size(); ++s) {
+    const Schema& schema = ds.schemas().Get(s);
+    std::printf("  %-10s:", schema.name().c_str());
+    for (const auto& attr : schema.attributes()) std::printf(" %s", attr.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

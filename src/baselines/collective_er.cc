@@ -1,0 +1,172 @@
+#include "baselines/collective_er.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/homogeneous.h"
+#include "common/union_find.h"
+#include "text/normalize.h"
+
+namespace hera {
+
+namespace {
+
+/// State of the agglomerative process.
+struct CollectiveState {
+  UnionFind uf;
+  std::unordered_map<uint32_t, HomogeneousCluster> clusters;
+  // Normalized value -> clusters containing it (relational structure).
+  std::unordered_map<std::string, std::unordered_set<uint32_t>> posting;
+  // Cluster -> its value keys.
+  std::unordered_map<uint32_t, std::unordered_set<std::string>> keys_of;
+  // Merge epoch per cluster; stale heap entries are detected with it.
+  std::unordered_map<uint32_t, uint64_t> version;
+
+  std::unordered_set<uint32_t> Neighborhood(uint32_t c) const {
+    std::unordered_set<uint32_t> nb;
+    auto it = keys_of.find(c);
+    if (it == keys_of.end()) return nb;
+    for (const std::string& key : it->second) {
+      auto pit = posting.find(key);
+      if (pit == posting.end()) continue;
+      for (uint32_t other : pit->second) {
+        if (other != c) nb.insert(other);
+      }
+    }
+    return nb;
+  }
+};
+
+/// Jaccard of the two neighborhoods with `a` and `b` themselves
+/// excluded. Returns a negative sentinel when neither cluster has any
+/// external neighbor: no relational evidence exists, which must not be
+/// read as negative evidence (two isolated duplicates would otherwise
+/// be pushed below threshold by a zero term).
+double RelationalJaccard(const std::unordered_set<uint32_t>& na,
+                         const std::unordered_set<uint32_t>& nb, uint32_t a,
+                         uint32_t b) {
+  size_t inter = 0, uni = 0;
+  std::unordered_set<uint32_t> all;
+  for (uint32_t x : na) {
+    if (x != a && x != b) all.insert(x);
+  }
+  for (uint32_t x : nb) {
+    if (x != a && x != b) all.insert(x);
+  }
+  uni = all.size();
+  if (uni == 0) return -1.0;
+  for (uint32_t x : na) {
+    if (x != a && x != b && nb.count(x)) ++inter;
+  }
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+std::vector<uint32_t> CollectiveER(const Dataset& dataset,
+                                   const ValueSimilarity& simv,
+                                   const CollectiveEROptions& options) {
+  const size_t n = dataset.size();
+  std::vector<uint32_t> labels(n, 0);
+  if (n == 0) return labels;
+
+  CollectiveState st;
+  st.uf.Reset(n);
+  for (const Record& r : dataset.records()) {
+    st.clusters.emplace(r.id(), HomogeneousCluster::FromRecord(r));
+    st.version[r.id()] = 0;
+    auto& keys = st.keys_of[r.id()];
+    for (const Value& v : r.values()) {
+      if (v.is_null()) continue;
+      std::string key = Normalize(v.ToString());
+      if (key.empty()) continue;
+      keys.insert(key);
+      st.posting[key].insert(r.id());
+    }
+  }
+
+  auto combined_sim = [&](uint32_t a, uint32_t b) {
+    double attr = ClusterSimilarity(st.clusters.at(a), st.clusters.at(b), simv,
+                                    options.xi);
+    double rel = RelationalJaccard(st.Neighborhood(a), st.Neighborhood(b), a, b);
+    if (rel < 0.0) return attr;  // No relational evidence either way.
+    return (1.0 - options.alpha) * attr + options.alpha * rel;
+  };
+
+  // Candidate cluster pairs from blocking; max-heap with lazy staleness.
+  struct HeapItem {
+    double sim;
+    uint32_t a, b;
+    uint64_t va, vb;
+    bool operator<(const HeapItem& o) const { return sim < o.sim; }
+  };
+  std::priority_queue<HeapItem> heap;
+  std::set<std::pair<uint32_t, uint32_t>> cand_edges;
+  for (auto [i, j] : CandidateRecordPairs(dataset, simv, options.xi)) {
+    cand_edges.emplace(std::min(i, j), std::max(i, j));
+  }
+  for (auto [i, j] : cand_edges) {
+    double s = combined_sim(i, j);
+    if (s >= options.delta) heap.push({s, i, j, 0, 0});
+  }
+  // Cluster -> candidate partners (maintained across merges).
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> partners;
+  for (auto [i, j] : cand_edges) {
+    partners[i].insert(j);
+    partners[j].insert(i);
+  }
+
+  while (!heap.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+    uint32_t a = st.uf.Find(top.a), b = st.uf.Find(top.b);
+    if (a == b) continue;
+    if (st.version[a] != top.va || st.version[b] != top.vb ||
+        a != top.a || b != top.b) {
+      continue;  // Stale entry; a fresh one was (or will be) pushed.
+    }
+    if (top.sim < options.delta) continue;
+
+    // Merge b into a.
+    uint32_t survivor = st.uf.Union(a, b);
+    uint32_t absorbed = survivor == a ? b : a;
+    st.clusters.at(survivor).Absorb(st.clusters.at(absorbed));
+    st.clusters.erase(absorbed);
+    for (const std::string& key : st.keys_of[absorbed]) {
+      st.posting[key].erase(absorbed);
+      st.posting[key].insert(survivor);
+      st.keys_of[survivor].insert(key);
+    }
+    st.keys_of.erase(absorbed);
+    ++st.version[survivor];
+
+    // Re-point candidate partners and refresh affected similarities.
+    auto& pa = partners[survivor];
+    for (uint32_t p : partners[absorbed]) {
+      if (st.uf.Find(p) != survivor) pa.insert(p);
+    }
+    partners.erase(absorbed);
+    std::vector<uint32_t> fresh;
+    for (uint32_t p : pa) {
+      uint32_t rp = st.uf.Find(p);
+      if (rp != survivor) fresh.push_back(rp);
+    }
+    std::sort(fresh.begin(), fresh.end());
+    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+    for (uint32_t p : fresh) {
+      double s = combined_sim(survivor, p);
+      if (s >= options.delta) {
+        heap.push({s, survivor, p, st.version[survivor], st.version[p]});
+      }
+    }
+  }
+
+  for (uint32_t r = 0; r < n; ++r) labels[r] = st.uf.Find(r);
+  return labels;
+}
+
+}  // namespace hera

@@ -1,0 +1,37 @@
+// CR — collective entity resolution in the spirit of Bhattacharya &
+// Getoor ("Collective entity resolution in relational data", TKDD
+// 2007): greedy agglomerative clustering whose cluster similarity
+// blends attribute similarity with *relational* similarity — the
+// overlap between the clusters' neighborhoods, where two clusters are
+// neighbors when they share an exact (normalized) attribute value.
+//
+// Merging clusters updates their neighborhoods, so early decisions
+// propagate collectively, the defining property of the approach.
+
+#ifndef HERA_BASELINES_COLLECTIVE_ER_H_
+#define HERA_BASELINES_COLLECTIVE_ER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "record/dataset.h"
+#include "sim/similarity.h"
+
+namespace hera {
+
+/// Options for CollectiveER().
+struct CollectiveEROptions {
+  double xi = 0.5;     ///< Attribute-level similarity threshold.
+  double delta = 0.5;  ///< Merge threshold on the combined similarity.
+  double alpha = 0.3;  ///< Weight of the relational component in [0,1].
+};
+
+/// Runs collective ER over a homogeneous dataset; returns one entity
+/// label per record.
+std::vector<uint32_t> CollectiveER(const Dataset& dataset,
+                                   const ValueSimilarity& simv,
+                                   const CollectiveEROptions& options);
+
+}  // namespace hera
+
+#endif  // HERA_BASELINES_COLLECTIVE_ER_H_

@@ -1,0 +1,56 @@
+#include "baselines/correlation_clustering.h"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "baselines/homogeneous.h"
+#include "common/random.h"
+
+namespace hera {
+
+std::vector<uint32_t> CorrelationClustering(
+    const Dataset& dataset, const ValueSimilarity& simv,
+    const CorrelationClusteringOptions& options) {
+  const size_t n = dataset.size();
+  std::vector<uint32_t> labels(n, 0);
+  if (n == 0) return labels;
+
+  // Lift records once; "+" edges among blocking candidates.
+  std::vector<HomogeneousCluster> recs;
+  recs.reserve(n);
+  for (const Record& r : dataset.records()) {
+    recs.push_back(HomogeneousCluster::FromRecord(r));
+  }
+  std::vector<std::unordered_set<uint32_t>> plus(n);
+  for (auto [i, j] : CandidateRecordPairs(dataset, simv, options.xi)) {
+    double sim = ClusterSimilarity(recs[i], recs[j], simv, options.xi);
+    if (sim >= options.delta) {
+      plus[i].insert(j);
+      plus[j].insert(i);
+    }
+  }
+
+  // CC-Pivot over a random permutation.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+  rng.Shuffle(&order);
+
+  std::vector<bool> clustered(n, false);
+  uint32_t next_label = 0;
+  for (uint32_t pivot : order) {
+    if (clustered[pivot]) continue;
+    uint32_t label = next_label++;
+    labels[pivot] = label;
+    clustered[pivot] = true;
+    for (uint32_t nb : plus[pivot]) {
+      if (!clustered[nb]) {
+        labels[nb] = label;
+        clustered[nb] = true;
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace hera

@@ -1,0 +1,36 @@
+// CC — correlation clustering via the CC-Pivot algorithm (Ailon,
+// Charikar, Newman, "Aggregating inconsistent information", JACM 2008).
+//
+// Records are nodes; an edge is "+" when the pairwise similarity
+// reaches delta, "−" otherwise. CC-Pivot repeatedly picks a random
+// pivot, clusters it with all remaining "+"-neighbors, and recurses on
+// the rest — a 3-approximation in expectation for minimizing
+// disagreements.
+
+#ifndef HERA_BASELINES_CORRELATION_CLUSTERING_H_
+#define HERA_BASELINES_CORRELATION_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "record/dataset.h"
+#include "sim/similarity.h"
+
+namespace hera {
+
+/// Options for CorrelationClustering().
+struct CorrelationClusteringOptions {
+  double xi = 0.5;     ///< Attribute-level similarity threshold.
+  double delta = 0.5;  ///< "+"-edge threshold.
+  uint64_t seed = 42;  ///< Pivot order seed (algorithm is randomized).
+};
+
+/// Runs CC-Pivot over a homogeneous dataset; returns one entity label
+/// per record. "+"-edges only exist between blocking candidates.
+std::vector<uint32_t> CorrelationClustering(
+    const Dataset& dataset, const ValueSimilarity& simv,
+    const CorrelationClusteringOptions& options);
+
+}  // namespace hera
+
+#endif  // HERA_BASELINES_CORRELATION_CLUSTERING_H_

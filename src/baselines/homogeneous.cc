@@ -1,0 +1,85 @@
+#include "baselines/homogeneous.h"
+
+#include <algorithm>
+#include <set>
+
+#include "simjoin/similarity_join.h"
+
+namespace hera {
+
+HomogeneousCluster HomogeneousCluster::FromRecord(const Record& r) {
+  HomogeneousCluster c;
+  c.attr_values_.resize(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (!r.value(i).is_null()) c.attr_values_[i].push_back(r.value(i));
+  }
+  c.members_.push_back(r.id());
+  return c;
+}
+
+void HomogeneousCluster::Absorb(const HomogeneousCluster& other) {
+  if (attr_values_.size() < other.attr_values_.size()) {
+    attr_values_.resize(other.attr_values_.size());
+  }
+  for (size_t i = 0; i < other.attr_values_.size(); ++i) {
+    for (const Value& v : other.attr_values_[i]) {
+      bool present = false;
+      for (const Value& mine : attr_values_[i]) {
+        if (mine == v) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) attr_values_[i].push_back(v);
+    }
+  }
+  members_.insert(members_.end(), other.members_.begin(), other.members_.end());
+  std::sort(members_.begin(), members_.end());
+}
+
+size_t HomogeneousCluster::NumPopulatedAttrs() const {
+  size_t n = 0;
+  for (const auto& vs : attr_values_) {
+    if (!vs.empty()) ++n;
+  }
+  return n;
+}
+
+double ClusterSimilarity(const HomogeneousCluster& a, const HomogeneousCluster& b,
+                         const ValueSimilarity& simv, double xi) {
+  size_t pa = a.NumPopulatedAttrs(), pb = b.NumPopulatedAttrs();
+  if (pa == 0 || pb == 0) return 0.0;
+  double total = 0.0;
+  size_t attrs = std::min(a.attr_values().size(), b.attr_values().size());
+  for (size_t i = 0; i < attrs; ++i) {
+    double best = 0.0;
+    for (const Value& va : a.attr_values()[i]) {
+      for (const Value& vb : b.attr_values()[i]) {
+        best = std::max(best, simv.Compute(va, vb));
+      }
+    }
+    if (best >= xi) total += best;
+  }
+  return total / static_cast<double>(std::min(pa, pb));
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> CandidateRecordPairs(
+    const Dataset& dataset, const ValueSimilarity& simv, double xi) {
+  std::vector<LabeledValue> values;
+  for (const Record& r : dataset.records()) {
+    for (uint32_t i = 0; i < r.size(); ++i) {
+      if (r.value(i).is_null()) continue;
+      values.push_back({ValueLabel{r.id(), i, 0}, r.value(i)});
+    }
+  }
+  PrefixFilterJoin join;
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const ValuePair& p : join.Join(values, simv, xi)) {
+    uint32_t i = p.a.rid, j = p.b.rid;
+    if (i > j) std::swap(i, j);
+    seen.emplace(i, j);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace hera

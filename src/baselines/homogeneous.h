@@ -1,0 +1,63 @@
+// Shared machinery for the homogeneous-schema baselines (R-Swoosh,
+// correlation clustering, collective ER, naive transitive closure).
+//
+// These algorithms run on the paper's `-S`/`-L` datasets: every record
+// under one target schema. Their record similarity accumulates the
+// per-attribute best value-pair similarity (counting attributes whose
+// similarity reaches ξ) normalized by the smaller number of populated
+// attributes — the homogeneous specialization of Definition 5, so that
+// the comparison against HERA isolates the framework rather than the
+// metric.
+
+#ifndef HERA_BASELINES_HOMOGENEOUS_H_
+#define HERA_BASELINES_HOMOGENEOUS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "record/dataset.h"
+#include "sim/similarity.h"
+
+namespace hera {
+
+/// \brief A cluster of homogeneous records: per attribute, the set of
+/// distinct non-null values contributed by its members.
+class HomogeneousCluster {
+ public:
+  /// Lifts one record (all records must share one schema).
+  static HomogeneousCluster FromRecord(const Record& r);
+
+  /// Merges `other` into this cluster (attribute-wise value union).
+  void Absorb(const HomogeneousCluster& other);
+
+  const std::vector<std::vector<Value>>& attr_values() const {
+    return attr_values_;
+  }
+  const std::vector<uint32_t>& members() const { return members_; }
+
+  /// Number of attributes with at least one value.
+  size_t NumPopulatedAttrs() const;
+
+ private:
+  std::vector<std::vector<Value>> attr_values_;
+  std::vector<uint32_t> members_;
+};
+
+/// Similarity of two clusters: sum over attributes of the max value
+/// pair similarity when it reaches `xi`, divided by the smaller
+/// populated-attribute count. In [0, 1].
+double ClusterSimilarity(const HomogeneousCluster& a, const HomogeneousCluster& b,
+                         const ValueSimilarity& simv, double xi);
+
+/// \brief Blocking: record pairs sharing at least one value pair with
+/// simv >= xi, computed with the prefix-filter similarity join. All
+/// baselines restrict comparisons to these pairs (standard practice;
+/// keeps the O(n^2) algorithms tractable and treats every method
+/// equally).
+std::vector<std::pair<uint32_t, uint32_t>> CandidateRecordPairs(
+    const Dataset& dataset, const ValueSimilarity& simv, double xi);
+
+}  // namespace hera
+
+#endif  // HERA_BASELINES_HOMOGENEOUS_H_

@@ -1,0 +1,42 @@
+#include "baselines/naive.h"
+
+#include "baselines/homogeneous.h"
+#include "common/union_find.h"
+
+namespace hera {
+
+std::vector<uint32_t> NaivePairwiseER(const Dataset& dataset,
+                                      const ValueSimilarity& simv,
+                                      const NaiveOptions& options) {
+  const size_t n = dataset.size();
+  std::vector<uint32_t> labels(n, 0);
+  if (n == 0) return labels;
+
+  std::vector<HomogeneousCluster> recs;
+  recs.reserve(n);
+  for (const Record& r : dataset.records()) {
+    recs.push_back(HomogeneousCluster::FromRecord(r));
+  }
+
+  UnionFind uf(n);
+  auto consider = [&](uint32_t i, uint32_t j) {
+    if (uf.Connected(i, j)) return;
+    double s = ClusterSimilarity(recs[i], recs[j], simv, options.xi);
+    if (s >= options.delta) uf.Union(i, j);
+  };
+
+  if (options.exhaustive) {
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) consider(i, j);
+    }
+  } else {
+    for (auto [i, j] : CandidateRecordPairs(dataset, simv, options.xi)) {
+      consider(i, j);
+    }
+  }
+
+  for (uint32_t r = 0; r < n; ++r) labels[r] = uf.Find(r);
+  return labels;
+}
+
+}  // namespace hera

@@ -1,0 +1,33 @@
+// Naive baseline: pairwise threshold match + transitive closure.
+// The simplest ER strategy; included as a floor for the comparison
+// benches and as a test oracle for small inputs.
+
+#ifndef HERA_BASELINES_NAIVE_H_
+#define HERA_BASELINES_NAIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "record/dataset.h"
+#include "sim/similarity.h"
+
+namespace hera {
+
+/// Options for NaivePairwiseER().
+struct NaiveOptions {
+  double xi = 0.5;     ///< Attribute-level similarity threshold.
+  double delta = 0.5;  ///< Record-level match threshold.
+  /// When true, compare all O(n^2) pairs; otherwise only blocking
+  /// candidates.
+  bool exhaustive = false;
+};
+
+/// Matches record pairs whose similarity reaches delta and unions them
+/// transitively; returns one entity label per record.
+std::vector<uint32_t> NaivePairwiseER(const Dataset& dataset,
+                                      const ValueSimilarity& simv,
+                                      const NaiveOptions& options);
+
+}  // namespace hera
+
+#endif  // HERA_BASELINES_NAIVE_H_

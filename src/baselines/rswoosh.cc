@@ -1,0 +1,85 @@
+#include "baselines/rswoosh.h"
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/homogeneous.h"
+
+namespace hera {
+
+std::vector<uint32_t> RSwoosh(const Dataset& dataset, const ValueSimilarity& simv,
+                              const RSwooshOptions& options) {
+  const size_t n = dataset.size();
+  std::vector<uint32_t> labels(n);
+  if (n == 0) return labels;
+
+  // Blocking adjacency over base records.
+  std::vector<std::unordered_set<uint32_t>> adjacent(n);
+  for (auto [i, j] : CandidateRecordPairs(dataset, simv, options.xi)) {
+    adjacent[i].insert(j);
+    adjacent[j].insert(i);
+  }
+
+  struct Node {
+    HomogeneousCluster cluster;
+    std::unordered_set<uint32_t> candidates;  // Base-record ids it may match.
+  };
+
+  // Working queue R and resolved set R'.
+  std::deque<std::unique_ptr<Node>> pending;
+  for (const Record& r : dataset.records()) {
+    auto node = std::make_unique<Node>();
+    node->cluster = HomogeneousCluster::FromRecord(r);
+    node->candidates = adjacent[r.id()];
+    pending.push_back(std::move(node));
+  }
+
+  std::vector<std::unique_ptr<Node>> resolved;
+  while (!pending.empty()) {
+    std::unique_ptr<Node> cur = std::move(pending.front());
+    pending.pop_front();
+
+    // Find a match in R'. Blocking: a resolved node is comparable only
+    // if one of its members is a candidate of one of cur's members.
+    size_t match_idx = resolved.size();
+    for (size_t k = 0; k < resolved.size(); ++k) {
+      bool comparable = false;
+      for (uint32_t m : resolved[k]->cluster.members()) {
+        if (cur->candidates.count(m)) {
+          comparable = true;
+          break;
+        }
+      }
+      if (!comparable) continue;
+      double sim = ClusterSimilarity(cur->cluster, resolved[k]->cluster, simv,
+                                     options.xi);
+      if (sim >= options.delta) {
+        match_idx = k;
+        break;
+      }
+    }
+
+    if (match_idx == resolved.size()) {
+      resolved.push_back(std::move(cur));
+      continue;
+    }
+    // Merge and put the result back into the working set (R-Swoosh's
+    // defining move).
+    std::unique_ptr<Node> partner = std::move(resolved[match_idx]);
+    resolved.erase(resolved.begin() + static_cast<long>(match_idx));
+    partner->cluster.Absorb(cur->cluster);
+    for (uint32_t c : cur->candidates) partner->candidates.insert(c);
+    pending.push_back(std::move(partner));
+  }
+
+  for (size_t k = 0; k < resolved.size(); ++k) {
+    for (uint32_t m : resolved[k]->cluster.members()) {
+      labels[m] = static_cast<uint32_t>(k);
+    }
+  }
+  return labels;
+}
+
+}  // namespace hera

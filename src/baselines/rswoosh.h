@@ -1,0 +1,36 @@
+// R-Swoosh (Benjelloun et al., "Swoosh: a generic approach to entity
+// resolution", VLDB Journal 2009): generic match/merge ER.
+//
+// R-Swoosh maintains a resolved set R'. Each input record is compared
+// against R'; on a match the partner is removed from R', merged with
+// the record, and the merge result goes back into the working set —
+// so merged information immediately participates in later matches
+// (dominance through merge, like HERA's super records but under one
+// fixed schema).
+
+#ifndef HERA_BASELINES_RSWOOSH_H_
+#define HERA_BASELINES_RSWOOSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "record/dataset.h"
+#include "sim/similarity.h"
+
+namespace hera {
+
+/// Options for RSwoosh().
+struct RSwooshOptions {
+  double xi = 0.5;     ///< Attribute-level similarity threshold.
+  double delta = 0.5;  ///< Record-level match threshold.
+};
+
+/// Runs R-Swoosh over a homogeneous dataset; returns one entity label
+/// per record. Comparisons are restricted to blocking candidates
+/// (CandidateRecordPairs) lifted to clusters.
+std::vector<uint32_t> RSwoosh(const Dataset& dataset, const ValueSimilarity& simv,
+                              const RSwooshOptions& options);
+
+}  // namespace hera
+
+#endif  // HERA_BASELINES_RSWOOSH_H_

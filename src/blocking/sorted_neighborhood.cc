@@ -1,0 +1,57 @@
+#include "blocking/sorted_neighborhood.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace hera {
+
+std::string SortedNeighborhoodKey(const Record& record, size_t pass,
+                                  const SortedNeighborhoodOptions& options) {
+  std::set<std::string> tokens;
+  for (const Value& v : record.values()) {
+    if (v.is_null()) continue;
+    for (auto& tok : WordTokenSet(v.ToString())) {
+      if (tok.size() >= options.min_token_length) tokens.insert(std::move(tok));
+    }
+  }
+  if (tokens.empty()) return "";
+  // Rotate: pass p keys on the p-th smallest token (mod token count),
+  // concatenated with the following tokens as tie-breakers.
+  std::vector<std::string> sorted(tokens.begin(), tokens.end());
+  size_t offset = pass % sorted.size();
+  std::string key;
+  for (size_t i = 0; i < sorted.size() && key.size() < 48; ++i) {
+    key += sorted[(offset + i) % sorted.size()];
+    key += '\x01';
+  }
+  return key;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> SortedNeighborhoodPairs(
+    const Dataset& dataset, const SortedNeighborhoodOptions& options) {
+  std::set<std::pair<uint32_t, uint32_t>> pairs;
+  const size_t n = dataset.size();
+  for (size_t pass = 0; pass < options.passes; ++pass) {
+    std::vector<std::pair<std::string, uint32_t>> keyed;
+    keyed.reserve(n);
+    for (const Record& r : dataset.records()) {
+      std::string key = SortedNeighborhoodKey(r, pass, options);
+      if (key.empty()) continue;  // Keyless records join no window.
+      keyed.emplace_back(std::move(key), r.id());
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (size_t i = 0; i < keyed.size(); ++i) {
+      size_t hi = std::min(keyed.size(), i + options.window);
+      for (size_t j = i + 1; j < hi; ++j) {
+        uint32_t a = keyed[i].second, b = keyed[j].second;
+        if (a == b) continue;
+        pairs.emplace(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+}  // namespace hera

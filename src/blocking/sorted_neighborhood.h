@@ -1,0 +1,43 @@
+// Schema-agnostic sorted neighborhood (Hernández & Stolfo's method
+// adapted to heterogeneous records): records are sorted by a blocking
+// key derived from their values — here, their lexicographically
+// smallest rare-ish tokens — and every pair within a sliding window is
+// a candidate. Complements token blocking: linear candidate count
+// (n * window) instead of sum of block-size squares.
+
+#ifndef HERA_BLOCKING_SORTED_NEIGHBORHOOD_H_
+#define HERA_BLOCKING_SORTED_NEIGHBORHOOD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "record/dataset.h"
+
+namespace hera {
+
+/// Options for SortedNeighborhoodPairs.
+struct SortedNeighborhoodOptions {
+  /// Sliding window size (candidates per record ≈ window - 1).
+  size_t window = 10;
+  /// Number of passes with rotated keys; multiple passes recover pairs
+  /// a single sort order would miss.
+  size_t passes = 2;
+  /// Tokens shorter than this are ignored when building keys.
+  size_t min_token_length = 2;
+};
+
+/// The sort key of one record for pass `pass`: its tokens sorted, then
+/// rotated by `pass` (pass 0 keys on the alphabetically first token,
+/// pass 1 on the second, ...). Exposed for tests.
+std::string SortedNeighborhoodKey(const Record& record, size_t pass,
+                                  const SortedNeighborhoodOptions& options);
+
+/// Distinct candidate pairs (first < second) from all passes.
+std::vector<std::pair<uint32_t, uint32_t>> SortedNeighborhoodPairs(
+    const Dataset& dataset, const SortedNeighborhoodOptions& options = {});
+
+}  // namespace hera
+
+#endif  // HERA_BLOCKING_SORTED_NEIGHBORHOOD_H_

@@ -1,0 +1,43 @@
+// Minimal leveled logging. Off by default; benches enable INFO.
+
+#ifndef HERA_COMMON_LOGGING_H_
+#define HERA_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hera {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hera
+
+#define HERA_LOG(level) \
+  ::hera::internal::LogMessage(::hera::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // HERA_COMMON_LOGGING_H_

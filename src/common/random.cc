@@ -1,0 +1,22 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace hera {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF over the (small) support. Harmonic normalization is
+  // recomputed per call; callers draw at most a few thousand samples.
+  double h = 0.0;
+  for (uint64_t r = 0; r < n; ++r) h += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  double u = UniformDouble() * h;
+  double acc = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    if (u <= acc) return r;
+  }
+  return n - 1;
+}
+
+}  // namespace hera

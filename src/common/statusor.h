@@ -1,0 +1,73 @@
+// StatusOr<T>: a Status or a value of type T.
+
+#ifndef HERA_COMMON_STATUSOR_H_
+#define HERA_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hera {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Accessing value() on an error StatusOr aborts in debug builds
+/// (assert); callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from an error Status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  /// Implicit conversion from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// error Status from the enclosing function.
+#define HERA_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto HERA_CONCAT_(_statusor_, __LINE__) = (expr);   \
+  if (!HERA_CONCAT_(_statusor_, __LINE__).ok())       \
+    return HERA_CONCAT_(_statusor_, __LINE__).status(); \
+  lhs = std::move(HERA_CONCAT_(_statusor_, __LINE__)).value()
+
+#define HERA_CONCAT_INNER_(a, b) a##b
+#define HERA_CONCAT_(a, b) HERA_CONCAT_INNER_(a, b)
+
+}  // namespace hera
+
+#endif  // HERA_COMMON_STATUSOR_H_

@@ -1,0 +1,42 @@
+// Small string helpers shared across the library.
+
+#ifndef HERA_COMMON_STRING_UTIL_H_
+#define HERA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hera {
+
+/// Splits `s` on `delim`; empty tokens are kept so CSV columns align.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if the whole string parses as a decimal number (int or float),
+/// optionally signed. Used for type sniffing in the value model.
+bool LooksNumeric(std::string_view s);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string s, std::string_view from, std::string_view to);
+
+}  // namespace hera
+
+#endif  // HERA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+// Monotonic wall-clock timer for benchmark harnesses.
+
+#ifndef HERA_COMMON_TIMER_H_
+#define HERA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hera {
+
+/// \brief Stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hera
+
+#endif  // HERA_COMMON_TIMER_H_

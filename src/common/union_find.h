@@ -1,0 +1,83 @@
+// Disjoint-set (union-find) with path compression and union by size.
+//
+// The paper (Section III-B2) maintains super-record ids with a
+// union-find structure: merging records Ri and Rj performs
+// k = union(i, j) and find(i) afterwards yields the rid of the super
+// record that absorbed ri.
+
+#ifndef HERA_COMMON_UNION_FIND_H_
+#define HERA_COMMON_UNION_FIND_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace hera {
+
+/// \brief Disjoint-set forest over dense integer ids [0, n).
+///
+/// Unlike the classic structure, Union(a, b) lets the caller choose the
+/// surviving representative (the paper writes "assume 1 = union(1, 6)"),
+/// which matters because the surviving rid keys the value-pair index.
+class UnionFind {
+ public:
+  UnionFind() = default;
+
+  /// Creates n singleton sets {0}, {1}, ..., {n-1}.
+  explicit UnionFind(size_t n) { Reset(n); }
+
+  /// Discards all state and re-creates n singleton sets.
+  void Reset(size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0);
+    size_.assign(n, 1);
+    num_sets_ = n;
+  }
+
+  /// Representative of x's set, with path compression.
+  uint32_t Find(uint32_t x) {
+    assert(x < parent_.size());
+    uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges the sets of a and b; the representative of `a` survives.
+  /// Returns the surviving representative.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return ra;
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_sets_;
+    return ra;
+  }
+
+  /// True if a and b are in the same set.
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements in x's set.
+  size_t SetSize(uint32_t x) { return size_[Find(x)]; }
+
+  /// Number of disjoint sets.
+  size_t NumSets() const { return num_sets_; }
+
+  /// Total number of elements.
+  size_t Size() const { return parent_.size(); }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_ = 0;
+};
+
+}  // namespace hera
+
+#endif  // HERA_COMMON_UNION_FIND_H_

@@ -1,0 +1,198 @@
+#include "core/engine.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "core/verifier.h"
+#include "index/bounds.h"
+
+namespace hera {
+
+ResolutionEngine::ResolutionEngine(const HeraOptions& options,
+                                   ValueSimilarityPtr simv)
+    : options_(options),
+      simv_(std::move(simv)),
+      predictor_(options.vote_prior_p, options.vote_rho) {
+  assert(simv_ != nullptr);
+  if (options_.use_prefix_filter_join) {
+    joiner_ = std::make_unique<PrefixFilterJoin>();
+  } else {
+    joiner_ = std::make_unique<NestedLoopJoin>();
+  }
+}
+
+void ResolutionEngine::AddRecords(const std::vector<Record>& records) {
+  size_t new_total = uf_.Size() + records.size();
+  // UnionFind::Reset would lose state; grow by re-adding. UnionFind has
+  // no grow API, so rebuild preserving existing assignments.
+  UnionFind grown(new_total);
+  for (uint32_t r = 0; r < uf_.Size(); ++r) {
+    grown.Union(uf_.Find(r), r);
+  }
+  uf_ = std::move(grown);
+  for (const Record& r : records) {
+    assert(r.id() < new_total);
+    active_.emplace(r.id(), SuperRecord::FromRecord(r));
+  }
+}
+
+std::vector<LabeledValue> ResolutionEngine::ValuesOf(const SuperRecord& sr) const {
+  std::vector<LabeledValue> values;
+  for (uint32_t f = 0; f < sr.num_fields(); ++f) {
+    for (uint32_t v = 0; v < sr.field(f).size(); ++v) {
+      values.push_back({ValueLabel{sr.rid(), f, v}, sr.field(f).value(v).value});
+    }
+  }
+  return values;
+}
+
+size_t ResolutionEngine::IndexNewRecords() {
+  Timer timer;
+  std::vector<LabeledValue> fresh, existing;
+  for (const auto& [rid, sr] : active_) {
+    auto values = ValuesOf(sr);
+    auto* dest = rid >= indexed_watermark_ ? &fresh : &existing;
+    dest->insert(dest->end(), values.begin(), values.end());
+  }
+  size_t before = index_.size();
+  index_.AddPairs(joiner_->Join(fresh, *simv_, options_.xi));
+  if (!existing.empty()) {
+    index_.AddPairs(joiner_->JoinAB(fresh, existing, *simv_, options_.xi));
+  }
+  indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
+  stats_.index_size = index_.size();
+  stats_.index_build_ms += timer.ElapsedMillis();
+  return index_.size() - before;
+}
+
+void ResolutionEngine::IndexPrecomputed(const std::vector<ValuePair>& pairs) {
+  Timer timer;
+  index_.AddPairs(pairs);
+  indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
+  stats_.index_size = index_.size();
+  stats_.index_build_ms += timer.ElapsedMillis();
+}
+
+void ResolutionEngine::IterateToFixpoint() {
+  Timer total_timer;
+  InstanceBasedVerifier verifier(
+      options_.enable_schema_voting ? &predictor_ : nullptr);
+
+  bool merged_something = true;
+  // Dirty tracking: after the first pass, a group whose two records
+  // were both untouched by merges cannot decide differently than it
+  // already did (its pairs and the field counts are unchanged), so
+  // only groups touching a recently merged record are re-examined.
+  bool first_pass = true;
+  std::unordered_set<uint32_t> dirty;
+
+  while (merged_something && stats_.iterations < options_.max_iterations) {
+    merged_something = false;
+    ++stats_.iterations;
+
+    // Snapshot the (rid1, rid2) groups. Following the paper's
+    // iteration semantics (Fig 8), each record participates in at most
+    // one merge per pass; groups touching a record merged earlier in
+    // the pass are deferred to the next iteration, where the index
+    // groups have been combined (Proposition 3 guarantees no similar
+    // value pair is lost).
+    std::vector<std::pair<uint32_t, uint32_t>> groups;
+    index_.ForEachGroup([&](uint32_t r1, uint32_t r2,
+                            const std::vector<IndexedPair>& pairs) {
+      (void)pairs;
+      if (first_pass || dirty.count(r1) || dirty.count(r2)) {
+        groups.emplace_back(r1, r2);
+      }
+    });
+    first_pass = false;
+    dirty.clear();
+    std::unordered_map<uint32_t, bool> merged_this_pass;
+
+    for (auto [g1, g2] : groups) {
+      if (merged_this_pass[g1] || merged_this_pass[g2]) continue;
+      uint32_t i = uf_.Find(g1), j = uf_.Find(g2);
+      if (i == j) continue;  // Already merged (earlier pass).
+      if (i > j) std::swap(i, j);
+      auto it_i = active_.find(i);
+      auto it_j = active_.find(j);
+      assert(it_i != active_.end() && it_j != active_.end());
+
+      std::vector<IndexedPair> pairs = index_.PairsFor(i, j);
+      if (pairs.empty()) continue;  // Deleted by an earlier merge.
+
+      // Candidate generation: bound the similarity (Algorithm 1).
+      BoundResult bounds =
+          ComputeBounds(pairs, it_i->second.num_fields(),
+                        it_j->second.num_fields(), options_.tight_bounds);
+      std::vector<FieldMatch> matching;
+      if (bounds.upper < options_.delta) {
+        ++stats_.pruned_by_bound;
+        continue;
+      }
+      if (bounds.upper == bounds.lower) {
+        // Exact: similarity known without verification (the R' set).
+        if (bounds.upper < options_.delta) continue;
+        ++stats_.direct_merges;
+        matching.reserve(bounds.refined.size());
+        for (const IndexedPair& p : bounds.refined) {
+          matching.push_back({p.a.fid, p.b.fid, p.sim});
+          if (options_.enable_schema_voting) {
+            // R' matchings are exact field matchings (Definition 4) and
+            // carry the same — in fact stronger — evidence as verified
+            // candidates, so they vote too. (Extension of Algorithm 2,
+            // which only feeds verified candidates into the vote.)
+            predictor_.AddPrediction(
+                it_i->second.field(p.a.fid).value(p.a.vid).origin,
+                it_j->second.field(p.b.fid).value(p.b.vid).origin);
+          }
+        }
+      } else {
+        // Verification (Section IV).
+        ++stats_.candidates;
+        ++stats_.comparisons;
+        VerifyResult vr = verifier.Verify(it_i->second, it_j->second, pairs);
+        if (vr.simplified_nodes > 0) {
+          simplified_nodes_sum_ += static_cast<double>(vr.simplified_nodes);
+          ++simplified_nodes_count_;
+        }
+        if (vr.sim < options_.delta) continue;
+        matching = std::move(vr.matching);
+        if (options_.enable_schema_voting) {
+          for (const auto& [attr_a, attr_b] : vr.predictions) {
+            predictor_.AddPrediction(attr_a, attr_b);
+          }
+        }
+      }
+
+      // Merge (Section III-B2): the smaller rid survives.
+      uint32_t new_rid = uf_.Union(i, j);
+      assert(new_rid == i);
+      std::vector<std::pair<ValueLabel, ValueLabel>> remap;
+      SuperRecord merged = SuperRecord::Merge(it_i->second, it_j->second,
+                                              matching, new_rid, &remap);
+      index_.ApplyMerge(i, j, new_rid, remap);
+      active_.erase(j);
+      active_[new_rid] = std::move(merged);
+      merged_this_pass[i] = merged_this_pass[j] = true;
+      dirty.insert(new_rid);
+      ++stats_.merges;
+      merged_something = true;
+    }
+  }
+
+  stats_.avg_simplified_nodes =
+      simplified_nodes_count_ == 0
+          ? 0.0
+          : simplified_nodes_sum_ / static_cast<double>(simplified_nodes_count_);
+  stats_.decided_schema_matchings = predictor_.DecidedMatchings().size();
+  stats_.total_ms += total_timer.ElapsedMillis();
+}
+
+std::vector<uint32_t> ResolutionEngine::Labels() {
+  std::vector<uint32_t> labels(uf_.Size());
+  for (uint32_t r = 0; r < labels.size(); ++r) labels[r] = uf_.Find(r);
+  return labels;
+}
+
+}  // namespace hera

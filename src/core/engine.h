@@ -1,0 +1,92 @@
+// ResolutionEngine: the stateful core shared by batch HERA (Hera::Run)
+// and incremental resolution (IncrementalHera). Owns the super
+// records, the union-find over record ids, the value-pair index, and
+// the schema-matching predictor, and runs the compare-and-merge loop
+// (Algorithm 2's body) to fixpoint.
+
+#ifndef HERA_CORE_ENGINE_H_
+#define HERA_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/union_find.h"
+#include "core/options.h"
+#include "index/value_pair_index.h"
+#include "record/record.h"
+#include "record/super_record.h"
+#include "schema/majority_vote.h"
+#include "sim/similarity.h"
+#include "simjoin/similarity_join.h"
+
+namespace hera {
+
+/// \brief Stateful compare-and-merge resolver.
+///
+/// Usage (batch): AddRecords(all) -> IndexNewRecords() ->
+/// IterateToFixpoint() -> Labels(). Incremental callers interleave
+/// further AddRecords/IndexNewRecords/IterateToFixpoint rounds; the
+/// index, merges, and vote state persist across rounds.
+class ResolutionEngine {
+ public:
+  /// `simv` must be the resolved metric (never null).
+  ResolutionEngine(const HeraOptions& options, ValueSimilarityPtr simv);
+
+  /// Lifts records into singleton super records. Record ids must be
+  /// dense and continue from NumRecords().
+  void AddRecords(const std::vector<Record>& records);
+
+  /// Joins the values of every record not yet indexed against the
+  /// current live values (and among themselves) and inserts the
+  /// resulting pairs. Returns the number of pairs added.
+  size_t IndexNewRecords();
+
+  /// Seeds the index from precomputed join output instead of running
+  /// the join (offline index construction). Marks every current record
+  /// as indexed.
+  void IndexPrecomputed(const std::vector<ValuePair>& pairs);
+
+  /// Runs compare-and-merge passes until no merge happens (or the
+  /// options' iteration cap). Accumulates stats.
+  void IterateToFixpoint();
+
+  /// Entity label per record id (the rid of its super record).
+  std::vector<uint32_t> Labels();
+
+  /// Live super records, keyed by rid.
+  const std::map<uint32_t, SuperRecord>& active() const { return active_; }
+
+  /// Moves the super records out (invalidates the engine's view; call
+  /// last).
+  std::map<uint32_t, SuperRecord> TakeSuperRecords() { return std::move(active_); }
+
+  const HeraStats& stats() const { return stats_; }
+  size_t NumRecords() const { return uf_.Size(); }
+  const SchemaMatchingPredictor& predictor() const { return predictor_; }
+
+ private:
+  /// All (label, value) pairs of one super record.
+  std::vector<LabeledValue> ValuesOf(const SuperRecord& sr) const;
+
+  HeraOptions options_;
+  ValueSimilarityPtr simv_;
+  std::unique_ptr<SimilarityJoin> joiner_;
+
+  UnionFind uf_;
+  std::map<uint32_t, SuperRecord> active_;
+  ValuePairIndex index_;
+  SchemaMatchingPredictor predictor_;
+  HeraStats stats_;
+
+  /// Records with ids >= indexed_watermark_ have not been joined yet.
+  uint32_t indexed_watermark_ = 0;
+
+  double simplified_nodes_sum_ = 0.0;
+  size_t simplified_nodes_count_ = 0;
+};
+
+}  // namespace hera
+
+#endif  // HERA_CORE_ENGINE_H_

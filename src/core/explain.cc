@@ -1,0 +1,74 @@
+#include "core/explain.h"
+
+#include <cstdio>
+
+#include "core/verifier.h"
+#include "index/value_pair_index.h"
+#include "simjoin/similarity_join.h"
+
+namespace hera {
+
+std::string PairExplanation::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "Sim = %.3f (%zu matched fields / min %zu)",
+                sim, matches.size(), denominator);
+  std::string out = buf;
+  for (const MatchedField& m : matches) {
+    std::snprintf(buf, sizeof(buf), "\n  %-18s ~ %-18s %.3f  '%s' ~ '%s'",
+                  m.attr_a.c_str(), m.attr_b.c_str(), m.sim, m.value_a.c_str(),
+                  m.value_b.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+PairExplanation ExplainPair(const SchemaCatalog& schemas, const SuperRecord& a,
+                            const SuperRecord& b, const ValueSimilarity& simv,
+                            double xi) {
+  PairExplanation out;
+  out.denominator = std::min(a.num_fields(), b.num_fields());
+  if (out.denominator == 0) return out;
+
+  // Build this pair's similar value pairs the direct way (no standing
+  // index needed for a one-off explanation), then reuse the verifier.
+  std::vector<LabeledValue> values;
+  for (const SuperRecord* sr : {&a, &b}) {
+    for (uint32_t f = 0; f < sr->num_fields(); ++f) {
+      for (uint32_t v = 0; v < sr->field(f).size(); ++v) {
+        values.push_back(
+            {ValueLabel{sr->rid(), f, v}, sr->field(f).value(v).value});
+      }
+    }
+  }
+  ValuePairIndex index;
+  index.Build(NestedLoopJoin().Join(values, simv, xi));
+  std::vector<IndexedPair> pairs = index.PairsFor(a.rid(), b.rid());
+  // PairsFor normalizes rid order; the verifier expects `a` to be the
+  // smaller rid's record.
+  const SuperRecord& left = a.rid() < b.rid() ? a : b;
+  const SuperRecord& right = a.rid() < b.rid() ? b : a;
+  VerifyResult vr = InstanceBasedVerifier().Verify(left, right, pairs);
+  out.sim = vr.sim;
+
+  // Recover the best value pair behind each matched field pair.
+  for (const FieldMatch& m : vr.matching) {
+    MatchedField mf;
+    mf.sim = m.sim;
+    // Find the top index pair for this field pair.
+    for (const IndexedPair& p : pairs) {
+      if (p.a.fid == m.field_a && p.b.fid == m.field_b) {
+        const FieldValue& fa = left.field(p.a.fid).value(p.a.vid);
+        const FieldValue& fb = right.field(p.b.fid).value(p.b.vid);
+        mf.attr_a = schemas.AttrName(fa.origin);
+        mf.attr_b = schemas.AttrName(fb.origin);
+        mf.value_a = fa.value.ToString();
+        mf.value_b = fb.value.ToString();
+        break;  // Pairs are similarity-descending: first is the best.
+      }
+    }
+    out.matches.push_back(std::move(mf));
+  }
+  return out;
+}
+
+}  // namespace hera

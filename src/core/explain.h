@@ -1,0 +1,46 @@
+// Pair explanation: why does (or doesn't) HERA consider two records
+// the same entity? Renders the field matching, per-field similarities,
+// and attribute names — the debugging surface for threshold tuning and
+// error analysis.
+
+#ifndef HERA_CORE_EXPLAIN_H_
+#define HERA_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "record/dataset.h"
+#include "record/super_record.h"
+#include "sim/similarity.h"
+
+namespace hera {
+
+/// One matched field pair in an explanation.
+struct MatchedField {
+  std::string attr_a;   ///< Source attribute name (best value's origin).
+  std::string attr_b;
+  std::string value_a;  ///< The best-matching value pair.
+  std::string value_b;
+  double sim = 0.0;     ///< Field similarity.
+};
+
+/// The full explanation of one record pair comparison.
+struct PairExplanation {
+  double sim = 0.0;            ///< Sim(R_i, R_j) per Definition 5.
+  size_t denominator = 0;      ///< min(|R_i|, |R_j|).
+  std::vector<MatchedField> matches;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// \brief Explains the comparison of two super records (or base
+/// records lifted via SuperRecord::FromRecord) under `simv` at value
+/// threshold `xi`. The schema catalog supplies attribute names.
+PairExplanation ExplainPair(const SchemaCatalog& schemas, const SuperRecord& a,
+                            const SuperRecord& b, const ValueSimilarity& simv,
+                            double xi);
+
+}  // namespace hera
+
+#endif  // HERA_CORE_EXPLAIN_H_

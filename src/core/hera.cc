@@ -1,0 +1,82 @@
+#include "core/hera.h"
+
+#include "core/engine.h"
+#include "sim/metrics.h"
+
+namespace hera {
+
+namespace {
+
+/// Resolves the configured metric; shared with IncrementalHera.
+StatusOr<ValueSimilarityPtr> ResolveMetric(const HeraOptions& options) {
+  ValueSimilarityPtr simv = options.similarity;
+  if (!simv) {
+    simv = MakeSimilarity(options.metric);
+    if (!simv) {
+      return Status::InvalidArgument("unknown similarity metric: " +
+                                     options.metric);
+    }
+  }
+  if (options.xi < 0.0 || options.xi > 1.0 || options.delta < 0.0 ||
+      options.delta > 1.0) {
+    return Status::InvalidArgument("thresholds must lie in [0, 1]");
+  }
+  return simv;
+}
+
+}  // namespace
+
+StatusOr<HeraResult> Hera::Run(const Dataset& dataset) const {
+  HERA_RETURN_NOT_OK(dataset.Validate());
+  HERA_ASSIGN_OR_RETURN(ValueSimilarityPtr simv, ResolveMetric(options_));
+
+  ResolutionEngine engine(options_, std::move(simv));
+  engine.AddRecords(dataset.records());
+  engine.IndexNewRecords();
+  engine.IterateToFixpoint();
+
+  HeraResult result;
+  result.entity_of = engine.Labels();
+  result.stats = engine.stats();
+  result.super_records = engine.TakeSuperRecords();
+  return result;
+}
+
+StatusOr<HeraResult> Hera::RunWithPairs(
+    const Dataset& dataset, const std::vector<ValuePair>& pairs) const {
+  HERA_RETURN_NOT_OK(dataset.Validate());
+  HERA_ASSIGN_OR_RETURN(ValueSimilarityPtr simv, ResolveMetric(options_));
+
+  ResolutionEngine engine(options_, std::move(simv));
+  engine.AddRecords(dataset.records());
+  engine.IndexPrecomputed(pairs);
+  engine.IterateToFixpoint();
+
+  HeraResult result;
+  result.entity_of = engine.Labels();
+  result.stats = engine.stats();
+  result.super_records = engine.TakeSuperRecords();
+  return result;
+}
+
+StatusOr<std::vector<ValuePair>> ComputeSimilarValuePairs(
+    const Dataset& dataset, const HeraOptions& options) {
+  HERA_RETURN_NOT_OK(dataset.Validate());
+  HERA_ASSIGN_OR_RETURN(ValueSimilarityPtr simv, ResolveMetric(options));
+  std::vector<LabeledValue> values;
+  for (const Record& r : dataset.records()) {
+    SuperRecord sr = SuperRecord::FromRecord(r);
+    for (uint32_t f = 0; f < sr.num_fields(); ++f) {
+      for (uint32_t v = 0; v < sr.field(f).size(); ++v) {
+        values.push_back(
+            {ValueLabel{sr.rid(), f, v}, sr.field(f).value(v).value});
+      }
+    }
+  }
+  if (options.use_prefix_filter_join) {
+    return PrefixFilterJoin().Join(values, *simv, options.xi);
+  }
+  return NestedLoopJoin().Join(values, *simv, options.xi);
+}
+
+}  // namespace hera

@@ -1,0 +1,71 @@
+// HERA — Heterogeneous Entity Resolution Algorithm (Algorithm 2).
+//
+// Usage:
+//   HeraOptions opts;
+//   opts.xi = 0.5;
+//   opts.delta = 0.5;
+//   HeraResult result = Hera(opts).Run(dataset);
+//   // result.entity_of[r] is the entity label of record r.
+
+#ifndef HERA_CORE_HERA_H_
+#define HERA_CORE_HERA_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/options.h"
+#include "record/dataset.h"
+#include "record/super_record.h"
+#include "simjoin/similarity_join.h"
+
+namespace hera {
+
+/// Result of one HERA run.
+struct HeraResult {
+  /// Entity label per input record (the rid of its final super record).
+  /// Two records share a label iff HERA resolved them to one entity.
+  std::vector<uint32_t> entity_of;
+
+  /// Final super records, keyed by rid. Every input record is a member
+  /// of exactly one.
+  std::map<uint32_t, SuperRecord> super_records;
+
+  /// Counters and timings (Table II / Figures 10, 12 inputs).
+  HeraStats stats;
+};
+
+/// \brief The iterative compare-and-merge entity resolver.
+class Hera {
+ public:
+  explicit Hera(HeraOptions options) : options_(std::move(options)) {}
+
+  /// Resolves `dataset`. Fails if the dataset is inconsistent or the
+  /// configured metric name is unknown.
+  StatusOr<HeraResult> Run(const Dataset& dataset) const;
+
+  /// Like Run but skips the similarity join, building the index from
+  /// `pairs` (obtained via ComputeSimilarValuePairs with the same xi
+  /// and metric). The paper builds the index offline; this is the
+  /// online entry point — threshold sweeps at fixed xi reuse one join.
+  StatusOr<HeraResult> RunWithPairs(const Dataset& dataset,
+                                    const std::vector<ValuePair>& pairs) const;
+
+  const HeraOptions& options() const { return options_; }
+
+ private:
+  HeraOptions options_;
+};
+
+/// Runs the offline similarity self-join over every value of `dataset`
+/// at options.xi with options' metric and join strategy — the index
+/// construction input (Definition 7). Labels are
+/// (record id, field position among the record's non-null values, 0),
+/// matching SuperRecord::FromRecord.
+StatusOr<std::vector<ValuePair>> ComputeSimilarValuePairs(
+    const Dataset& dataset, const HeraOptions& options);
+
+}  // namespace hera
+
+#endif  // HERA_CORE_HERA_H_

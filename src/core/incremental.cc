@@ -1,0 +1,68 @@
+#include "core/incremental.h"
+
+#include "sim/metrics.h"
+
+namespace hera {
+
+IncrementalHera::IncrementalHera(const HeraOptions& options,
+                                 SchemaCatalog schemas, ValueSimilarityPtr simv)
+    : options_(options),
+      schemas_(std::move(schemas)),
+      engine_(std::make_unique<ResolutionEngine>(options, std::move(simv))) {}
+
+StatusOr<std::unique_ptr<IncrementalHera>> IncrementalHera::Create(
+    const HeraOptions& options, SchemaCatalog schemas) {
+  ValueSimilarityPtr simv = options.similarity;
+  if (!simv) {
+    simv = MakeSimilarity(options.metric);
+    if (!simv) {
+      return Status::InvalidArgument("unknown similarity metric: " +
+                                     options.metric);
+    }
+  }
+  if (options.xi < 0.0 || options.xi > 1.0 || options.delta < 0.0 ||
+      options.delta > 1.0) {
+    return Status::InvalidArgument("thresholds must lie in [0, 1]");
+  }
+  return std::unique_ptr<IncrementalHera>(
+      new IncrementalHera(options, std::move(schemas), std::move(simv)));
+}
+
+StatusOr<uint32_t> IncrementalHera::AddRecord(uint32_t schema_id,
+                                              std::vector<Value> values) {
+  if (schema_id >= schemas_.size()) {
+    return Status::InvalidArgument("unknown schema id " +
+                                   std::to_string(schema_id));
+  }
+  if (values.size() != schemas_.Get(schema_id).size()) {
+    return Status::InvalidArgument(
+        "record arity " + std::to_string(values.size()) +
+        " does not match schema arity " +
+        std::to_string(schemas_.Get(schema_id).size()));
+  }
+  uint32_t id = next_id_++;
+  pending_.emplace_back(id, schema_id, std::move(values));
+  return id;
+}
+
+size_t IncrementalHera::Resolve() {
+  if (pending_.empty()) return 0;
+  size_t processed = pending_.size();
+  engine_->AddRecords(pending_);
+  pending_.clear();
+  engine_->IndexNewRecords();
+  engine_->IterateToFixpoint();
+  return processed;
+}
+
+std::vector<uint32_t> IncrementalHera::Labels() {
+  std::vector<uint32_t> labels = engine_->Labels();
+  // Pending records are singletons under their future ids.
+  for (const Record& r : pending_) {
+    if (r.id() >= labels.size()) labels.resize(r.id() + 1);
+    labels[r.id()] = r.id();
+  }
+  return labels;
+}
+
+}  // namespace hera

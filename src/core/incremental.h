@@ -1,0 +1,78 @@
+// Incremental entity resolution: feed records as they arrive instead
+// of re-running HERA from scratch. New records are joined only against
+// the live value set (PrefixFilterJoin::JoinAB), their pairs are
+// inserted into the standing index, and compare-and-merge resumes from
+// the current fixpoint — merges, index state, and schema-matching
+// votes all persist across batches.
+//
+//   IncrementalHera inc(opts, schemas);
+//   inc.AddRecord(schema_id, values);
+//   ...
+//   inc.Resolve();                  // Process everything pending.
+//   inc.Labels();                   // Current entity labels.
+//
+// Resolving batch-by-batch yields the same fixpoint condition as batch
+// HERA (no pair with Sim >= delta remains unmerged), though the merge
+// *order* — and therefore, in rare tie cases, the exact clustering —
+// can differ, exactly as it can between two batch runs with different
+// record orders.
+
+#ifndef HERA_CORE_INCREMENTAL_H_
+#define HERA_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "record/dataset.h"
+
+namespace hera {
+
+/// \brief Streaming wrapper around ResolutionEngine.
+class IncrementalHera {
+ public:
+  /// Fails on an invalid metric/threshold configuration.
+  static StatusOr<std::unique_ptr<IncrementalHera>> Create(
+      const HeraOptions& options, SchemaCatalog schemas);
+
+  /// Queues one record; returns its id. The record is invisible to
+  /// Labels() until the next Resolve().
+  StatusOr<uint32_t> AddRecord(uint32_t schema_id, std::vector<Value> values);
+
+  /// Indexes all queued records and re-runs compare-and-merge to
+  /// fixpoint. No-op when nothing is pending. Returns the number of
+  /// records processed.
+  size_t Resolve();
+
+  /// Entity label per record id (records still pending keep their own
+  /// id as a singleton label).
+  std::vector<uint32_t> Labels();
+
+  /// Live super records.
+  const std::map<uint32_t, SuperRecord>& super_records() const {
+    return engine_->active();
+  }
+
+  const HeraStats& stats() const { return engine_->stats(); }
+  const SchemaCatalog& schemas() const { return schemas_; }
+  size_t NumRecords() const { return next_id_; }
+  size_t NumPending() const { return pending_.size(); }
+
+ private:
+  IncrementalHera(const HeraOptions& options, SchemaCatalog schemas,
+                  ValueSimilarityPtr simv);
+
+  HeraOptions options_;
+  SchemaCatalog schemas_;
+  std::unique_ptr<ResolutionEngine> engine_;
+  std::vector<Record> pending_;
+  uint32_t next_id_ = 0;
+};
+
+}  // namespace hera
+
+#endif  // HERA_CORE_INCREMENTAL_H_

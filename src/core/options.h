@@ -1,0 +1,80 @@
+// Configuration and run statistics for HERA.
+
+#ifndef HERA_CORE_OPTIONS_H_
+#define HERA_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/similarity.h"
+
+namespace hera {
+
+/// \brief Tuning knobs for the HERA algorithm (Algorithm 2).
+struct HeraOptions {
+  /// Value/field similarity threshold ξ (Definitions 4, 7).
+  double xi = 0.5;
+
+  /// Record similarity threshold δ (Definition 5 / stop condition).
+  double delta = 0.5;
+
+  /// Value similarity metric by registry name (see MakeSimilarity).
+  /// Ignored when `similarity` is set. The paper's default is Jaccard
+  /// over 2-grams.
+  std::string metric = "jaccard_q2";
+
+  /// Explicit black-box metric; overrides `metric` when non-null.
+  ValueSimilarityPtr similarity;
+
+  /// Index construction via the prefix-filter join (true) or the
+  /// nested-loop oracle (false; the paper's slow baseline).
+  bool use_prefix_filter_join = true;
+
+  /// Enables the schema-based method (Section IV-B): majority voting
+  /// over field-match predictions, with decided matchings forced into
+  /// later field matching sets.
+  bool enable_schema_voting = true;
+
+  /// Theorem 2 prior p = Pr(single prediction correct); in (0.5, 1].
+  double vote_prior_p = 0.8;
+
+  /// Error-probability threshold ρ: decide a matching when
+  /// UP_error < ρ.
+  double vote_rho = 0.6;
+
+  /// Candidate-generation bound mode: false reproduces the paper's
+  /// Algorithm 1 (upper bound over the left record's fields only);
+  /// true uses the tighter two-sided bound, which resolves more pairs
+  /// without verification (faster, but starves the KM/voting paths the
+  /// paper's m̄ statistics measure). See index/bounds.h.
+  bool tight_bounds = false;
+
+  /// Safety cap on compare-and-merge iterations.
+  size_t max_iterations = 1000;
+};
+
+/// \brief Counters and timings filled in by one HERA run; these are the
+/// quantities reported in the paper's Table II and Figures 10/12.
+struct HeraStats {
+  size_t index_size = 0;          ///< |S|: value pairs in the index at build.
+  size_t iterations = 0;          ///< k: compare-and-merge passes.
+  size_t comparisons = 0;         ///< Verifier invocations (Fig 10).
+  size_t candidates = 0;          ///< Pairs sent to verification in total.
+  size_t direct_merges = 0;       ///< |R'|: resolved by Up == Low.
+  size_t pruned_by_bound = 0;     ///< Groups discarded because Up < δ.
+  size_t merges = 0;              ///< Total merge operations.
+  size_t decided_schema_matchings = 0;  ///< Promoted by majority vote.
+  double avg_simplified_nodes = 0.0;    ///< m̄: mean |X'|+|Y'| fed to KM.
+  /// Offline index construction (similarity join + sort), accumulated
+  /// across incremental rounds.
+  double index_build_ms = 0.0;
+  /// Online resolution time (candidate generation + verification +
+  /// merging), excluding the offline index build — the quantity the
+  /// paper's Fig 12 reports ("the index could be built off-line").
+  double total_ms = 0.0;
+};
+
+}  // namespace hera
+
+#endif  // HERA_CORE_OPTIONS_H_

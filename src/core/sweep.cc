@@ -1,0 +1,44 @@
+#include "core/sweep.h"
+
+#include <cassert>
+
+namespace hera {
+
+StatusOr<std::vector<SweepPoint>> SweepDelta(
+    const Dataset& dataset, const HeraOptions& base_options,
+    const std::vector<double>& deltas) {
+  if (!dataset.has_ground_truth()) {
+    return Status::FailedPrecondition("SweepDelta needs ground truth");
+  }
+  if (deltas.empty()) {
+    return Status::InvalidArgument("empty delta grid");
+  }
+  // One offline join serves the whole sweep (xi and metric are fixed).
+  HERA_ASSIGN_OR_RETURN(std::vector<ValuePair> pairs,
+                        ComputeSimilarValuePairs(dataset, base_options));
+  std::vector<SweepPoint> points;
+  points.reserve(deltas.size());
+  for (double delta : deltas) {
+    HeraOptions opts = base_options;
+    opts.delta = delta;
+    auto result = Hera(opts).RunWithPairs(dataset, pairs);
+    if (!result.ok()) return result.status();
+    SweepPoint p;
+    p.delta = delta;
+    p.metrics = EvaluatePairs(result->entity_of, dataset.entity_of());
+    p.stats = result->stats;
+    points.push_back(p);
+  }
+  return points;
+}
+
+const SweepPoint& BestByF1(const std::vector<SweepPoint>& points) {
+  assert(!points.empty());
+  const SweepPoint* best = &points.front();
+  for (const SweepPoint& p : points) {
+    if (p.metrics.f1 > best->metrics.f1) best = &p;
+  }
+  return *best;
+}
+
+}  // namespace hera

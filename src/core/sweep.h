@@ -1,0 +1,36 @@
+// Threshold sweeping: run HERA across a grid of record thresholds and
+// score each run — the tuning loop behind Fig 9/11 and the natural way
+// to pick delta for a new dataset with a labeled sample.
+
+#ifndef HERA_CORE_SWEEP_H_
+#define HERA_CORE_SWEEP_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/hera.h"
+#include "eval/metrics.h"
+
+namespace hera {
+
+/// One sweep point.
+struct SweepPoint {
+  double delta = 0.0;
+  PairMetrics metrics;
+  HeraStats stats;
+};
+
+/// Runs HERA at every delta in `deltas` (other options from
+/// `base_options`) and scores against the dataset's ground truth.
+/// Fails if the dataset lacks ground truth or an option is invalid.
+StatusOr<std::vector<SweepPoint>> SweepDelta(const Dataset& dataset,
+                                             const HeraOptions& base_options,
+                                             const std::vector<double>& deltas);
+
+/// The sweep point with the highest F1 (first on ties). `points` must
+/// be non-empty.
+const SweepPoint& BestByF1(const std::vector<SweepPoint>& points);
+
+}  // namespace hera
+
+#endif  // HERA_CORE_SWEEP_H_

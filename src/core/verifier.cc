@@ -1,0 +1,96 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "matching/bipartite.h"
+
+namespace hera {
+
+namespace {
+
+/// Attribute origins of the best value pair behind a refined field pair.
+std::pair<AttrRef, AttrRef> OriginsOf(const SuperRecord& a, const SuperRecord& b,
+                                      const IndexedPair& p) {
+  return {a.field(p.a.fid).value(p.a.vid).origin,
+          b.field(p.b.fid).value(p.b.vid).origin};
+}
+
+}  // namespace
+
+VerifyResult InstanceBasedVerifier::Verify(
+    const SuperRecord& a, const SuperRecord& b,
+    const std::vector<IndexedPair>& pairs) const {
+  VerifyResult result;
+  if (pairs.empty()) return result;
+  assert(a.num_fields() > 0 && b.num_fields() > 0);
+
+  // Refined field set V': max-similarity value pair per field pair
+  // (input sorted descending, first wins).
+  std::vector<IndexedPair> refined;
+  {
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(pairs.size());
+    for (const IndexedPair& p : pairs) {
+      uint64_t fkey = (static_cast<uint64_t>(p.a.fid) << 32) | p.b.fid;
+      if (seen.insert(fkey).second) refined.push_back(p);
+    }
+  }
+
+  // Forced pairs: decided schema matchings go straight into F
+  // (Section IV-B: "in the later comparisons we can directly include
+  // corresponding field pair into the field matching set"). Processed
+  // in descending similarity; one-to-one is enforced greedily.
+  std::unordered_set<uint32_t> used_a, used_b;
+  double total = 0.0;
+  std::vector<IndexedPair> remaining;
+  for (const IndexedPair& p : refined) {
+    bool forced = false;
+    if (predictor_ != nullptr && !used_a.count(p.a.fid) && !used_b.count(p.b.fid)) {
+      auto [origin_a, origin_b] = OriginsOf(a, b, p);
+      forced = predictor_->IsDecided(origin_a, origin_b);
+    }
+    if (forced) {
+      used_a.insert(p.a.fid);
+      used_b.insert(p.b.fid);
+      result.matching.push_back({p.a.fid, p.b.fid, p.sim});
+      auto [origin_a, origin_b] = OriginsOf(a, b, p);
+      result.predictions.emplace_back(origin_a, origin_b);
+      total += p.sim;
+      ++result.forced_pairs;
+    } else {
+      remaining.push_back(p);
+    }
+  }
+
+  // Remaining similar field pairs -> maximum-weight bipartite matching
+  // (Definition 8), with graph simplification + Kuhn–Munkres inside.
+  std::vector<WeightedEdge> edges;
+  edges.reserve(remaining.size());
+  for (const IndexedPair& p : remaining) {
+    if (used_a.count(p.a.fid) || used_b.count(p.b.fid)) continue;
+    edges.push_back({p.a.fid, p.b.fid, p.sim});
+  }
+  MatchingResult solved = SolveFieldMatching(edges);
+  result.simplified_nodes = solved.simplified_nodes;
+  for (const WeightedEdge& e : solved.matching) {
+    result.matching.push_back({e.left, e.right, e.weight});
+    total += e.weight;
+    // Recover the attribute origins from the refined pair behind this
+    // edge (weights/field ids uniquely identify it within `remaining`).
+    for (const IndexedPair& p : remaining) {
+      if (p.a.fid == e.left && p.b.fid == e.right) {
+        auto [origin_a, origin_b] = OriginsOf(a, b, p);
+        result.predictions.emplace_back(origin_a, origin_b);
+        break;
+      }
+    }
+  }
+
+  result.sim = total / static_cast<double>(
+                           std::min(a.num_fields(), b.num_fields()));
+  return result;
+}
+
+}  // namespace hera

@@ -1,0 +1,57 @@
+// Instance-based verification (Section IV-A): compute Sim(R_i, R_j)
+// and the field matching set from the record pair's index entries,
+// optionally short-circuiting fields whose attributes were already
+// decided by the schema-based method.
+
+#ifndef HERA_CORE_VERIFIER_H_
+#define HERA_CORE_VERIFIER_H_
+
+#include <utility>
+#include <vector>
+
+#include "index/value_pair_index.h"
+#include "record/super_record.h"
+#include "schema/majority_vote.h"
+#include "sim/similarity.h"
+
+namespace hera {
+
+/// Output of one verification.
+struct VerifyResult {
+  /// Sim(R_i, R_j) per Definition 5.
+  double sim = 0.0;
+  /// The field matching set F(i, j); field_a indexes the record with
+  /// the smaller rid (the index group's left side).
+  std::vector<FieldMatch> matching;
+  /// |X'| + |Y'| of the simplified bipartite graph solved by KM
+  /// (0 when everything was forced/mapped); aggregated into m̄.
+  size_t simplified_nodes = 0;
+  /// Schema-matching predictions implied by `matching`: the attribute
+  /// origins of each matched field pair's best value pair.
+  std::vector<std::pair<AttrRef, AttrRef>> predictions;
+  /// Matched pairs that were forced by decided schema matchings.
+  size_t forced_pairs = 0;
+};
+
+/// \brief Computes record similarity via refined field set + bipartite
+/// maximum-weight matching.
+class InstanceBasedVerifier {
+ public:
+  /// \param predictor optional decided-schema-matching source; may be
+  ///        nullptr (pure instance-based mode).
+  explicit InstanceBasedVerifier(const SchemaMatchingPredictor* predictor = nullptr)
+      : predictor_(predictor) {}
+
+  /// \param a the record with the smaller rid, \param b the larger.
+  /// \param pairs the index entries for (a.rid, b.rid), descending
+  ///        similarity (ValuePairIndex::PairsFor output).
+  VerifyResult Verify(const SuperRecord& a, const SuperRecord& b,
+                      const std::vector<IndexedPair>& pairs) const;
+
+ private:
+  const SchemaMatchingPredictor* predictor_;
+};
+
+}  // namespace hera
+
+#endif  // HERA_CORE_VERIFIER_H_

@@ -1,0 +1,85 @@
+#include "data/benchmark_datasets.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "data/movie_generator.h"
+
+namespace hera {
+
+namespace {
+
+/// Removes one attribute (by name) from a profile; trimming is how the
+/// benchmark datasets land on Table I's distinct-attribute counts.
+void DropAttr(SourceProfile* profile, const std::string& attr) {
+  auto it = std::find_if(profile->attrs.begin(), profile->attrs.end(),
+                         [&](const auto& a) { return a.first == attr; });
+  assert(it != profile->attrs.end());
+  profile->attrs.erase(it);
+}
+
+}  // namespace
+
+BenchmarkDatasetSpec SpecFor(BenchmarkDataset which) {
+  // n and #entities follow the paper's Table I exactly.
+  switch (which) {
+    case BenchmarkDataset::kDm1:
+      return {"Dm1", 1000, 121, 101};
+    case BenchmarkDataset::kDm2:
+      return {"Dm2", 2000, 277, 102};
+    case BenchmarkDataset::kDm3:
+      return {"Dm3", 3000, 361, 103};
+    case BenchmarkDataset::kDm4:
+      return {"Dm4", 4000, 533, 104};
+  }
+  assert(false && "unknown dataset");
+  return {};
+}
+
+Dataset BuildBenchmarkDataset(BenchmarkDataset which) {
+  BenchmarkDatasetSpec spec = SpecFor(which);
+  MovieGeneratorConfig config;
+  config.num_records = spec.num_records;
+  config.num_entities = spec.num_entities;
+  config.seed = spec.seed;
+  std::vector<SourceProfile> profiles = StandardMovieProfiles();
+  // Vary the distinct attribute count across datasets as in Table I
+  // (16 / 22 / 23 / 21): Dm1 gets three profiles with trimmed
+  // attribute lists; the others use all four profiles with small
+  // per-dataset trims.
+  switch (which) {
+    case BenchmarkDataset::kDm1:
+      profiles.resize(3);                     // imdb, dbpedia, catalog.
+      DropAttr(&profiles[0], "tagline");
+      DropAttr(&profiles[1], "composer");
+      DropAttr(&profiles[2], "release_date");
+      // Concepts: imdb 9 + dbpedia {language,writer,studio,producer}
+      // + catalog {gross,awards,editor} = 16.
+      break;
+    case BenchmarkDataset::kDm2:
+      DropAttr(&profiles[3], "franchise");    // 22 concepts.
+      break;
+    case BenchmarkDataset::kDm3:
+      break;                                  // All 23 concepts.
+    case BenchmarkDataset::kDm4:
+      DropAttr(&profiles[3], "franchise");
+      DropAttr(&profiles[3], "cinematographer");  // 21 concepts.
+      break;
+  }
+  config.profiles = std::move(profiles);
+  return GenerateMovieDataset(config);
+}
+
+ExchangeResult BuildHomogeneousProjection(BenchmarkDataset which, bool small) {
+  Dataset source = BuildBenchmarkDataset(which);
+  double fraction = small ? 1.0 / 3.0 : 2.0 / 3.0;
+  uint64_t seed = SpecFor(which).seed * 7919 + (small ? 1 : 2);
+  return ExchangeToTargetSchema(source, fraction, seed);
+}
+
+std::vector<BenchmarkDataset> AllBenchmarkDatasets() {
+  return {BenchmarkDataset::kDm1, BenchmarkDataset::kDm2,
+          BenchmarkDataset::kDm3, BenchmarkDataset::kDm4};
+}
+
+}  // namespace hera

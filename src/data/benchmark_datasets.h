@@ -1,0 +1,44 @@
+// The four benchmark datasets D_m1..D_m4 (Table I) and their
+// homogeneous projections D_m*-S / D_m*-L (Section VI-A), built with
+// the generator substitution documented in DESIGN.md §3.
+
+#ifndef HERA_DATA_BENCHMARK_DATASETS_H_
+#define HERA_DATA_BENCHMARK_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/data_exchange.h"
+#include "record/dataset.h"
+
+namespace hera {
+
+/// Which of the paper's datasets to build.
+enum class BenchmarkDataset { kDm1 = 1, kDm2 = 2, kDm3 = 3, kDm4 = 4 };
+
+/// Table I parameters of one dataset.
+struct BenchmarkDatasetSpec {
+  std::string name;
+  size_t num_records = 0;
+  size_t num_entities = 0;
+  uint64_t seed = 0;
+};
+
+/// The paper's Table I row for `which` (n and #entities match the
+/// paper exactly; the distinct-attribute count comes out of the chosen
+/// source profiles).
+BenchmarkDatasetSpec SpecFor(BenchmarkDataset which);
+
+/// Builds D_m1..D_m4. Deterministic.
+Dataset BuildBenchmarkDataset(BenchmarkDataset which);
+
+/// Builds the homogeneous projection: fraction 1/3 for `-S`, 2/3 for
+/// `-L` (paper: A/3 and 2A/3 randomly chosen distinct attributes).
+ExchangeResult BuildHomogeneousProjection(BenchmarkDataset which, bool small);
+
+/// All four dataset ids, in order.
+std::vector<BenchmarkDataset> AllBenchmarkDatasets();
+
+}  // namespace hera
+
+#endif  // HERA_DATA_BENCHMARK_DATASETS_H_

@@ -1,0 +1,22 @@
+#include "data/corpus_model.h"
+
+#include "sim/metrics.h"
+
+namespace hera {
+
+std::shared_ptr<const TfIdfModel> BuildTfIdfModel(const Dataset& dataset) {
+  auto model = std::make_shared<TfIdfModel>();
+  for (const Record& r : dataset.records()) {
+    for (const Value& v : r.values()) {
+      if (!v.is_null()) model->AddDocument(v.ToString());
+    }
+  }
+  model->Freeze();
+  return model;
+}
+
+ValueSimilarityPtr MakeSoftTfIdfFor(const Dataset& dataset, double theta) {
+  return std::make_shared<SoftTfIdfSimilarity>(BuildTfIdfModel(dataset), theta);
+}
+
+}  // namespace hera

@@ -1,0 +1,26 @@
+// Corpus-level model builders: the bridge between a Dataset and the
+// corpus-dependent similarity metrics (Soft TF-IDF).
+
+#ifndef HERA_DATA_CORPUS_MODEL_H_
+#define HERA_DATA_CORPUS_MODEL_H_
+
+#include <memory>
+
+#include "record/dataset.h"
+#include "sim/similarity.h"
+#include "text/tfidf.h"
+
+namespace hera {
+
+/// Builds a frozen TF-IDF model over every non-null value of the
+/// dataset (one value == one document).
+std::shared_ptr<const TfIdfModel> BuildTfIdfModel(const Dataset& dataset);
+
+/// Convenience: a Soft TF-IDF metric backed by the dataset's corpus
+/// model (paper: "other string similarity functions, such as Soft
+/// TF-IDF ... could be served as alternatives").
+ValueSimilarityPtr MakeSoftTfIdfFor(const Dataset& dataset, double theta = 0.9);
+
+}  // namespace hera
+
+#endif  // HERA_DATA_CORPUS_MODEL_H_

@@ -1,0 +1,90 @@
+#include "data/corruption.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace hera {
+
+namespace {
+
+/// One random character-level edit: substitute, delete, insert, or
+/// transpose. No-op on empty strings.
+std::string ApplyTypo(std::string s, Rng* rng) {
+  if (s.empty()) return s;
+  const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+  size_t pos = rng->Uniform(s.size());
+  switch (rng->Uniform(4)) {
+    case 0:  // Substitute.
+      s[pos] = kAlpha[rng->Uniform(26)];
+      break;
+    case 1:  // Delete.
+      s.erase(pos, 1);
+      break;
+    case 2:  // Insert.
+      s.insert(pos, 1, kAlpha[rng->Uniform(26)]);
+      break;
+    case 3:  // Transpose with the next character.
+      if (pos + 1 < s.size()) std::swap(s[pos], s[pos + 1]);
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string CorruptString(const std::string& s, Rng* rng,
+                          const CorruptionOptions& opts) {
+  std::string out = s;
+
+  if (rng->Bernoulli(opts.abbreviate_prob)) {
+    // Abbreviate the first token: "John Smith" -> "J. Smith".
+    size_t space = out.find(' ');
+    if (space != std::string::npos && space >= 2) {
+      out = out.substr(0, 1) + "." + out.substr(space);
+    }
+  }
+
+  if (rng->Bernoulli(opts.drop_token_prob)) {
+    std::vector<std::string> tokens = Split(out, ' ');
+    if (tokens.size() >= 3) {
+      tokens.erase(tokens.begin() + static_cast<long>(rng->Uniform(tokens.size())));
+      out = Join(tokens, " ");
+    }
+  }
+
+  if (rng->Bernoulli(opts.typo_prob)) {
+    size_t edits = 1 + rng->Uniform(2);
+    for (size_t i = 0; i < edits; ++i) out = ApplyTypo(std::move(out), rng);
+  }
+
+  if (rng->Bernoulli(opts.case_flip_prob)) {
+    out = rng->Bernoulli(0.5) ? ToLower(out) : ToUpper(out);
+  }
+
+  return out;
+}
+
+Value CorruptValue(const Value& v, Rng* rng, const CorruptionOptions& opts) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return v;
+    case ValueType::kString:
+      return Value(CorruptString(v.AsString(), rng, opts));
+    case ValueType::kNumber: {
+      double d = v.AsNumber();
+      if (rng->Bernoulli(opts.numeric_jitter_prob)) {
+        // +-1 absolute or ~1% relative, whichever is larger.
+        double mag = std::max(1.0, std::fabs(d) * 0.01);
+        d += (rng->Bernoulli(0.5) ? 1.0 : -1.0) * mag;
+        d = std::round(d);
+      }
+      return Value(d);
+    }
+  }
+  return v;
+}
+
+}  // namespace hera

@@ -1,0 +1,37 @@
+// Corruption model: the controlled noise injected when one entity is
+// rendered into several source records. Emulates the typographical and
+// formatting variation of real heterogeneous sources (IMDB vs DBPedia
+// in the paper's D_movies): typos, abbreviations, dropped tokens, case
+// and punctuation drift, numeric jitter.
+
+#ifndef HERA_DATA_CORRUPTION_H_
+#define HERA_DATA_CORRUPTION_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "sim/value.h"
+
+namespace hera {
+
+/// Per-operation probabilities. Defaults give "mild" noise: most
+/// values survive with >= 0.5 Jaccard similarity to the original.
+struct CorruptionOptions {
+  double typo_prob = 0.25;        ///< Apply 1-2 character edits.
+  double abbreviate_prob = 0.10;  ///< "John Smith" -> "J. Smith".
+  double drop_token_prob = 0.08;  ///< Drop one word of a multi-word value.
+  double case_flip_prob = 0.15;   ///< Toggle case of the whole value.
+  double numeric_jitter_prob = 0.15;  ///< Numbers: +-1 relative ~1%.
+};
+
+/// \brief Applies the corruption model to one string.
+std::string CorruptString(const std::string& s, Rng* rng,
+                          const CorruptionOptions& opts = {});
+
+/// \brief Applies the model to a typed value: strings via
+/// CorruptString, numbers via jitter, nulls unchanged.
+Value CorruptValue(const Value& v, Rng* rng, const CorruptionOptions& opts = {});
+
+}  // namespace hera
+
+#endif  // HERA_DATA_CORRUPTION_H_

@@ -1,0 +1,176 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hera {
+
+std::string EscapeCsvField(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Status WriteDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "#hera-dataset v1\n";
+  for (uint32_t s = 0; s < dataset.schemas().size(); ++s) {
+    const Schema& schema = dataset.schemas().Get(s);
+    out << "#schema " << s << " " << schema.name() << " ";
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (i > 0) out << ",";
+      out << EscapeCsvField(schema.attribute(i));
+    }
+    out << "\n";
+  }
+  for (const auto& [ref, concept_id] : dataset.canonical_attr()) {
+    out << "#concept " << ref.schema_id << " " << ref.attr_index << " "
+        << concept_id << "\n";
+  }
+  if (dataset.has_ground_truth()) out << "#truth 1\n";
+  for (const Record& r : dataset.records()) {
+    out << r.schema_id() << ",";
+    if (dataset.has_ground_truth()) {
+      out << dataset.entity_of()[r.id()];
+    } else {
+      out << "-";
+    }
+    for (const Value& v : r.values()) {
+      out << "," << EscapeCsvField(v.is_null() ? "" : v.ToString());
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> ReadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  Dataset ds;
+  bool has_truth = false;
+  std::string line;
+  size_t lineno = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (StartsWith(line, "#hera-dataset")) {
+        saw_header = true;
+      } else if (StartsWith(line, "#schema ")) {
+        std::istringstream ss(line.substr(8));
+        uint32_t id;
+        std::string name, attrs_csv;
+        ss >> id >> name;
+        std::getline(ss, attrs_csv);
+        attrs_csv = std::string(Trim(attrs_csv));
+        std::vector<std::string> attrs = ParseCsvLine(attrs_csv);
+        uint32_t got = ds.schemas().Register(Schema(name, attrs));
+        if (got != id) {
+          return Status::InvalidArgument(
+              "schema ids must be dense and in order (line " +
+              std::to_string(lineno) + ")");
+        }
+      } else if (StartsWith(line, "#concept ")) {
+        std::istringstream ss(line.substr(9));
+        uint32_t schema_id, attr_index, concept_id;
+        if (!(ss >> schema_id >> attr_index >> concept_id)) {
+          return Status::InvalidArgument("bad #concept line at line " +
+                                         std::to_string(lineno));
+        }
+        ds.canonical_attr()[AttrRef{schema_id, attr_index}] = concept_id;
+      } else if (StartsWith(line, "#truth")) {
+        has_truth = true;
+      }
+      continue;
+    }
+    if (!saw_header) {
+      return Status::InvalidArgument("missing #hera-dataset header");
+    }
+    std::vector<std::string> fields = ParseCsvLine(line);
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("short record at line " +
+                                     std::to_string(lineno));
+    }
+    uint32_t schema_id = 0;
+    auto [p, ec] = std::from_chars(fields[0].data(),
+                                   fields[0].data() + fields[0].size(), schema_id);
+    if (ec != std::errc() || p != fields[0].data() + fields[0].size()) {
+      return Status::InvalidArgument("bad schema id at line " +
+                                     std::to_string(lineno));
+    }
+    if (schema_id >= ds.schemas().size()) {
+      return Status::InvalidArgument("unknown schema id at line " +
+                                     std::to_string(lineno));
+    }
+    size_t expect = ds.schemas().Get(schema_id).size();
+    if (fields.size() != expect + 2) {
+      return Status::InvalidArgument("record arity mismatch at line " +
+                                     std::to_string(lineno));
+    }
+    std::vector<Value> values;
+    values.reserve(expect);
+    for (size_t i = 2; i < fields.size(); ++i) {
+      // Numeric-looking fields come back as numbers: the file format
+      // does not store types, so parsing is the round-trip convention.
+      values.push_back(Value::Parse(fields[i], /*sniff_numbers=*/true));
+    }
+    ds.AddRecord(schema_id, std::move(values));
+    if (has_truth) {
+      uint32_t entity = 0;
+      auto [p2, ec2] = std::from_chars(fields[1].data(),
+                                       fields[1].data() + fields[1].size(), entity);
+      if (ec2 != std::errc() || p2 != fields[1].data() + fields[1].size()) {
+        return Status::InvalidArgument("bad entity id at line " +
+                                       std::to_string(lineno));
+      }
+      ds.entity_of().push_back(entity);
+    }
+  }
+  HERA_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace hera

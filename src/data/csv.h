@@ -1,0 +1,38 @@
+// Reading and writing heterogeneous datasets as a flat text file.
+//
+// Format (one file per dataset):
+//   #hera-dataset v1
+//   #schema <id> <name> <attr1>,<attr2>,...
+//   #concept <schema_id> <attr_index> <concept_id>   (canonical map, optional)
+//   #truth 1            (present iff ground truth is stored)
+//   <schema_id>,<entity_id|->,<v1>,<v2>,...
+//
+// Fields use standard CSV quoting (quotes doubled, fields containing
+// comma/quote/newline wrapped in quotes). Empty field == null value.
+
+#ifndef HERA_DATA_CSV_H_
+#define HERA_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "record/dataset.h"
+
+namespace hera {
+
+/// Writes `dataset` to `path`. Overwrites.
+Status WriteDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by WriteDataset.
+StatusOr<Dataset> ReadDataset(const std::string& path);
+
+/// Splits one CSV line into unquoted fields. Exposed for tests.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Quotes a field if needed. Exposed for tests.
+std::string EscapeCsvField(const std::string& field);
+
+}  // namespace hera
+
+#endif  // HERA_DATA_CSV_H_

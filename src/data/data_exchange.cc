@@ -1,0 +1,87 @@
+#include "data/data_exchange.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+
+namespace hera {
+
+ExchangeResult ExchangeToTargetSchema(const Dataset& source, double fraction,
+                                      uint64_t seed) {
+  assert(!source.canonical_attr().empty() &&
+         "data exchange needs the canonical attribute map");
+  ExchangeResult out;
+
+  // Distinct concepts, and a representative attribute name for each
+  // (the first source attribute encountered, for readable schemas).
+  std::set<uint32_t> concept_set;
+  std::map<uint32_t, std::string> concept_name;
+  for (const auto& [ref, concept_id] : source.canonical_attr()) {
+    concept_set.insert(concept_id);
+    concept_name.emplace(concept_id, source.schemas().AttrName(ref));
+  }
+  std::vector<uint32_t> concepts(concept_set.begin(), concept_set.end());
+
+  // Random subset of round(fraction * |A|) concepts, anchor always in.
+  size_t want = static_cast<size_t>(
+      std::lround(fraction * static_cast<double>(concepts.size())));
+  want = std::clamp<size_t>(want, 1, concepts.size());
+  Rng rng(seed);
+  rng.Shuffle(&concepts);
+  std::vector<uint32_t> chosen;
+  const uint32_t kAnchor = 0;
+  bool have_anchor = false;
+  for (uint32_t c : concepts) {
+    if (chosen.size() == want) break;
+    if (c == kAnchor) have_anchor = true;
+    chosen.push_back(c);
+  }
+  if (!have_anchor && concept_set.count(kAnchor)) {
+    chosen.back() = kAnchor;  // Swap the anchor in.
+  }
+  std::sort(chosen.begin(), chosen.end());
+  out.target_concepts = chosen;
+
+  // Target schema + tgds.
+  std::map<uint32_t, uint32_t> target_pos;  // concept_id -> target attr index
+  std::vector<std::string> target_attrs;
+  for (uint32_t c : chosen) {
+    target_pos[c] = static_cast<uint32_t>(target_attrs.size());
+    target_attrs.push_back(concept_name[c]);
+  }
+  uint32_t target_schema =
+      out.dataset.schemas().Register(Schema("target", target_attrs));
+  for (uint32_t i = 0; i < chosen.size(); ++i) {
+    out.dataset.canonical_attr()[AttrRef{target_schema, i}] = chosen[i];
+  }
+  for (const auto& [ref, concept_id] : source.canonical_attr()) {
+    auto it = target_pos.find(concept_id);
+    if (it != target_pos.end()) out.tgds.push_back({ref, it->second});
+  }
+
+  // Apply the tgds: one target record per source record.
+  // Per-schema copy plan for O(1) per attribute.
+  std::map<uint32_t, std::vector<std::pair<uint32_t, uint32_t>>> plan;
+  for (const CopyTgd& tgd : out.tgds) {
+    plan[tgd.source.schema_id].emplace_back(tgd.source.attr_index,
+                                            tgd.target_attr);
+  }
+  for (const Record& r : source.records()) {
+    std::vector<Value> values(target_attrs.size());  // Nulls by default.
+    auto it = plan.find(r.schema_id());
+    if (it != plan.end()) {
+      for (auto [src_attr, dst_attr] : it->second) {
+        values[dst_attr] = r.value(src_attr);
+      }
+    }
+    out.dataset.AddRecord(target_schema, std::move(values));
+  }
+  out.dataset.entity_of() = source.entity_of();
+  return out;
+}
+
+}  // namespace hera

@@ -1,0 +1,148 @@
+#include "data/entity_fusion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace hera {
+
+const char* ConflictPolicyToString(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kMostFrequent:
+      return "most_frequent";
+    case ConflictPolicy::kLongest:
+      return "longest";
+    case ConflictPolicy::kFirst:
+      return "first";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Picks one value from the candidates per the policy. `candidates`
+/// is in member-record order and non-empty.
+Value ResolveConflict(const std::vector<Value>& candidates,
+                      ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kFirst:
+      return candidates.front();
+    case ConflictPolicy::kLongest: {
+      const Value* best = &candidates.front();
+      size_t best_len = best->ToString().size();
+      for (const Value& v : candidates) {
+        size_t len = v.ToString().size();
+        if (len > best_len) {
+          best = &v;
+          best_len = len;
+        }
+      }
+      return *best;
+    }
+    case ConflictPolicy::kMostFrequent: {
+      // O(n^2) exact-equality counting; candidate lists are tiny.
+      const Value* best = &candidates.front();
+      size_t best_count = 0;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        size_t count = 0;
+        for (const Value& other : candidates) {
+          if (candidates[i] == other) ++count;
+        }
+        if (count > best_count) {
+          best_count = count;
+          best = &candidates[i];
+        }
+      }
+      return *best;
+    }
+  }
+  return candidates.front();
+}
+
+}  // namespace
+
+std::vector<uint32_t> AllConcepts(const Dataset& source) {
+  std::set<uint32_t> concepts;
+  for (const auto& [ref, concept_id] : source.canonical_attr()) {
+    (void)ref;
+    concepts.insert(concept_id);
+  }
+  return {concepts.begin(), concepts.end()};
+}
+
+FusionResult FuseEntities(const Dataset& source,
+                          const std::map<uint32_t, SuperRecord>& super_records,
+                          const std::vector<uint32_t>& target_concepts,
+                          const FusionOptions& options) {
+  assert(!source.canonical_attr().empty() &&
+         "fusion needs the canonical attribute map");
+  FusionResult out;
+
+  // Target schema: one attribute per requested concept, named by a
+  // representative source attribute.
+  std::map<uint32_t, std::string> concept_name;
+  for (const auto& [ref, concept_id] : source.canonical_attr()) {
+    concept_name.emplace(concept_id, source.schemas().AttrName(ref));
+  }
+  std::vector<std::string> attr_names;
+  std::map<uint32_t, uint32_t> pos_of_concept;
+  for (uint32_t c : target_concepts) {
+    auto it = concept_name.find(c);
+    assert(it != concept_name.end() && "unknown target concept");
+    pos_of_concept[c] = static_cast<uint32_t>(attr_names.size());
+    attr_names.push_back(it->second);
+  }
+  uint32_t target_schema =
+      out.dataset.schemas().Register(Schema("fused", attr_names));
+  for (uint32_t i = 0; i < target_concepts.size(); ++i) {
+    out.dataset.canonical_attr()[AttrRef{target_schema, i}] =
+        target_concepts[i];
+  }
+
+  const bool has_truth = source.has_ground_truth();
+  for (const auto& [rid, sr] : super_records) {
+    // Collect value candidates per target position from the member
+    // base records (origin attributes give exact concept provenance).
+    std::vector<std::vector<Value>> candidates(target_concepts.size());
+    std::unordered_map<uint32_t, size_t> truth_votes;
+    for (uint32_t member : sr.members()) {
+      const Record& r = source.record(member);
+      for (uint32_t a = 0; a < r.size(); ++a) {
+        if (r.value(a).is_null()) continue;
+        auto cit = source.canonical_attr().find(AttrRef{r.schema_id(), a});
+        if (cit == source.canonical_attr().end()) continue;
+        auto pit = pos_of_concept.find(cit->second);
+        if (pit == pos_of_concept.end()) continue;
+        candidates[pit->second].push_back(r.value(a));
+      }
+      if (has_truth) ++truth_votes[source.entity_of()[member]];
+    }
+
+    std::vector<Value> values(target_concepts.size());
+    for (size_t p = 0; p < candidates.size(); ++p) {
+      if (!candidates[p].empty()) {
+        values[p] = ResolveConflict(candidates[p], options.policy);
+      }
+    }
+    uint32_t fused_id = out.dataset.AddRecord(target_schema, std::move(values));
+    out.fused_of[rid] = fused_id;
+
+    if (has_truth) {
+      uint32_t majority = 0;
+      size_t best = 0;
+      for (const auto& [entity, count] : truth_votes) {
+        if (count > best) {
+          best = count;
+          majority = entity;
+        }
+      }
+      out.dataset.entity_of().push_back(majority);
+      if (truth_votes.size() > 1) out.contaminated.push_back(fused_id);
+    }
+  }
+  return out;
+}
+
+}  // namespace hera

@@ -1,0 +1,68 @@
+// Entity fusion: the final data-exchange step of the paper's framework
+// (Fig 1-(d)). Once HERA has resolved which records describe one
+// entity, data exchange can join *records of the same entity* — the
+// "ideal exchange" the paper contrasts with key-equality joins — and
+// emit one consolidated record per entity under the target schema.
+//
+// Conflicts (an entity with several distinct values for one concept)
+// are resolved by a pluggable policy.
+
+#ifndef HERA_DATA_ENTITY_FUSION_H_
+#define HERA_DATA_ENTITY_FUSION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "record/dataset.h"
+#include "record/super_record.h"
+
+namespace hera {
+
+/// How conflicting values for one target attribute are resolved.
+enum class ConflictPolicy {
+  kMostFrequent,  ///< Majority value (exact equality); ties -> first seen.
+  kLongest,       ///< Longest rendering (most informative variant).
+  kFirst,         ///< First non-null in member-record order.
+};
+
+const char* ConflictPolicyToString(ConflictPolicy policy);
+
+/// Options for FuseEntities.
+struct FusionOptions {
+  ConflictPolicy policy = ConflictPolicy::kMostFrequent;
+};
+
+/// Output of FuseEntities.
+struct FusionResult {
+  /// One record per resolved entity under the target schema, ground
+  /// truth carried over when derivable (every member of a fused record
+  /// shares one truth entity; mixed clusters get the majority entity).
+  Dataset dataset;
+  /// Super-record rid -> fused record id.
+  std::map<uint32_t, uint32_t> fused_of;
+  /// Fused records whose members span >1 ground-truth entity (ER
+  /// errors surfacing as fusion conflicts); empty without ground truth.
+  std::vector<uint32_t> contaminated;
+};
+
+/// \brief Fuses resolved entities into target-schema records.
+///
+/// `super_records` is HeraResult::super_records (or
+/// IncrementalHera::super_records()). `source` must carry the
+/// canonical attribute map (it defines which source attributes feed
+/// which target attribute). `target_concepts` selects and orders the
+/// target schema's attributes; every concept must appear in the
+/// canonical map.
+FusionResult FuseEntities(const Dataset& source,
+                          const std::map<uint32_t, SuperRecord>& super_records,
+                          const std::vector<uint32_t>& target_concepts,
+                          const FusionOptions& options = {});
+
+/// All distinct concepts of `source`'s canonical map, ascending — the
+/// "full schema" default target.
+std::vector<uint32_t> AllConcepts(const Dataset& source);
+
+}  // namespace hera
+
+#endif  // HERA_DATA_ENTITY_FUSION_H_

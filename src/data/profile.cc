@@ -1,0 +1,84 @@
+#include "data/profile.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+namespace hera {
+
+DatasetProfile ProfileDataset(const Dataset& dataset) {
+  DatasetProfile out;
+  // (schema, attr) -> accumulators.
+  struct Acc {
+    size_t records = 0;
+    size_t present = 0;
+    size_t numeric = 0;
+    size_t length_sum = 0;
+    std::set<std::string> distinct;
+  };
+  std::map<std::pair<uint32_t, uint32_t>, Acc> accs;
+  for (uint32_t s = 0; s < dataset.schemas().size(); ++s) {
+    for (uint32_t a = 0; a < dataset.schemas().Get(s).size(); ++a) {
+      accs[{s, a}];  // Materialize even if no records use the schema.
+    }
+  }
+  for (const Record& r : dataset.records()) {
+    for (uint32_t a = 0; a < r.size(); ++a) {
+      Acc& acc = accs[{r.schema_id(), a}];
+      ++acc.records;
+      ++out.total_values;
+      const Value& v = r.value(a);
+      if (v.is_null()) {
+        ++out.total_nulls;
+        continue;
+      }
+      ++acc.present;
+      if (v.is_number()) ++acc.numeric;
+      std::string rendered = v.ToString();
+      acc.length_sum += rendered.size();
+      acc.distinct.insert(std::move(rendered));
+    }
+  }
+
+  for (auto& [key, acc] : accs) {
+    AttributeProfile p;
+    p.schema_id = key.first;
+    p.attr_index = key.second;
+    p.attr_name = dataset.schemas().AttrName({key.first, key.second});
+    p.num_records = acc.records;
+    p.num_present = acc.present;
+    p.num_distinct = acc.distinct.size();
+    p.num_numeric = acc.numeric;
+    p.avg_length = acc.present == 0 ? 0.0
+                                    : static_cast<double>(acc.length_sum) /
+                                          static_cast<double>(acc.present);
+    p.null_rate = acc.records == 0
+                      ? 0.0
+                      : 1.0 - static_cast<double>(acc.present) /
+                                  static_cast<double>(acc.records);
+    p.distinct_ratio = acc.present == 0
+                           ? 0.0
+                           : static_cast<double>(p.num_distinct) /
+                                 static_cast<double>(acc.present);
+    p.low_cardinality = acc.present >= 20 && p.distinct_ratio < 0.05;
+    out.attributes.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::string DatasetProfile::ToString() const {
+  std::string out =
+      "schema/attribute            present  nulls%  distinct  ratio  avg_len\n";
+  char buf[160];
+  for (const AttributeProfile& p : attributes) {
+    std::snprintf(buf, sizeof(buf), "%2u/%-24s %7zu  %5.1f%%  %8zu  %5.2f  %7.1f%s\n",
+                  p.schema_id, p.attr_name.c_str(), p.num_present,
+                  100.0 * p.null_rate, p.num_distinct, p.distinct_ratio,
+                  p.avg_length, p.low_cardinality ? "  [low-cardinality]" : "");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hera

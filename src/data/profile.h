@@ -1,0 +1,52 @@
+// Dataset profiling: per-attribute statistics (null rate, distinct
+// ratio, value lengths, inferred type) used for threshold selection
+// and by `hera_cli stats`. Low-cardinality attributes are flagged —
+// they inflate the value-pair index without adding matching evidence.
+
+#ifndef HERA_DATA_PROFILE_H_
+#define HERA_DATA_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "record/dataset.h"
+
+namespace hera {
+
+/// Statistics of one attribute of one schema.
+struct AttributeProfile {
+  uint32_t schema_id = 0;
+  uint32_t attr_index = 0;
+  std::string attr_name;
+
+  size_t num_records = 0;    ///< Records under this schema.
+  size_t num_present = 0;    ///< Non-null values.
+  size_t num_distinct = 0;   ///< Distinct non-null values (exact).
+  size_t num_numeric = 0;    ///< Values of numeric type.
+  double avg_length = 0.0;   ///< Mean rendering length of present values.
+  double null_rate = 0.0;    ///< 1 - present/records.
+  double distinct_ratio = 0.0;  ///< distinct / present (1 = key-like).
+
+  /// True when the attribute's cardinality is so low that most value
+  /// pairs collide (distinct_ratio < 0.05 with >= 20 values) — such
+  /// attributes dominate the similarity index without discriminating.
+  bool low_cardinality = false;
+};
+
+/// Whole-dataset profile.
+struct DatasetProfile {
+  std::vector<AttributeProfile> attributes;
+  size_t total_values = 0;
+  size_t total_nulls = 0;
+
+  /// Multi-line table rendering.
+  std::string ToString() const;
+};
+
+/// Profiles every attribute of every schema.
+DatasetProfile ProfileDataset(const Dataset& dataset);
+
+}  // namespace hera
+
+#endif  // HERA_DATA_PROFILE_H_

@@ -1,0 +1,251 @@
+#include "data/publication_generator.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+
+namespace hera {
+
+namespace {
+
+const char* const kTopicWords[] = {
+    "Scalable",      "Efficient",    "Distributed", "Adaptive",   "Robust",
+    "Incremental",   "Parallel",     "Approximate", "Declarative", "Streaming",
+    "Transactional", "Probabilistic", "Learned",    "Federated",  "Secure",
+    "Indexing",      "Querying",     "Sampling",    "Caching",    "Sharding",
+    "Partitioning",  "Compression",  "Encryption",  "Replication", "Recovery",
+    "Optimization",  "Estimation",   "Resolution",  "Integration", "Cleaning",
+    "Discovery",     "Matching",     "Clustering",  "Ranking",    "Profiling",
+    "Provenance",    "Versioning",   "Summarization", "Deduplication",
+    "Materialization",
+};
+
+const char* const kDomainWords[] = {
+    "Databases",  "Graphs",      "Streams",    "Workloads",   "Transactions",
+    "Joins",      "Indexes",     "Schemas",    "Records",     "Entities",
+    "Keys",       "Views",       "Caches",     "Logs",        "Snapshots",
+    "Tables",     "Queries",     "Tuples",     "Partitions",  "Clusters",
+    "Pipelines",  "Catalogs",    "Workflows",  "Embeddings",  "Sketches",
+};
+
+const char* const kAuthorFirst[] = {
+    "Wei", "Ming", "Hiroshi", "Anna", "Peter", "Rajeev", "Elena", "Carlos",
+    "Ingrid", "Tomas", "Yuki", "Priya", "Lars", "Sofia", "Dmitri", "Chen",
+    "Fatima", "Marco", "Nadia", "Oleg", "Aisha", "Bjorn", "Clara", "Diego",
+    "Emre", "Freya", "Gustav", "Hana", "Igor", "Jana", "Kenji", "Leila",
+    "Mateo", "Nora", "Otto", "Paulo", "Qing", "Rosa", "Stefan", "Tara",
+};
+
+const char* const kAuthorLast[] = {
+    "Zhang", "Tanaka", "Kowalski", "Fernandez", "Olsen", "Gupta", "Petrov",
+    "Silva", "Novak", "Larsson", "Yamamoto", "Patel", "Berg", "Rossi",
+    "Ivanov", "Liu", "Haddad", "Bianchi", "Popov", "Khan", "Nilsson",
+    "Weber", "Moreau", "Svensson", "Dubois", "Keller", "Costa", "Virtanen",
+    "Horvath", "Nagy", "Sato", "Lindgren", "Fischer", "Janssen", "Andersen",
+    "Papadopoulos", "Okafor", "Eriksson", "Vasquez", "Mancini",
+};
+
+/// (full name, abbreviation) venue pairs — abbreviation is the
+/// source-systematic variant.
+struct Venue {
+  const char* full;
+  const char* abbrev;
+};
+const Venue kVenues[] = {
+    {"Proceedings of the VLDB Endowment", "PVLDB"},
+    {"International Conference on Management of Data", "SIGMOD"},
+    {"International Conference on Data Engineering", "ICDE"},
+    {"International Conference on Very Large Data Bases", "VLDB"},
+    {"Conference on Innovative Data Systems Research", "CIDR"},
+    {"International Conference on Extending Database Technology", "EDBT"},
+    {"ACM Transactions on Database Systems", "TODS"},
+    {"IEEE Transactions on Knowledge and Data Engineering", "TKDE"},
+    {"Journal of Machine Learning Research", "JMLR"},
+    {"Symposium on Principles of Database Systems", "PODS"},
+    {"Conference on Information and Knowledge Management", "CIKM"},
+    {"International World Wide Web Conference", "WWW"},
+    {"Knowledge Discovery and Data Mining", "KDD"},
+    {"International Semantic Web Conference", "ISWC"},
+    {"Symposium on Cloud Computing", "SoCC"},
+    {"USENIX Annual Technical Conference", "USENIX ATC"},
+};
+
+const char* const kPublishers[] = {
+    "ACM Press", "IEEE Computer Society", "Springer", "Elsevier",
+    "Morgan Kaufmann", "VLDB Endowment", "USENIX Association",
+    "Cambridge University Press", "MIT Press", "Now Publishers",
+    "IOS Press", "World Scientific",
+};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* const (&pool)[N]) {
+  return pool[rng->Uniform(N)];
+}
+
+std::string AuthorName(Rng* rng) {
+  return std::string(Pick(rng, kAuthorFirst)) + " " + Pick(rng, kAuthorLast);
+}
+
+struct PubEntity {
+  std::array<Value, kNumPublicationConcepts> concept_value;
+  size_t venue_index = 0;
+};
+
+PubEntity SynthesizeEntity(Rng* rng) {
+  PubEntity e;
+  // Title: "Scalable Matching of Streams over Graphs"-style.
+  {
+    std::string title = Pick(rng, kTopicWords);
+    title += " ";
+    title += Pick(rng, kTopicWords);
+    title += " of ";
+    title += Pick(rng, kDomainWords);
+    if (rng->Bernoulli(0.5)) {
+      title += " over ";
+      title += Pick(rng, kDomainWords);
+    }
+    e.concept_value[kPubTitle] = Value(title);
+  }
+  {
+    size_t n = 2 + rng->Uniform(3);
+    std::string authors;
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) authors += ", ";
+      authors += AuthorName(rng);
+    }
+    e.concept_value[kPubAuthors] = Value(authors);
+  }
+  e.venue_index = rng->Uniform(std::size(kVenues));
+  e.concept_value[kPubVenue] = Value(std::string(kVenues[e.venue_index].full));
+  int year = 1995 + static_cast<int>(rng->Uniform(30));
+  e.concept_value[kPubYear] = Value(static_cast<double>(year));
+  {
+    int start = 1 + static_cast<int>(rng->Uniform(2000));
+    int len = 8 + static_cast<int>(rng->Uniform(18));
+    e.concept_value[kPubPages] =
+        Value(std::to_string(start) + "--" + std::to_string(start + len));
+  }
+  e.concept_value[kPubVolume] =
+      Value("vol " + std::to_string(1 + rng->Uniform(48)) + " no " +
+            std::to_string(1 + rng->Uniform(12)));
+  e.concept_value[kPubPublisher] = Value(std::string(Pick(rng, kPublishers)));
+  {
+    std::string kw;
+    for (int i = 0; i < 3; ++i) {
+      if (i > 0) kw += " ";
+      std::string w = i % 2 ? std::string(Pick(rng, kDomainWords))
+                            : std::string(Pick(rng, kTopicWords));
+      for (char& c : w) c = static_cast<char>(std::tolower(c));
+      kw += w;
+    }
+    e.concept_value[kPubAbstractKeywords] = Value(kw);
+  }
+  {
+    char doi[40];
+    std::snprintf(doi, sizeof(doi), "10.%04u/j%05u.%04u",
+                  static_cast<unsigned>(1000 + rng->Uniform(9000)),
+                  static_cast<unsigned>(rng->Uniform(100000)),
+                  static_cast<unsigned>(rng->Uniform(10000)));
+    e.concept_value[kPubDoi] = Value(std::string(doi));
+  }
+  e.concept_value[kPubCitations] =
+      Value(static_cast<double>(rng->Uniform(2500)));
+  return e;
+}
+
+}  // namespace
+
+std::vector<SourceProfile> StandardPublicationProfiles() {
+  return {
+      {"dblp",
+       {{"title", kPubTitle},
+        {"authors", kPubAuthors},
+        {"venue", kPubVenue},
+        {"year", kPubYear},
+        {"pages", kPubPages},
+        {"ee", kPubDoi}}},
+      {"acm",
+       {{"paper_title", kPubTitle},
+        {"author_list", kPubAuthors},
+        {"published_in", kPubVenue},
+        {"yr", kPubYear},
+        {"vol_no", kPubVolume},
+        {"publisher", kPubPublisher},
+        {"doi", kPubDoi}}},
+      {"scholar",
+       {{"name", kPubTitle},
+        {"by", kPubAuthors},
+        {"where", kPubVenue},
+        {"when", kPubYear},
+        {"keywords", kPubAbstractKeywords},
+        {"cited_by", kPubCitations}}},
+  };
+}
+
+Dataset GeneratePublicationDataset(const PublicationGeneratorConfig& config) {
+  assert(config.num_entities >= 1);
+  assert(config.num_records >= config.num_entities);
+  Rng rng(config.seed);
+  Dataset ds;
+
+  std::vector<SourceProfile> profiles = config.profiles.empty()
+                                            ? StandardPublicationProfiles()
+                                            : config.profiles;
+  std::vector<uint32_t> schema_ids;
+  for (const SourceProfile& p : profiles) {
+    std::vector<std::string> names;
+    names.reserve(p.attrs.size());
+    for (const auto& [attr, concept_id] : p.attrs) {
+      (void)concept_id;
+      names.push_back(attr);
+    }
+    uint32_t sid = ds.schemas().Register(Schema(p.name, std::move(names)));
+    schema_ids.push_back(sid);
+    for (uint32_t i = 0; i < p.attrs.size(); ++i) {
+      ds.canonical_attr()[AttrRef{sid, i}] = p.attrs[i].second;
+    }
+  }
+
+  std::vector<PubEntity> entities;
+  entities.reserve(config.num_entities);
+  for (size_t i = 0; i < config.num_entities; ++i) {
+    entities.push_back(SynthesizeEntity(&rng));
+  }
+
+  std::vector<uint32_t> record_entity;
+  record_entity.reserve(config.num_records);
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    record_entity.push_back(static_cast<uint32_t>(e));
+  }
+  for (size_t r = config.num_entities; r < config.num_records; ++r) {
+    record_entity.push_back(static_cast<uint32_t>(
+        rng.Zipf(config.num_entities, config.entity_skew)));
+  }
+  rng.Shuffle(&record_entity);
+
+  for (uint32_t entity : record_entity) {
+    size_t pi = rng.Uniform(profiles.size());
+    const SourceProfile& profile = profiles[pi];
+    std::vector<Value> values;
+    values.reserve(profile.attrs.size());
+    for (const auto& [attr, concept_id] : profile.attrs) {
+      (void)attr;
+      if (rng.Bernoulli(config.null_prob)) {
+        values.emplace_back();
+        continue;
+      }
+      Value v = entities[entity].concept_value[concept_id];
+      // Source-systematic venue abbreviation (not random noise): some
+      // sources store "PVLDB", others the full proceedings name.
+      if (concept_id == kPubVenue && rng.Bernoulli(config.venue_abbrev_prob)) {
+        v = Value(std::string(kVenues[entities[entity].venue_index].abbrev));
+      }
+      values.push_back(CorruptValue(v, &rng, config.corruption));
+    }
+    ds.AddRecord(schema_ids[pi], std::move(values));
+    ds.entity_of().push_back(entity);
+  }
+  return ds;
+}
+
+}  // namespace hera

@@ -1,0 +1,58 @@
+// Synthetic heterogeneous bibliographic dataset generator — a second
+// evaluation domain (DBLP/ACM/Scholar-style citation records), the
+// classic ER benchmark family. Exercises the same phenomena as the
+// movie generator (description difference, heterogeneous schema) with
+// different value shapes: long author lists, venue abbreviations,
+// page ranges, volume/number fields.
+
+#ifndef HERA_DATA_PUBLICATION_GENERATOR_H_
+#define HERA_DATA_PUBLICATION_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/corruption.h"
+#include "data/movie_generator.h"  // SourceProfile.
+#include "record/dataset.h"
+
+namespace hera {
+
+/// Canonical publication attribute concepts.
+enum PublicationConcept : uint32_t {
+  kPubTitle = 0,
+  kPubAuthors,
+  kPubVenue,
+  kPubYear,
+  kPubPages,
+  kPubVolume,
+  kPubPublisher,
+  kPubAbstractKeywords,
+  kPubDoi,
+  kPubCitations,
+  kNumPublicationConcepts,
+};
+
+/// The built-in source profiles (dblp-like, acm-like, scholar-like).
+std::vector<SourceProfile> StandardPublicationProfiles();
+
+/// Generator parameters (mirrors MovieGeneratorConfig).
+struct PublicationGeneratorConfig {
+  size_t num_records = 600;
+  size_t num_entities = 100;
+  uint64_t seed = 1;
+  std::vector<SourceProfile> profiles;  ///< Defaults to all three.
+  CorruptionOptions corruption;
+  double null_prob = 0.08;
+  double entity_skew = 0.3;
+  /// Probability that a profile renders the venue abbreviated
+  /// ("PVLDB" vs "Proceedings of the VLDB Endowment") — a
+  /// source-systematic variation, not random corruption.
+  double venue_abbrev_prob = 0.5;
+};
+
+/// Generates a heterogeneous publication Dataset with ground truth and
+/// canonical attribute map.
+Dataset GeneratePublicationDataset(const PublicationGeneratorConfig& config);
+
+}  // namespace hera
+
+#endif  // HERA_DATA_PUBLICATION_GENERATOR_H_

@@ -1,0 +1,140 @@
+#include "eval/cluster_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+namespace hera {
+
+namespace {
+
+uint64_t Choose2(uint64_t n) { return n * (n - 1) / 2; }
+
+/// Contingency counts between two labelings.
+struct Contingency {
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> joint;
+  std::unordered_map<uint32_t, uint64_t> pred_sizes;
+  std::unordered_map<uint32_t, uint64_t> truth_sizes;
+  size_t n = 0;
+};
+
+Contingency BuildContingency(const std::vector<uint32_t>& predicted,
+                             const std::vector<uint32_t>& truth) {
+  assert(predicted.size() == truth.size());
+  Contingency c;
+  c.n = predicted.size();
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    ++c.joint[{predicted[i], truth[i]}];
+    ++c.pred_sizes[predicted[i]];
+    ++c.truth_sizes[truth[i]];
+  }
+  return c;
+}
+
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<uint32_t>& predicted,
+                         const std::vector<uint32_t>& truth) {
+  Contingency c = BuildContingency(predicted, truth);
+  if (c.n < 2) return 1.0;
+  double sum_joint = 0.0, sum_pred = 0.0, sum_truth = 0.0;
+  for (const auto& [key, count] : c.joint) {
+    (void)key;
+    sum_joint += static_cast<double>(Choose2(count));
+  }
+  for (const auto& [label, count] : c.pred_sizes) {
+    (void)label;
+    sum_pred += static_cast<double>(Choose2(count));
+  }
+  for (const auto& [label, count] : c.truth_sizes) {
+    (void)label;
+    sum_truth += static_cast<double>(Choose2(count));
+  }
+  double total = static_cast<double>(Choose2(c.n));
+  double expected = sum_pred * sum_truth / total;
+  double max_index = 0.5 * (sum_pred + sum_truth);
+  if (max_index == expected) return 1.0;  // Degenerate: single cluster both.
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+double ClosestClusterF1(const std::vector<uint32_t>& predicted,
+                        const std::vector<uint32_t>& truth) {
+  Contingency c = BuildContingency(predicted, truth);
+  if (c.n == 0) return 1.0;
+  // For each truth cluster, find the predicted cluster with the
+  // largest overlap and score F1 of that match.
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint64_t>> best;  // truth -> (pred, overlap)
+  for (const auto& [key, count] : c.joint) {
+    auto [pred, tr] = key;
+    auto it = best.find(tr);
+    if (it == best.end() || count > it->second.second) {
+      best[tr] = {pred, count};
+    }
+  }
+  double weighted = 0.0;
+  for (const auto& [tr, match] : best) {
+    auto [pred, overlap] = match;
+    double precision =
+        static_cast<double>(overlap) / static_cast<double>(c.pred_sizes[pred]);
+    double recall =
+        static_cast<double>(overlap) / static_cast<double>(c.truth_sizes[tr]);
+    double f1 = precision + recall == 0.0
+                    ? 0.0
+                    : 2.0 * precision * recall / (precision + recall);
+    weighted += f1 * static_cast<double>(c.truth_sizes[tr]);
+  }
+  return weighted / static_cast<double>(c.n);
+}
+
+std::vector<EntityOutcome> PerEntityBreakdown(
+    const std::vector<uint32_t>& predicted,
+    const std::vector<uint32_t>& truth) {
+  Contingency c = BuildContingency(predicted, truth);
+  // truth cluster -> (pred cluster -> overlap).
+  std::unordered_map<uint32_t, std::unordered_map<uint32_t, uint64_t>> frag;
+  for (const auto& [key, count] : c.joint) {
+    frag[key.second][key.first] = count;
+  }
+  std::vector<EntityOutcome> out;
+  out.reserve(frag.size());
+  for (const auto& [entity, fragments] : frag) {
+    EntityOutcome o;
+    o.entity = entity;
+    o.size = c.truth_sizes[entity];
+    o.num_fragments = fragments.size();
+    uint32_t biggest_pred = 0;
+    uint64_t biggest = 0;
+    for (const auto& [pred, count] : fragments) {
+      if (count > biggest) {
+        biggest = count;
+        biggest_pred = pred;
+      }
+    }
+    // Pure iff the predicted cluster holding the largest fragment has
+    // no records from other entities.
+    o.pure = c.pred_sizes[biggest_pred] == biggest;
+    out.push_back(o);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EntityOutcome& a, const EntityOutcome& b) {
+              return a.entity < b.entity;
+            });
+  return out;
+}
+
+BreakdownSummary SummarizeBreakdown(const std::vector<EntityOutcome>& outcomes) {
+  BreakdownSummary s;
+  for (const EntityOutcome& o : outcomes) {
+    if (o.num_fragments == 1 && o.pure) {
+      ++s.exact;
+    } else if (o.num_fragments > 1) {
+      ++s.split;
+    } else {
+      ++s.contaminated;
+    }
+  }
+  return s;
+}
+
+}  // namespace hera

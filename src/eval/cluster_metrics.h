@@ -1,0 +1,49 @@
+// Cluster-level evaluation complements the pairwise scores in
+// metrics.h: Adjusted Rand Index, closest-cluster F1, cluster-count
+// statistics, and a per-entity error breakdown used by the examples to
+// explain *which* entities an algorithm splits or over-merges.
+
+#ifndef HERA_EVAL_CLUSTER_METRICS_H_
+#define HERA_EVAL_CLUSTER_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hera {
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, ~0 =
+/// random agreement.
+double AdjustedRandIndex(const std::vector<uint32_t>& predicted,
+                         const std::vector<uint32_t>& truth);
+
+/// \brief Closest-cluster F1: every truth cluster is matched to the
+/// predicted cluster with the largest overlap; per-cluster F1 values
+/// are averaged weighted by cluster size.
+double ClosestClusterF1(const std::vector<uint32_t>& predicted,
+                        const std::vector<uint32_t>& truth);
+
+/// How a single ground-truth entity fared.
+struct EntityOutcome {
+  uint32_t entity = 0;
+  size_t size = 0;            ///< Records of this entity.
+  size_t num_fragments = 0;   ///< Predicted clusters it is split over.
+  bool pure = false;          ///< Its largest fragment contains no foreign record.
+};
+
+/// Per-entity breakdown of a prediction (splits and contaminations).
+std::vector<EntityOutcome> PerEntityBreakdown(
+    const std::vector<uint32_t>& predicted, const std::vector<uint32_t>& truth);
+
+/// Summary of a breakdown: entities fully recovered as one pure
+/// cluster / split into fragments / merged with foreign records.
+struct BreakdownSummary {
+  size_t exact = 0;        ///< One fragment, pure.
+  size_t split = 0;        ///< More than one fragment.
+  size_t contaminated = 0; ///< Largest fragment impure.
+};
+BreakdownSummary SummarizeBreakdown(const std::vector<EntityOutcome>& outcomes);
+
+}  // namespace hera
+
+#endif  // HERA_EVAL_CLUSTER_METRICS_H_

@@ -1,0 +1,56 @@
+#include "eval/metrics.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace hera {
+
+namespace {
+
+uint64_t PairsOf(uint64_t n) { return n * (n - 1) / 2; }
+
+}  // namespace
+
+uint64_t CountIntraPairs(const std::vector<uint32_t>& labels) {
+  std::unordered_map<uint32_t, uint64_t> sizes;
+  for (uint32_t l : labels) ++sizes[l];
+  uint64_t pairs = 0;
+  for (const auto& [label, count] : sizes) {
+    (void)label;
+    pairs += PairsOf(count);
+  }
+  return pairs;
+}
+
+PairMetrics EvaluatePairs(const std::vector<uint32_t>& predicted,
+                          const std::vector<uint32_t>& truth) {
+  assert(predicted.size() == truth.size());
+  PairMetrics m;
+  m.predicted_pairs = CountIntraPairs(predicted);
+  m.truth_pairs = CountIntraPairs(truth);
+
+  // TP: group by the (predicted, truth) label pair.
+  std::unordered_map<uint64_t, uint64_t> joint;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    uint64_t key = (static_cast<uint64_t>(predicted[i]) << 32) | truth[i];
+    ++joint[key];
+  }
+  for (const auto& [key, count] : joint) {
+    (void)key;
+    m.true_positives += PairsOf(count);
+  }
+
+  m.precision = m.predicted_pairs == 0
+                    ? 1.0
+                    : static_cast<double>(m.true_positives) /
+                          static_cast<double>(m.predicted_pairs);
+  m.recall = m.truth_pairs == 0 ? 1.0
+                                : static_cast<double>(m.true_positives) /
+                                      static_cast<double>(m.truth_pairs);
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+}  // namespace hera

@@ -1,0 +1,39 @@
+// Pairwise evaluation of ER output against ground truth (the paper's
+// Measure paragraph): precision = correct predicted pairs / predicted
+// pairs, recall = correct predicted pairs / ground-truth pairs,
+// F1 = harmonic mean.
+
+#ifndef HERA_EVAL_METRICS_H_
+#define HERA_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hera {
+
+/// Pairwise confusion counts and derived scores.
+struct PairMetrics {
+  uint64_t true_positives = 0;   ///< Pairs together in both clusterings.
+  uint64_t predicted_pairs = 0;  ///< Pairs together in the prediction.
+  uint64_t truth_pairs = 0;      ///< Pairs together in the ground truth.
+
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// \brief Scores a predicted clustering against ground truth.
+///
+/// Both vectors assign a cluster label to each record (same length);
+/// label values are arbitrary. Counting is O(n) over label groups, not
+/// O(n^2) over pairs.
+PairMetrics EvaluatePairs(const std::vector<uint32_t>& predicted,
+                          const std::vector<uint32_t>& truth);
+
+/// Number of unordered intra-cluster pairs induced by a labeling.
+uint64_t CountIntraPairs(const std::vector<uint32_t>& labels);
+
+}  // namespace hera
+
+#endif  // HERA_EVAL_METRICS_H_

@@ -1,0 +1,109 @@
+// The value-pair index of Section III (Definition 6).
+//
+// Stores every similar value pair (simv >= ξ, different records),
+// labeled ((rid1,fid1,vid1),(rid2,fid2,vid2)) with rid1 < rid2, ordered
+// by (rid1 asc, rid2 asc, sim desc) — exactly the paper's sort. The
+// backing container is an ordered map keyed by (rid1, rid2, -sim, pid),
+// which provides the paper's binary-search range lookups
+// (binary_search_l / binary_search_r collapse to lower_bound) and the
+// O(|V̂_ij| log |V|) merge maintenance of Proposition 4.
+
+#ifndef HERA_INDEX_VALUE_PAIR_INDEX_H_
+#define HERA_INDEX_VALUE_PAIR_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "simjoin/similarity_join.h"
+
+namespace hera {
+
+/// One index entry: pid (stable identity), the two labels, similarity.
+struct IndexedPair {
+  uint64_t pid = 0;
+  ValueLabel a;  // a.rid < b.rid invariant.
+  ValueLabel b;
+  double sim = 0.0;
+};
+
+/// \brief Sorted value-pair index with merge maintenance.
+class ValuePairIndex {
+ public:
+  ValuePairIndex() = default;
+
+  /// Ingests join output. Each pair is normalized so a.rid < b.rid and
+  /// assigned a pid. Replaces any previous contents.
+  void Build(const std::vector<ValuePair>& pairs);
+
+  /// Adds further pairs to an existing index (fresh pids); used by
+  /// incremental resolution when new records arrive.
+  void AddPairs(const std::vector<ValuePair>& pairs);
+
+  /// Number of value pairs currently stored (the |S| of Table II at
+  /// build time).
+  size_t size() const { return by_pid_.size(); }
+
+  /// All pairs for the record pair (i, j), descending similarity.
+  /// Order of i and j does not matter.
+  std::vector<IndexedPair> PairsFor(uint32_t i, uint32_t j) const;
+
+  /// Visits every non-empty (rid1, rid2) group in index order; `pairs`
+  /// is sorted by descending similarity. Candidate generation is one
+  /// pass over this (Proposition 2).
+  void ForEachGroup(
+      const std::function<void(uint32_t rid1, uint32_t rid2,
+                               const std::vector<IndexedPair>& pairs)>& fn) const;
+
+  /// Applies the merge of records `rid_i` and `rid_j` into `new_rid`
+  /// (Section III-B2): deletes pairs that became intra-record, rewrites
+  /// labels per `remap` (from SuperRecord::Merge), and restores sort
+  /// order. `new_rid` must be `rid_i` or `rid_j`.
+  void ApplyMerge(uint32_t rid_i, uint32_t rid_j, uint32_t new_rid,
+                  const std::vector<std::pair<ValueLabel, ValueLabel>>& remap);
+
+  /// All pairs in index order (for tests / debugging).
+  std::vector<IndexedPair> Dump() const;
+
+  /// Verifies invariants (a.rid < b.rid, ordering, secondary indexes
+  /// consistent). Returns false and stops at the first violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Key {
+    uint32_t rid1;
+    uint32_t rid2;
+    double neg_sim;  // Ascending neg_sim == descending sim.
+    uint64_t pid;    // Tie-breaker; keeps keys unique.
+
+    bool operator<(const Key& o) const {
+      if (rid1 != o.rid1) return rid1 < o.rid1;
+      if (rid2 != o.rid2) return rid2 < o.rid2;
+      if (neg_sim != o.neg_sim) return neg_sim < o.neg_sim;
+      return pid < o.pid;
+    }
+  };
+
+  struct Entry {
+    ValueLabel a;
+    ValueLabel b;
+    double sim;
+  };
+
+  void Insert(uint64_t pid, ValueLabel a, ValueLabel b, double sim);
+  void Erase(uint64_t pid);
+
+  std::map<Key, Entry> pairs_;
+  std::unordered_map<uint64_t, Key> by_pid_;
+  // rid -> pids of pairs touching that record; drives ApplyMerge.
+  std::unordered_map<uint32_t, std::unordered_set<uint64_t>> touching_;
+  uint64_t next_pid_ = 0;
+};
+
+}  // namespace hera
+
+#endif  // HERA_INDEX_VALUE_PAIR_INDEX_H_

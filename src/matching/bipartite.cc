@@ -1,0 +1,173 @@
+#include "matching/bipartite.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace hera {
+
+std::vector<uint32_t> KuhnMunkres(const std::vector<std::vector<double>>& w) {
+  const size_t n = w.size();
+  if (n == 0) return {};
+  for (const auto& row : w) {
+    assert(row.size() == n && "KuhnMunkres requires a square matrix");
+    (void)row;
+  }
+  // Maximize by minimizing (max_weight - w). Potentials-based Hungarian
+  // algorithm, O(n^3), 1-based internal arrays.
+  double max_w = 0.0;
+  for (const auto& row : w) {
+    for (double x : row) max_w = std::max(max_w, x);
+  }
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = (max_w - w[i0 - 1][j - 1]) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  // p[j] = row matched to column j; invert to row -> column.
+  std::vector<uint32_t> match(n, 0);
+  for (size_t j = 1; j <= n; ++j) match[p[j] - 1] = static_cast<uint32_t>(j - 1);
+  return match;
+}
+
+namespace {
+
+/// Deduplicates parallel edges, keeping the maximum weight.
+std::vector<WeightedEdge> DedupEdges(const std::vector<WeightedEdge>& edges) {
+  std::unordered_map<uint64_t, WeightedEdge> best;
+  best.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    uint64_t key = (static_cast<uint64_t>(e.left) << 32) | e.right;
+    auto [it, inserted] = best.emplace(key, e);
+    if (!inserted && e.weight > it->second.weight) it->second = e;
+  }
+  std::vector<WeightedEdge> out;
+  out.reserve(best.size());
+  for (auto& [key, e] : best) {
+    (void)key;
+    out.push_back(e);
+  }
+  // Deterministic order for reproducible KM tie-breaking.
+  std::sort(out.begin(), out.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  });
+  return out;
+}
+
+}  // namespace
+
+MatchingResult SolveFieldMatching(const std::vector<WeightedEdge>& raw_edges) {
+  MatchingResult result;
+  std::vector<WeightedEdge> edges = DedupEdges(raw_edges);
+  if (edges.empty()) return result;
+
+  // Degrees over the deduplicated graph.
+  std::unordered_map<uint32_t, int> deg_left, deg_right;
+  for (const WeightedEdge& e : edges) {
+    ++deg_left[e.left];
+    ++deg_right[e.right];
+  }
+
+  // Graph simplification: an edge whose endpoints both have degree 1
+  // cannot conflict with anything; it belongs to an optimal matching
+  // (Theorem 1) and is removed before KM.
+  std::vector<WeightedEdge> remaining;
+  for (const WeightedEdge& e : edges) {
+    if (deg_left[e.left] == 1 && deg_right[e.right] == 1) {
+      result.matching.push_back(e);
+      result.total_weight += e.weight;
+      ++result.mapped_edges;
+    } else {
+      remaining.push_back(e);
+    }
+  }
+
+  if (remaining.empty()) return result;
+
+  // Compact node ids of the simplified graph G'.
+  std::unordered_map<uint32_t, uint32_t> lid, rid;
+  std::vector<uint32_t> left_of, right_of;
+  for (const WeightedEdge& e : remaining) {
+    if (lid.emplace(e.left, static_cast<uint32_t>(left_of.size())).second) {
+      left_of.push_back(e.left);
+    }
+    if (rid.emplace(e.right, static_cast<uint32_t>(right_of.size())).second) {
+      right_of.push_back(e.right);
+    }
+  }
+  result.simplified_nodes = left_of.size() + right_of.size();
+
+  // Dummy-padded square weight matrix (missing edges weight 0).
+  const size_t n = std::max(left_of.size(), right_of.size());
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (const WeightedEdge& e : remaining) {
+    w[lid[e.left]][rid[e.right]] = e.weight;
+  }
+
+  std::vector<uint32_t> match = KuhnMunkres(w);
+  for (size_t i = 0; i < left_of.size(); ++i) {
+    uint32_t j = match[i];
+    if (j >= right_of.size()) continue;      // Dummy column.
+    if (w[i][j] <= 0.0) continue;            // Padding zero, not a real edge.
+    result.matching.push_back({left_of[i], right_of[j], w[i][j]});
+    result.total_weight += w[i][j];
+  }
+  return result;
+}
+
+MatchingResult GreedyMatching(const std::vector<WeightedEdge>& raw_edges) {
+  MatchingResult result;
+  std::vector<WeightedEdge> edges = DedupEdges(raw_edges);
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const WeightedEdge& a, const WeightedEdge& b) {
+                     return a.weight > b.weight;
+                   });
+  std::unordered_map<uint32_t, bool> used_left, used_right;
+  for (const WeightedEdge& e : edges) {
+    if (used_left[e.left] || used_right[e.right]) continue;
+    used_left[e.left] = used_right[e.right] = true;
+    result.matching.push_back(e);
+    result.total_weight += e.weight;
+  }
+  return result;
+}
+
+}  // namespace hera

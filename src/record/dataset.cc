@@ -1,0 +1,60 @@
+#include "record/dataset.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace hera {
+
+uint32_t Dataset::AddRecord(uint32_t schema_id, std::vector<Value> values) {
+  uint32_t id = static_cast<uint32_t>(records_.size());
+  records_.emplace_back(id, schema_id, std::move(values));
+  return id;
+}
+
+size_t Dataset::NumEntities() const {
+  if (!has_ground_truth()) return 0;
+  std::unordered_set<uint32_t> entities(entity_of_.begin(), entity_of_.end());
+  return entities.size();
+}
+
+size_t Dataset::NumDistinctAttributes() const {
+  if (!canonical_attr_.empty()) {
+    std::unordered_set<uint32_t> concepts;
+    for (const auto& [ref, concept_id] : canonical_attr_) concepts.insert(concept_id);
+    return concepts.size();
+  }
+  std::set<std::string> names;
+  for (uint32_t s = 0; s < schemas_.size(); ++s) {
+    for (const auto& attr : schemas_.Get(s).attributes()) names.insert(attr);
+  }
+  return names.size();
+}
+
+Status Dataset::Validate() const {
+  for (const Record& r : records_) {
+    if (r.schema_id() >= schemas_.size()) {
+      return Status::InvalidArgument("record " + std::to_string(r.id()) +
+                                     " references unknown schema " +
+                                     std::to_string(r.schema_id()));
+    }
+    if (r.size() != schemas_.Get(r.schema_id()).size()) {
+      return Status::InvalidArgument(
+          "record " + std::to_string(r.id()) + " has " +
+          std::to_string(r.size()) + " values but schema has " +
+          std::to_string(schemas_.Get(r.schema_id()).size()));
+    }
+  }
+  if (!entity_of_.empty() && entity_of_.size() != records_.size()) {
+    return Status::InvalidArgument("ground truth size mismatch");
+  }
+  for (const auto& [ref, concept_id] : canonical_attr_) {
+    (void)concept_id;
+    if (ref.schema_id >= schemas_.size() ||
+        ref.attr_index >= schemas_.Get(ref.schema_id).size()) {
+      return Status::InvalidArgument("canonical_attr references unknown attribute");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hera

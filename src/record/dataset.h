@@ -1,0 +1,73 @@
+// Dataset: a record set R with heterogeneous schemas plus (optional)
+// ground truth used only for evaluation — HERA itself never reads it.
+
+#ifndef HERA_RECORD_DATASET_H_
+#define HERA_RECORD_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "record/record.h"
+#include "record/schema.h"
+
+namespace hera {
+
+/// \brief A heterogeneous record collection.
+///
+/// Records are stored densely; record ids equal vector positions.
+/// `entity_of` (when ground truth is known) maps record id to entity
+/// id. `canonical_attr` maps each (schema, attribute) to the id of the
+/// real-world attribute concept_id it denotes — the manually-curated
+/// "distinct attributes" of the paper's Table I; used only to count
+/// distinct attributes and to score schema-matching predictions.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  SchemaCatalog& schemas() { return schemas_; }
+  const SchemaCatalog& schemas() const { return schemas_; }
+
+  /// Appends a record built from `values` under `schema_id`; assigns
+  /// and returns its id.
+  uint32_t AddRecord(uint32_t schema_id, std::vector<Value> values);
+
+  const std::vector<Record>& records() const { return records_; }
+  const Record& record(uint32_t id) const { return records_[id]; }
+  size_t size() const { return records_.size(); }
+
+  /// Ground truth entity ids, parallel to records(). Empty if unknown.
+  std::vector<uint32_t>& entity_of() { return entity_of_; }
+  const std::vector<uint32_t>& entity_of() const { return entity_of_; }
+  bool has_ground_truth() const { return entity_of_.size() == records_.size(); }
+
+  /// Number of distinct ground-truth entities (0 without ground truth).
+  size_t NumEntities() const;
+
+  /// Canonical attribute concept_id ids (see class comment).
+  std::map<AttrRef, uint32_t>& canonical_attr() { return canonical_attr_; }
+  const std::map<AttrRef, uint32_t>& canonical_attr() const {
+    return canonical_attr_;
+  }
+
+  /// Number of distinct attribute concepts across all schemas; falls
+  /// back to counting distinct attribute names when no canonical map
+  /// was provided.
+  size_t NumDistinctAttributes() const;
+
+  /// Validates internal consistency (value counts match schema sizes,
+  /// schema ids in range, ground truth length).
+  Status Validate() const;
+
+ private:
+  SchemaCatalog schemas_;
+  std::vector<Record> records_;
+  std::vector<uint32_t> entity_of_;
+  std::map<AttrRef, uint32_t> canonical_attr_;
+};
+
+}  // namespace hera
+
+#endif  // HERA_RECORD_DATASET_H_

@@ -1,0 +1,13 @@
+#include "record/record.h"
+
+namespace hera {
+
+size_t Record::NumPresent() const {
+  size_t n = 0;
+  for (const auto& v : values_) {
+    if (!v.is_null()) ++n;
+  }
+  return n;
+}
+
+}  // namespace hera

@@ -1,0 +1,42 @@
+// Record: one raw row from a heterogeneous source.
+
+#ifndef HERA_RECORD_RECORD_H_
+#define HERA_RECORD_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "record/schema.h"
+#include "sim/value.h"
+
+namespace hera {
+
+/// \brief A base record: values aligned with the attributes of one schema.
+///
+/// Null values are allowed (an attribute present in the schema but
+/// missing in this row).
+class Record {
+ public:
+  Record() = default;
+  Record(uint32_t id, uint32_t schema_id, std::vector<Value> values)
+      : id_(id), schema_id_(schema_id), values_(std::move(values)) {}
+
+  uint32_t id() const { return id_; }
+  uint32_t schema_id() const { return schema_id_; }
+  const std::vector<Value>& values() const { return values_; }
+  const Value& value(size_t i) const { return values_[i]; }
+  size_t size() const { return values_.size(); }
+
+  /// Number of non-null values.
+  size_t NumPresent() const;
+
+ private:
+  uint32_t id_ = 0;
+  uint32_t schema_id_ = 0;
+  std::vector<Value> values_;
+};
+
+}  // namespace hera
+
+#endif  // HERA_RECORD_RECORD_H_

@@ -1,0 +1,17 @@
+#include "record/schema.h"
+
+namespace hera {
+
+std::optional<uint32_t> Schema::IndexOf(const std::string& attr) const {
+  for (uint32_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attr) return i;
+  }
+  return std::nullopt;
+}
+
+uint32_t SchemaCatalog::Register(Schema schema) {
+  schemas_.push_back(std::move(schema));
+  return static_cast<uint32_t>(schemas_.size() - 1);
+}
+
+}  // namespace hera

@@ -1,0 +1,70 @@
+// Schema: the attribute list of one heterogeneous source.
+
+#ifndef HERA_RECORD_SCHEMA_H_
+#define HERA_RECORD_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hera {
+
+/// Identifies one attribute of one schema: the `a_k^i` of the paper.
+struct AttrRef {
+  uint32_t schema_id = 0;
+  uint32_t attr_index = 0;
+
+  bool operator==(const AttrRef& o) const {
+    return schema_id == o.schema_id && attr_index == o.attr_index;
+  }
+  bool operator<(const AttrRef& o) const {
+    if (schema_id != o.schema_id) return schema_id < o.schema_id;
+    return attr_index < o.attr_index;
+  }
+};
+
+/// \brief Named attribute list for one source.
+///
+/// Schemas are registered in a SchemaCatalog which assigns ids; records
+/// reference schemas by id.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<std::string> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t size() const { return attributes_.size(); }
+  const std::string& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute with this name, if present.
+  std::optional<uint32_t> IndexOf(const std::string& attr) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+};
+
+/// \brief Registry of the schemas present in a record set.
+class SchemaCatalog {
+ public:
+  /// Registers a schema, returning its id.
+  uint32_t Register(Schema schema);
+
+  const Schema& Get(uint32_t id) const { return schemas_[id]; }
+  size_t size() const { return schemas_.size(); }
+
+  /// Attribute name behind an AttrRef.
+  const std::string& AttrName(const AttrRef& ref) const {
+    return schemas_[ref.schema_id].attribute(ref.attr_index);
+  }
+
+ private:
+  std::vector<Schema> schemas_;
+};
+
+}  // namespace hera
+
+#endif  // HERA_RECORD_SCHEMA_H_

@@ -1,0 +1,118 @@
+// SuperRecord (Definition 2): the merged representation of all records
+// found to refer to one entity. Each field holds the set of values
+// contributed to it; merging (⊕, Example 2) unions matched fields,
+// deduplicates identical values, and appends unmatched fields verbatim.
+
+#ifndef HERA_RECORD_SUPER_RECORD_H_
+#define HERA_RECORD_SUPER_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "record/record.h"
+#include "record/schema.h"
+#include "sim/value.h"
+
+namespace hera {
+
+/// \brief The (rid, fid, vid) label of one value inside a super record
+/// (Section III-A). 0-based internally (the paper writes 1-based).
+struct ValueLabel {
+  uint32_t rid = 0;
+  uint32_t fid = 0;
+  uint32_t vid = 0;
+
+  bool operator==(const ValueLabel& o) const {
+    return rid == o.rid && fid == o.fid && vid == o.vid;
+  }
+  bool operator<(const ValueLabel& o) const {
+    if (rid != o.rid) return rid < o.rid;
+    if (fid != o.fid) return fid < o.fid;
+    return vid < o.vid;
+  }
+};
+
+/// One value inside a field, together with the source attribute it came
+/// from (needed by the schema-based method to vote on attribute pairs).
+struct FieldValue {
+  Value value;
+  AttrRef origin;
+};
+
+/// \brief A field of a super record: the set of values believed to
+/// describe one attribute of the entity.
+class Field {
+ public:
+  Field() = default;
+  explicit Field(std::vector<FieldValue> values) : values_(std::move(values)) {}
+
+  const std::vector<FieldValue>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  const FieldValue& value(size_t i) const { return values_[i]; }
+
+  /// Appends `fv` unless an identical Value is already present; returns
+  /// the vid the value lives at afterwards (existing vid on dedup).
+  uint32_t AddValue(FieldValue fv);
+
+ private:
+  std::vector<FieldValue> values_;
+};
+
+/// One matched field pair (f_i of R_a ↔ f_j of R_b) with its field
+/// similarity; the unit of the field matching set F(i,j) (Definition 4).
+struct FieldMatch {
+  uint32_t field_a = 0;
+  uint32_t field_b = 0;
+  double sim = 0.0;
+};
+
+/// \brief Super record: a set of fields plus the ids of the base
+/// records merged into it.
+class SuperRecord {
+ public:
+  SuperRecord() = default;
+
+  /// Lifts a base record: one singleton field per non-null value. The
+  /// super record id equals the base record id initially.
+  static SuperRecord FromRecord(const Record& record);
+
+  /// Merges `a` and `b` (Example 2). `matching` lists the matched field
+  /// pairs (one-to-one); matched fields union their values (exact
+  /// duplicates dedup), unmatched fields of `b` are appended. The
+  /// result keeps `a`'s rid overwritten to `new_rid`.
+  ///
+  /// If `remap` is non-null it receives (old label -> new label) for
+  /// every value of both inputs, in input order; deduplicated values
+  /// map onto the surviving value's label. Used for index maintenance.
+  static SuperRecord Merge(
+      const SuperRecord& a, const SuperRecord& b,
+      const std::vector<FieldMatch>& matching, uint32_t new_rid,
+      std::vector<std::pair<ValueLabel, ValueLabel>>* remap = nullptr);
+
+  uint32_t rid() const { return rid_; }
+  void set_rid(uint32_t rid) { rid_ = rid; }
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Base record ids merged into this super record.
+  const std::vector<uint32_t>& members() const { return members_; }
+
+  /// Total number of stored values across all fields.
+  size_t NumValues() const;
+
+  /// Debug rendering, e.g. "R3{f0:[John], f1:[2 Norman Street|...]}".
+  std::string ToString() const;
+
+ private:
+  uint32_t rid_ = 0;
+  std::vector<Field> fields_;
+  std::vector<uint32_t> members_;
+};
+
+}  // namespace hera
+
+#endif  // HERA_RECORD_SUPER_RECORD_H_

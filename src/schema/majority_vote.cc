@@ -1,0 +1,71 @@
+#include "schema/majority_vote.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hera {
+
+double SchemaMatchingPredictor::ErrorUpperBound(size_t n, double p) {
+  assert(p > 0.0);
+  double exponent = -(static_cast<double>(n) / (2.0 * p)) * (p - 0.5) * (p - 0.5);
+  return std::exp(exponent);
+}
+
+void SchemaMatchingPredictor::AddPrediction(const AttrRef& a, const AttrRef& b) {
+  if (a.schema_id == b.schema_id) return;
+  ++num_predictions_;
+  Votes& va = votes_[{a, b.schema_id}];
+  ++va.counts[b.attr_index];
+  ++va.total;
+  Votes& vb = votes_[{b, a.schema_id}];
+  ++vb.counts[a.attr_index];
+  ++vb.total;
+}
+
+std::optional<AttrRef> SchemaMatchingPredictor::VoteWinner(
+    const AttrRef& a, uint32_t other_schema) const {
+  auto it = votes_.find({a, other_schema});
+  if (it == votes_.end() || it->second.total == 0) return std::nullopt;
+  if (ErrorUpperBound(it->second.total, prior_p_) >= rho_) return std::nullopt;
+  uint32_t best_attr = 0;
+  uint64_t best_count = 0;
+  for (const auto& [attr, count] : it->second.counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_attr = attr;
+    }
+  }
+  return AttrRef{other_schema, best_attr};
+}
+
+std::optional<AttrRef> SchemaMatchingPredictor::DecidedPartner(
+    const AttrRef& a, uint32_t other_schema) const {
+  auto winner = VoteWinner(a, other_schema);
+  if (!winner) return std::nullopt;
+  // Mutual check: the winner must vote back for `a`.
+  auto back = VoteWinner(*winner, a.schema_id);
+  if (!back || !(*back == a)) return std::nullopt;
+  return winner;
+}
+
+bool SchemaMatchingPredictor::IsDecided(const AttrRef& a, const AttrRef& b) const {
+  auto partner = DecidedPartner(a, b.schema_id);
+  return partner && *partner == b;
+}
+
+std::vector<std::pair<AttrRef, AttrRef>>
+SchemaMatchingPredictor::DecidedMatchings() const {
+  std::vector<std::pair<AttrRef, AttrRef>> out;
+  for (const auto& [key, votes] : votes_) {
+    (void)votes;
+    const AttrRef& a = key.first;
+    uint32_t other_schema = key.second;
+    auto partner = DecidedPartner(a, other_schema);
+    if (!partner) continue;
+    if (*partner < a) continue;  // Report each matching once.
+    out.emplace_back(a, *partner);
+  }
+  return out;
+}
+
+}  // namespace hera

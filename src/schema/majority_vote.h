@@ -1,0 +1,87 @@
+// Schema-based method (Section IV-B): collect the schema-matching
+// predictions produced by instance-based comparisons and promote the
+// majority choice to a trusted matching once the Theorem 2 error bound
+// drops below the threshold rho.
+//
+//   UP_error = e^{ -(n / 2p) (p - 1/2)^2 }
+//
+// where n is the number of predictions observed for an attribute and
+// p = Pr(a single prediction is correct) is a prior (the paper obtains
+// it from a training set; here it is a configuration parameter).
+// Under the no-redundant-attributes assumption [12], an attribute of
+// one schema matches at most one attribute of another, so the vote
+// picks the modal partner.
+
+#ifndef HERA_SCHEMA_MAJORITY_VOTE_H_
+#define HERA_SCHEMA_MAJORITY_VOTE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "record/schema.h"
+
+namespace hera {
+
+/// \brief Accumulates attribute-match predictions and decides trusted
+/// schema matchings by probabilistic majority vote.
+class SchemaMatchingPredictor {
+ public:
+  /// \param prior_p probability that one instance-level prediction is
+  ///        correct (paper's p); must be in (0.5, 1].
+  /// \param rho error-probability threshold: a matching is decided
+  ///        when UP_error < rho.
+  SchemaMatchingPredictor(double prior_p, double rho)
+      : prior_p_(prior_p), rho_(rho) {}
+
+  /// Records one prediction a ≈ b from a similar record pair. The two
+  /// attributes must belong to different schemas; same-schema
+  /// predictions are ignored (no self matching).
+  void AddPrediction(const AttrRef& a, const AttrRef& b);
+
+  /// True when the vote has decided a ≈ b *mutually*: a's modal partner
+  /// under b's schema is b, b's modal partner under a's schema is a,
+  /// and both sides' error bounds are below rho. Mutuality keeps the
+  /// decided set one-to-one per schema pair.
+  bool IsDecided(const AttrRef& a, const AttrRef& b) const;
+
+  /// The attribute `a` is decided to match under `other_schema`, if any.
+  std::optional<AttrRef> DecidedPartner(const AttrRef& a,
+                                        uint32_t other_schema) const;
+
+  /// All mutually decided matchings, each reported once (smaller
+  /// AttrRef first).
+  std::vector<std::pair<AttrRef, AttrRef>> DecidedMatchings() const;
+
+  /// Total number of predictions recorded.
+  size_t num_predictions() const { return num_predictions_; }
+
+  /// Theorem 2: upper bound on the majority-vote error probability
+  /// after n trials with per-trial accuracy p.
+  static double ErrorUpperBound(size_t n, double p);
+
+  double prior_p() const { return prior_p_; }
+  double rho() const { return rho_; }
+
+ private:
+  /// Votes for (attr under other schema): partner attr_index -> count.
+  using VoteKey = std::pair<AttrRef, uint32_t>;
+  struct Votes {
+    std::map<uint32_t, uint64_t> counts;  // partner attr_index -> votes
+    uint64_t total = 0;
+  };
+
+  /// One-directional vote outcome: modal partner if bound < rho.
+  std::optional<AttrRef> VoteWinner(const AttrRef& a, uint32_t other_schema) const;
+
+  double prior_p_;
+  double rho_;
+  std::map<VoteKey, Votes> votes_;
+  size_t num_predictions_ = 0;
+};
+
+}  // namespace hera
+
+#endif  // HERA_SCHEMA_MAJORITY_VOTE_H_

@@ -1,0 +1,128 @@
+// Concrete ValueSimilarity implementations over the Value model.
+
+#ifndef HERA_SIM_METRICS_H_
+#define HERA_SIM_METRICS_H_
+
+#include <memory>
+#include <string>
+
+#include "sim/similarity.h"
+
+namespace hera {
+
+class TfIdfModel;
+
+/// \brief Jaccard over q-gram sets — the paper's default (q = 2).
+///
+/// Numbers are compared via their canonical string rendering; nulls
+/// score 0 against everything.
+class JaccardSimilarity : public ValueSimilarity {
+ public:
+  explicit JaccardSimilarity(int q = 2) : q_(q) {}
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override;
+  int q() const { return q_; }
+
+ private:
+  int q_;
+};
+
+/// Normalized Levenshtein (1 - dist/maxlen).
+class EditSimilarity : public ValueSimilarity {
+ public:
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override { return "edit"; }
+};
+
+/// Jaro–Winkler.
+class JaroWinklerSimilarity : public ValueSimilarity {
+ public:
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override { return "jaro_winkler"; }
+};
+
+/// Cosine over q-gram sets.
+class CosineSimilarity : public ValueSimilarity {
+ public:
+  explicit CosineSimilarity(int q = 2) : q_(q) {}
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override;
+
+ private:
+  int q_;
+};
+
+/// Symmetrized Monge–Elkan over word tokens (good for multi-word names).
+class MongeElkanSimilarity : public ValueSimilarity {
+ public:
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override { return "monge_elkan"; }
+};
+
+/// Soft TF-IDF; holds a shared corpus model.
+class SoftTfIdfSimilarity : public ValueSimilarity {
+ public:
+  SoftTfIdfSimilarity(std::shared_ptr<const TfIdfModel> model, double theta = 0.9)
+      : model_(std::move(model)), theta_(theta) {}
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override { return "soft_tfidf"; }
+
+ private:
+  std::shared_ptr<const TfIdfModel> model_;
+  double theta_;
+};
+
+/// \brief Relative-difference similarity for numbers:
+/// 1 - |a-b| / max(|a|, |b|), clamped to [0,1]; exact equality -> 1.
+class NumericSimilarity : public ValueSimilarity {
+ public:
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override { return "numeric"; }
+};
+
+/// \brief Absolute-tolerance similarity for identifier-like numbers
+/// (years, ids): 1 - |a-b| / tolerance, clamped to [0,1]. Relative
+/// difference is wrong for such values — 1973 and 2024 are 97% "similar"
+/// relatively but denote entirely different things.
+class ScaledNumericSimilarity : public ValueSimilarity {
+ public:
+  explicit ScaledNumericSimilarity(double tolerance) : tolerance_(tolerance) {}
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override;
+  double tolerance() const { return tolerance_; }
+
+ private:
+  double tolerance_;
+};
+
+/// \brief Type-dispatching similarity: number pairs -> the numeric
+/// metric (relative difference by default), strings -> the wrapped
+/// string metric, mixed types -> string metric over canonical
+/// renderings. This is the "black-box per data type" composition the
+/// paper describes.
+class HybridSimilarity : public ValueSimilarity {
+ public:
+  /// `numeric_metric` defaults to NumericSimilarity when null.
+  explicit HybridSimilarity(ValueSimilarityPtr string_metric,
+                            ValueSimilarityPtr numeric_metric = nullptr)
+      : string_metric_(std::move(string_metric)),
+        numeric_metric_(std::move(numeric_metric)) {}
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override;
+
+ private:
+  ValueSimilarityPtr string_metric_;
+  ValueSimilarityPtr numeric_metric_;  // Null -> default_numeric_.
+  NumericSimilarity default_numeric_;
+};
+
+/// Looks up a metric by name: "jaccard_q<N>", "edit", "jaro_winkler",
+/// "cosine_q<N>", "monge_elkan", "numeric", "numeric_tol<T>",
+/// "hybrid(<string>)", or "hybrid(<string>,<numeric>)". Returns nullptr
+/// for unknown names (Soft TF-IDF needs a corpus model and cannot be
+/// built by name).
+ValueSimilarityPtr MakeSimilarity(const std::string& name);
+
+}  // namespace hera
+
+#endif  // HERA_SIM_METRICS_H_

@@ -1,0 +1,35 @@
+// ValueSimilarity: the black-box simv(v1, v2) of Definition 3.
+//
+// All implementations return a score in [0, 1], where 1 is identity.
+// Null values have similarity 0 against everything (including null):
+// absence of information is never positive evidence.
+
+#ifndef HERA_SIM_SIMILARITY_H_
+#define HERA_SIM_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sim/value.h"
+
+namespace hera {
+
+/// \brief Abstract similarity over typed values. Thread-compatible:
+/// Compute() is const and implementations hold no mutable state.
+class ValueSimilarity {
+ public:
+  virtual ~ValueSimilarity() = default;
+
+  /// simv(a, b) in [0, 1].
+  virtual double Compute(const Value& a, const Value& b) const = 0;
+
+  /// Identifier for configs / registry lookup (e.g. "jaccard_q2").
+  virtual std::string Name() const = 0;
+};
+
+using ValueSimilarityPtr = std::shared_ptr<const ValueSimilarity>;
+
+}  // namespace hera
+
+#endif  // HERA_SIM_SIMILARITY_H_

@@ -1,0 +1,180 @@
+#include "sim/string_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "text/normalize.h"
+#include "text/qgram.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace hera {
+
+namespace {
+
+struct GramPair {
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+};
+
+GramPair Grams(std::string_view a, std::string_view b, int q) {
+  return {QgramSet(Normalize(a), q), QgramSet(Normalize(b), q)};
+}
+
+}  // namespace
+
+double QgramJaccard(std::string_view a, std::string_view b, int q) {
+  auto [ga, gb] = Grams(a, b, q);
+  return JaccardOfSets(ga, gb);
+}
+
+double QgramDice(std::string_view a, std::string_view b, int q) {
+  auto [ga, gb] = Grams(a, b, q);
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = OverlapOfSets(ga, gb);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+double QgramOverlap(std::string_view a, std::string_view b, int q) {
+  auto [ga, gb] = Grams(a, b, q);
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = OverlapOfSets(ga, gb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(ga.size(), gb.size()));
+}
+
+double QgramCosine(std::string_view a, std::string_view b, int q) {
+  auto [ga, gb] = Grams(a, b, q);
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = OverlapOfSets(ga, gb);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(ga.size()) * static_cast<double>(gb.size()));
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Single-row DP: O(min(|a|,|b|)) space.
+  std::vector<size_t> row(a.size() + 1);
+  std::iota(row.begin(), row.end(), size_t{0});
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t cur = row[i];
+      size_t sub_cost = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub_cost});
+      prev_diag = cur;
+    }
+  }
+  return row[a.size()];
+}
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  std::string na = Normalize(a), nb = Normalize(b);
+  if (na.empty() && nb.empty()) return 1.0;
+  size_t dist = LevenshteinDistance(na, nb);
+  size_t denom = std::max(na.size(), nb.size());
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(denom);
+}
+
+double Jaro(std::string_view a, std::string_view b) {
+  std::string sa = Normalize(a), sb = Normalize(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t match_window =
+      std::max<size_t>(1, std::max(sa.size(), sb.size()) / 2) - 1;
+  std::vector<bool> a_matched(sa.size(), false), b_matched(sb.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(sb.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && sa[i] == sb[j]) {
+        a_matched[i] = b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t transpositions = 0, j = 0;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (sa[i] != sb[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / sa.size() + m / sb.size() + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  double jaro = Jaro(a, b);
+  std::string sa = Normalize(a), sb = Normalize(b);
+  size_t prefix = 0;
+  size_t limit = std::min({sa.size(), sb.size(), size_t{4}});
+  while (prefix < limit && sa[prefix] == sb[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+namespace {
+
+double MongeElkanOneWay(const std::vector<std::string>& ta,
+                        const std::vector<std::string>& tb) {
+  if (ta.empty()) return tb.empty() ? 1.0 : 0.0;
+  if (tb.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& x : ta) {
+    double best = 0.0;
+    for (const auto& y : tb) best = std::max(best, JaroWinkler(x, y));
+    sum += best;
+  }
+  return sum / static_cast<double>(ta.size());
+}
+
+}  // namespace
+
+double MongeElkan(std::string_view a, std::string_view b) {
+  auto ta = WordTokens(a), tb = WordTokens(b);
+  return std::max(MongeElkanOneWay(ta, tb), MongeElkanOneWay(tb, ta));
+}
+
+double TfIdfCosine(std::string_view a, std::string_view b, const TfIdfModel& model) {
+  auto wa = model.WeightVector(a);
+  auto wb = model.WeightVector(b);
+  if (wa.empty() && wb.empty()) return 1.0;
+  double dot = 0.0;
+  for (const auto& [tok, w] : wa) {
+    auto it = wb.find(tok);
+    if (it != wb.end()) dot += w * it->second;
+  }
+  return std::clamp(dot, 0.0, 1.0);
+}
+
+double SoftTfIdf(std::string_view a, std::string_view b, const TfIdfModel& model,
+                 double theta) {
+  auto wa = model.WeightVector(a);
+  auto wb = model.WeightVector(b);
+  if (wa.empty() && wb.empty()) return 1.0;
+  double score = 0.0;
+  for (const auto& [ta, weight_a] : wa) {
+    // CLOSE(theta): best soft match of ta among b's tokens.
+    double best_sim = 0.0;
+    double best_weight_b = 0.0;
+    for (const auto& [tb, weight_b] : wb) {
+      double s = JaroWinkler(ta, tb);
+      if (s >= theta && s > best_sim) {
+        best_sim = s;
+        best_weight_b = weight_b;
+      }
+    }
+    if (best_sim > 0.0) score += weight_a * best_weight_b * best_sim;
+  }
+  return std::clamp(score, 0.0, 1.0);
+}
+
+}  // namespace hera

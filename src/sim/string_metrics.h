@@ -1,0 +1,55 @@
+// String similarity metric implementations.
+//
+// The paper's default is Jaccard over q-gram sets with q = 2; it also
+// names edit distance, cosine, and Soft TF-IDF as drop-in alternatives.
+// Every metric here normalizes input via text/normalize first and
+// returns scores in [0, 1].
+
+#ifndef HERA_SIM_STRING_METRICS_H_
+#define HERA_SIM_STRING_METRICS_H_
+
+#include <string_view>
+
+namespace hera {
+
+class TfIdfModel;
+
+/// Jaccard similarity of q-gram sets: |G1 ∩ G2| / |G1 ∪ G2|.
+double QgramJaccard(std::string_view a, std::string_view b, int q);
+
+/// Dice coefficient of q-gram sets: 2|G1 ∩ G2| / (|G1| + |G2|).
+double QgramDice(std::string_view a, std::string_view b, int q);
+
+/// Overlap coefficient of q-gram sets: |G1 ∩ G2| / min(|G1|, |G2|).
+double QgramOverlap(std::string_view a, std::string_view b, int q);
+
+/// Cosine over q-gram sets: |G1 ∩ G2| / sqrt(|G1| |G2|).
+double QgramCosine(std::string_view a, std::string_view b, int q);
+
+/// Levenshtein edit distance (unit costs). Raw count, not normalized.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - dist / max(|a|, |b|); 1.0 for two empty strings.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+/// Jaro similarity.
+double Jaro(std::string_view a, std::string_view b);
+
+/// Jaro–Winkler with standard prefix scale 0.1 and max prefix 4.
+double JaroWinkler(std::string_view a, std::string_view b);
+
+/// Monge–Elkan: mean over tokens of `a` of the best Jaro–Winkler match
+/// in `b`, symmetrized by taking the max of both directions.
+double MongeElkan(std::string_view a, std::string_view b);
+
+/// Cosine over TF-IDF-weighted word vectors.
+double TfIdfCosine(std::string_view a, std::string_view b, const TfIdfModel& model);
+
+/// Soft TF-IDF (Cohen et al.): TF-IDF cosine where tokens are matched
+/// softly by Jaro–Winkler above `theta` rather than exact equality.
+double SoftTfIdf(std::string_view a, std::string_view b, const TfIdfModel& model,
+                 double theta = 0.9);
+
+}  // namespace hera
+
+#endif  // HERA_SIM_STRING_METRICS_H_

@@ -1,0 +1,57 @@
+#include "sim/value.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace hera {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kNumber:
+      return "number";
+  }
+  return "?";
+}
+
+Value Value::Parse(std::string_view raw, bool sniff_numbers) {
+  std::string_view trimmed = Trim(raw);
+  if (trimmed.empty() || trimmed == "null" || trimmed == "NULL") return Value();
+  if (sniff_numbers && LooksNumeric(trimmed)) {
+    double d = 0.0;
+    auto [ptr, ec] = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), d);
+    if (ec == std::errc() && ptr == trimmed.data() + trimmed.size()) {
+      return Value(d);
+    }
+  }
+  return Value(std::string(trimmed));
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kNumber: {
+      double d = AsNumber();
+      if (std::nearbyint(d) == d && std::fabs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+        return buf;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+  }
+  return "";
+}
+
+}  // namespace hera

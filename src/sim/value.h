@@ -1,0 +1,76 @@
+// Value: the typed atomic unit stored in record fields.
+//
+// The paper: "HERA could handle records with various data types, such
+// as string data, numeric data, etc. and view the similarity metric of
+// corresponding data type as a black-box." Value is a tagged union of
+// the supported types; ValueSimilarity implementations dispatch on the
+// tag.
+
+#ifndef HERA_SIM_VALUE_H_
+#define HERA_SIM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace hera {
+
+/// Runtime type of a Value.
+enum class ValueType { kNull = 0, kString = 1, kNumber = 2 };
+
+const char* ValueTypeToString(ValueType t);
+
+/// \brief Immutable typed attribute value (null, string, or double).
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+
+  /// String value.
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+
+  /// Numeric value.
+  explicit Value(double d) : data_(d) {}
+
+  /// Parses `raw`: numeric-looking strings become kNumber when
+  /// `sniff_numbers` is set, empty / "null" strings become kNull,
+  /// everything else is kString.
+  static Value Parse(std::string_view raw, bool sniff_numbers = false);
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 1:
+        return ValueType::kString;
+      case 2:
+        return ValueType::kNumber;
+      default:
+        return ValueType::kNull;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_number() const { return type() == ValueType::kNumber; }
+
+  /// String payload; must be a string value.
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric payload; must be a number value.
+  double AsNumber() const { return std::get<double>(data_); }
+
+  /// Human/similarity-facing rendering: strings verbatim, numbers with
+  /// minimal formatting, null as "".
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, std::string, double> data_;
+};
+
+}  // namespace hera
+
+#endif  // HERA_SIM_VALUE_H_

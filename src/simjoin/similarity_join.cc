@@ -1,0 +1,360 @@
+#include "simjoin/similarity_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "text/normalize.h"
+#include "text/qgram.h"
+
+namespace hera {
+
+std::vector<ValuePair> NestedLoopJoin::Join(
+    const std::vector<LabeledValue>& values, const ValueSimilarity& simv,
+    double xi) const {
+  std::vector<ValuePair> out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      if (values[i].label.rid == values[j].label.rid) continue;
+      double s = simv.Compute(values[i].value, values[j].value);
+      if (s >= xi) out.push_back({values[i].label, values[j].label, s});
+    }
+  }
+  return out;
+}
+
+std::vector<ValuePair> NestedLoopJoin::JoinAB(
+    const std::vector<LabeledValue>& probe, const std::vector<LabeledValue>& base,
+    const ValueSimilarity& simv, double xi) const {
+  std::vector<ValuePair> out;
+  for (const LabeledValue& p : probe) {
+    for (const LabeledValue& b : base) {
+      if (p.label.rid == b.label.rid) continue;
+      double s = simv.Compute(p.value, b.value);
+      if (s >= xi) out.push_back({p.label, b.label, s});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True when `simv` is q-gram Jaccard, so the prefix filter is exact
+/// and verification can run on the encoded token sets directly.
+bool IsJaccardMetric(const ValueSimilarity& simv, int q) {
+  std::string name = simv.Name();
+  std::string expect = "jaccard_q" + std::to_string(q);
+  return name == expect || name == "hybrid(" + expect + ")";
+}
+
+double JaccardOfIds(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter, ++i, ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+
+/// How the numeric sweep bounds its search window; derived from the
+/// metric name so the filter stays exact for both built-in numeric
+/// semantics (relative difference and absolute tolerance).
+struct NumericWindow {
+  bool absolute = false;  // true: |gap| <= (1 - xi) * tol.
+  double tol = 0.0;
+};
+
+NumericWindow NumericWindowFor(const ValueSimilarity& simv) {
+  NumericWindow w;
+  std::string name = simv.Name();
+  size_t pos = name.find("numeric_tol");
+  if (pos != std::string::npos) {
+    w.absolute = true;
+    w.tol = std::atof(name.c_str() + pos + 11);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<ValuePair> PrefixFilterJoin::Join(
+    const std::vector<LabeledValue>& values, const ValueSimilarity& simv,
+    double xi) const {
+  std::vector<ValuePair> out;
+
+  // ---- Partition: numeric values are swept, everything else gets the
+  // token-based path over its canonical string rendering.
+  std::vector<size_t> string_idx, numeric_idx;
+  const bool metric_handles_numbers =
+      StartsWith(simv.Name(), "hybrid(") || simv.Name() == "numeric";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].value.is_null()) continue;
+    if (values[i].value.is_number() && metric_handles_numbers) {
+      numeric_idx.push_back(i);
+    } else {
+      string_idx.push_back(i);
+    }
+  }
+
+  // ---- Numeric sweep: sort by value; sim >= xi iff
+  // (y - x) <= (1 - xi) * max(|x|, |y|), which for y > 0 fails
+  // monotonically as y grows, allowing early break.
+  std::sort(numeric_idx.begin(), numeric_idx.end(), [&](size_t a, size_t b) {
+    return values[a].value.AsNumber() < values[b].value.AsNumber();
+  });
+  // The window is a pruning device only (the metric makes the final
+  // call), so it is epsilon-relaxed: computing t = 1 - xi in floating
+  // point can otherwise exclude exact-boundary pairs (sim == xi).
+  const double t = 1.0 - xi;
+  const NumericWindow window = NumericWindowFor(simv);
+  for (size_t p = 0; p < numeric_idx.size(); ++p) {
+    double x = values[numeric_idx[p]].value.AsNumber();
+    for (size_t r = p + 1; r < numeric_idx.size(); ++r) {
+      double y = values[numeric_idx[r]].value.AsNumber();
+      double gap = y - x;
+      double denom = std::max(std::fabs(x), std::fabs(y));
+      bool within;
+      if (window.absolute) {
+        within = gap <= t * window.tol + 1e-9;
+      } else {
+        within = denom == 0.0
+                     ? gap == 0.0
+                     : gap <= t * denom + 1e-9 * std::max(1.0, denom);
+      }
+      if (!within) {
+        // Relative window: failure is monotone only once y > 0.
+        // Absolute window: failure is monotone unconditionally.
+        if (window.absolute || y > 0) break;
+        continue;
+      }
+      const LabeledValue& va = values[numeric_idx[p]];
+      const LabeledValue& vb = values[numeric_idx[r]];
+      if (va.label.rid == vb.label.rid) continue;
+      double s = simv.Compute(va.value, vb.value);
+      if (s >= xi) out.push_back({va.label, vb.label, s});
+    }
+  }
+
+  // ---- String path: AllPairs with length + prefix filters.
+  const bool exact_jaccard = IsJaccardMetric(simv, q_);
+  // For non-Jaccard metrics the gram filter is only a blocker; run it
+  // at a slackened threshold so near-threshold true pairs survive.
+  const double filter_xi = exact_jaccard ? xi : xi * filter_slack_;
+
+  QgramDictionary dict(q_);
+  std::vector<std::string> normalized(values.size());
+  for (size_t i : string_idx) {
+    normalized[i] = Normalize(values[i].value.ToString());
+    dict.Add(normalized[i]);
+  }
+  dict.Freeze();
+
+  struct Encoded {
+    size_t idx;                 // Position in `values`.
+    std::vector<uint32_t> ids;  // Sorted rare-first token ids.
+  };
+  std::vector<Encoded> sets;
+  sets.reserve(string_idx.size());
+  for (size_t i : string_idx) {
+    std::vector<uint32_t> ids = dict.Encode(normalized[i]);
+    if (ids.empty()) continue;  // Nothing to match on.
+    sets.push_back({i, std::move(ids)});
+  }
+  std::sort(sets.begin(), sets.end(), [](const Encoded& a, const Encoded& b) {
+    return a.ids.size() < b.ids.size();
+  });
+
+  // token id -> positions (into `sets`) whose prefix contains it.
+  std::unordered_map<uint32_t, std::vector<size_t>> postings;
+  std::vector<size_t> candidate_of(sets.size(), SIZE_MAX);  // Dedup marker.
+
+  for (size_t si = 0; si < sets.size(); ++si) {
+    const Encoded& x = sets[si];
+    const size_t len_x = x.ids.size();
+    // Prefix length for Jaccard threshold filter_xi.
+    size_t keep = static_cast<size_t>(
+        std::ceil(static_cast<double>(len_x) * filter_xi));
+    size_t prefix = len_x - (keep > 0 ? keep : 1) + 1;
+    prefix = std::min(prefix, len_x);
+
+    // Probe: candidates are earlier (shorter-or-equal) sets sharing a
+    // prefix token and passing the length filter |y| >= filter_xi*|x|.
+    const double min_len = filter_xi * static_cast<double>(len_x);
+    std::vector<size_t> candidates;
+    for (size_t pi = 0; pi < prefix; ++pi) {
+      auto it = postings.find(x.ids[pi]);
+      if (it == postings.end()) continue;
+      for (size_t cj : it->second) {
+        if (candidate_of[cj] == si) continue;  // Already a candidate.
+        if (static_cast<double>(sets[cj].ids.size()) < min_len) continue;
+        candidate_of[cj] = si;
+        candidates.push_back(cj);
+      }
+    }
+
+    for (size_t cj : candidates) {
+      const Encoded& y = sets[cj];
+      const LabeledValue& va = values[x.idx];
+      const LabeledValue& vb = values[y.idx];
+      if (va.label.rid == vb.label.rid) continue;
+      double s;
+      if (exact_jaccard) {
+        s = JaccardOfIds(x.ids, y.ids);
+      } else {
+        s = simv.Compute(va.value, vb.value);
+      }
+      if (s >= xi) out.push_back({va.label, vb.label, s});
+    }
+
+    // Index x's prefix tokens for later probes.
+    for (size_t pi = 0; pi < prefix; ++pi) postings[x.ids[pi]].push_back(si);
+  }
+
+  return out;
+}
+
+
+std::vector<ValuePair> PrefixFilterJoin::JoinAB(
+    const std::vector<LabeledValue>& probe, const std::vector<LabeledValue>& base,
+    const ValueSimilarity& simv, double xi) const {
+  std::vector<ValuePair> out;
+
+  const bool metric_handles_numbers =
+      StartsWith(simv.Name(), "hybrid(") || simv.Name() == "numeric";
+  const bool exact_jaccard = IsJaccardMetric(simv, q_);
+  const double filter_xi = exact_jaccard ? xi : xi * filter_slack_;
+
+  // ---- Numeric path: base sorted by value, probes scan the window
+  // where (gap <= (1 - xi) * max(|x|, |y|)) can hold.
+  std::vector<size_t> base_numeric;
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base[i].value.is_number() && metric_handles_numbers) {
+      base_numeric.push_back(i);
+    }
+  }
+  std::sort(base_numeric.begin(), base_numeric.end(), [&](size_t a, size_t b) {
+    return base[a].value.AsNumber() < base[b].value.AsNumber();
+  });
+  const double t = 1.0 - xi;
+  const NumericWindow window = NumericWindowFor(simv);
+  for (const LabeledValue& p : probe) {
+    if (!p.value.is_number() || !metric_handles_numbers) continue;
+    double x = p.value.AsNumber();
+    // Find the first base value the window can reach: y >= x - t*|...|
+    // is not monotone across signs, so start from the first y with
+    // y >= x - t * max(|x|, |y|) conservatively via a linear lower
+    // bound y >= (x >= 0 ? x * (1 - t) - ... ). Keep it simple and
+    // sound: start at the first y >= x and also scan backwards while
+    // the symmetric condition can hold.
+    auto cmp = [&](size_t idx, double v) { return base[idx].value.AsNumber() < v; };
+    size_t start = static_cast<size_t>(
+        std::lower_bound(base_numeric.begin(), base_numeric.end(), x, cmp) -
+        base_numeric.begin());
+    auto try_pair = [&](size_t bi) -> bool {  // Returns "within window".
+      double y = base[bi].value.AsNumber();
+      double gap = std::fabs(y - x);
+      double denom = std::max(std::fabs(x), std::fabs(y));
+      // Epsilon-relaxed pruning window; the metric makes the final call.
+      bool within;
+      if (window.absolute) {
+        within = gap <= t * window.tol + 1e-9;
+      } else {
+        within = denom == 0.0
+                     ? gap == 0.0
+                     : gap <= t * denom + 1e-9 * std::max(1.0, denom);
+      }
+      if (!within) return false;
+      if (p.label.rid != base[bi].label.rid) {
+        double s = simv.Compute(p.value, base[bi].value);
+        if (s >= xi) out.push_back({p.label, base[bi].label, s});
+      }
+      return true;
+    };
+    // Forward: y >= x; failure is monotone for y > 0 (see Join()),
+    // and unconditionally for an absolute window.
+    for (size_t k = start; k < base_numeric.size(); ++k) {
+      double y = base[base_numeric[k]].value.AsNumber();
+      if (!try_pair(base_numeric[k]) && (window.absolute || y > 0)) break;
+    }
+    // Backward: y < x; by symmetry, failure is monotone while y < 0
+    // for the relative window, always for the absolute one.
+    for (size_t k = start; k-- > 0;) {
+      double y = base[base_numeric[k]].value.AsNumber();
+      if (!try_pair(base_numeric[k]) && (window.absolute || y < 0)) break;
+    }
+  }
+
+  // ---- String path: full inverted index over the base tokens, probes
+  // search with their prefix tokens; two-sided length filter.
+  QgramDictionary dict(q_);
+  std::vector<std::string> base_norm(base.size()), probe_norm(probe.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base[i].value.is_null()) continue;
+    if (base[i].value.is_number() && metric_handles_numbers) continue;
+    base_norm[i] = Normalize(base[i].value.ToString());
+    dict.Add(base_norm[i]);
+  }
+  for (size_t i = 0; i < probe.size(); ++i) {
+    if (probe[i].value.is_null()) continue;
+    if (probe[i].value.is_number() && metric_handles_numbers) continue;
+    probe_norm[i] = Normalize(probe[i].value.ToString());
+    dict.Add(probe_norm[i]);
+  }
+  dict.Freeze();
+
+  std::unordered_map<uint32_t, std::vector<size_t>> postings;  // token -> base idx
+  std::vector<std::vector<uint32_t>> base_ids(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base_norm[i].empty()) continue;
+    base_ids[i] = dict.Encode(base_norm[i]);
+    for (uint32_t tok : base_ids[i]) postings[tok].push_back(i);
+  }
+
+  std::vector<size_t> last_probe(base.size(), SIZE_MAX);
+  for (size_t pi = 0; pi < probe.size(); ++pi) {
+    if (probe_norm[pi].empty()) continue;
+    std::vector<uint32_t> ids = dict.Encode(probe_norm[pi]);
+    if (ids.empty()) continue;
+    const size_t len_x = ids.size();
+    size_t keep = static_cast<size_t>(
+        std::ceil(static_cast<double>(len_x) * filter_xi));
+    size_t prefix = len_x - (keep > 0 ? keep : 1) + 1;
+    prefix = std::min(prefix, len_x);
+    const double min_len = filter_xi * static_cast<double>(len_x);
+    const double max_len =
+        filter_xi > 0.0 ? static_cast<double>(len_x) / filter_xi
+                        : std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < prefix; ++k) {
+      auto it = postings.find(ids[k]);
+      if (it == postings.end()) continue;
+      for (size_t bi : it->second) {
+        if (last_probe[bi] == pi) continue;
+        last_probe[bi] = pi;
+        double blen = static_cast<double>(base_ids[bi].size());
+        if (blen < min_len || blen > max_len) continue;
+        if (probe[pi].label.rid == base[bi].label.rid) continue;
+        double s;
+        if (exact_jaccard) {
+          s = JaccardOfIds(ids, base_ids[bi]);
+        } else {
+          s = simv.Compute(probe[pi].value, base[bi].value);
+        }
+        if (s >= xi) out.push_back({probe[pi].label, base[bi].label, s});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hera
+

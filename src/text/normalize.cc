@@ -1,0 +1,39 @@
+#include "text/normalize.h"
+
+#include <cctype>
+
+namespace hera {
+
+std::string Normalize(std::string_view s, const NormalizeOptions& opts) {
+  std::string out;
+  out.reserve(s.size());
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (opts.strip_punctuation && std::ispunct(c)) {
+      out.push_back(' ');
+    } else if (opts.lowercase) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      out.push_back(raw);
+    }
+  }
+  if (opts.collapse_whitespace) {
+    std::string squeezed;
+    squeezed.reserve(out.size());
+    bool in_space = true;  // Leading spaces are dropped.
+    for (char c : out) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!in_space) squeezed.push_back(' ');
+        in_space = true;
+      } else {
+        squeezed.push_back(c);
+        in_space = false;
+      }
+    }
+    while (!squeezed.empty() && squeezed.back() == ' ') squeezed.pop_back();
+    return squeezed;
+  }
+  return out;
+}
+
+}  // namespace hera

@@ -1,0 +1,29 @@
+// Text normalization applied before tokenization and similarity.
+//
+// The paper computes string similarity over q-gram sets of raw values
+// ("we set 2 q-grams"). Real heterogeneous sources differ in case and
+// punctuation conventions, so values are canonicalized first. All
+// normalizations are optional and bundled in NormalizeOptions so the
+// effect can be ablated.
+
+#ifndef HERA_TEXT_NORMALIZE_H_
+#define HERA_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace hera {
+
+/// Knobs for Normalize().
+struct NormalizeOptions {
+  bool lowercase = true;          ///< ASCII case folding.
+  bool strip_punctuation = true;  ///< Replace punctuation with spaces.
+  bool collapse_whitespace = true;///< Squeeze runs of spaces; trim ends.
+};
+
+/// Canonicalizes a raw attribute value for similarity computation.
+std::string Normalize(std::string_view s, const NormalizeOptions& opts = {});
+
+}  // namespace hera
+
+#endif  // HERA_TEXT_NORMALIZE_H_

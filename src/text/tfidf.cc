@@ -1,0 +1,41 @@
+#include "text/tfidf.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace hera {
+
+void TfIdfModel::AddDocument(std::string_view value) {
+  assert(!frozen_);
+  ++num_docs_;
+  for (const auto& tok : WordTokenSet(value)) ++df_[tok];
+}
+
+void TfIdfModel::Freeze() { frozen_ = true; }
+
+double TfIdfModel::Idf(const std::string& token) const {
+  auto it = df_.find(token);
+  double df = it == df_.end() ? 1.0 : static_cast<double>(it->second);
+  double n = std::max<double>(1.0, static_cast<double>(num_docs_));
+  return std::log(1.0 + n / df);
+}
+
+std::unordered_map<std::string, double> TfIdfModel::WeightVector(
+    std::string_view value) const {
+  std::unordered_map<std::string, double> tf;
+  for (const auto& tok : WordTokens(value)) tf[tok] += 1.0;
+  double norm_sq = 0.0;
+  for (auto& [tok, weight] : tf) {
+    weight *= Idf(tok);
+    norm_sq += weight * weight;
+  }
+  if (norm_sq > 0.0) {
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [tok, weight] : tf) weight *= inv;
+  }
+  return tf;
+}
+
+}  // namespace hera

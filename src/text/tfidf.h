@@ -1,0 +1,47 @@
+// Corpus-level TF-IDF model backing the Soft TF-IDF similarity
+// (mentioned by the paper as an alternative black-box metric).
+
+#ifndef HERA_TEXT_TFIDF_H_
+#define HERA_TEXT_TFIDF_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hera {
+
+/// \brief Document-frequency statistics over a corpus of values.
+///
+/// Build with AddDocument() per value, then Freeze(). Idf() uses the
+/// smoothed formula log(1 + N / df).
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Registers one value (document). Token multiplicity within a
+  /// document does not increase df.
+  void AddDocument(std::string_view value);
+
+  /// Finalizes N; further AddDocument calls are invalid.
+  void Freeze();
+
+  /// Smoothed inverse document frequency; unseen tokens get the
+  /// maximum idf (df treated as 1).
+  double Idf(const std::string& token) const;
+
+  /// TF-IDF weight vector of a value: token -> tf * idf, L2-normalized.
+  std::unordered_map<std::string, double> WeightVector(std::string_view value) const;
+
+  size_t num_documents() const { return num_docs_; }
+  bool frozen() const { return frozen_; }
+
+ private:
+  std::unordered_map<std::string, uint64_t> df_;
+  size_t num_docs_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace hera
+
+#endif  // HERA_TEXT_TFIDF_H_

@@ -1,0 +1,29 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+
+#include "text/normalize.h"
+
+namespace hera {
+
+std::vector<std::string> WordTokens(std::string_view s) {
+  std::string norm = Normalize(s);
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  for (size_t i = 0; i <= norm.size(); ++i) {
+    if (i == norm.size() || norm[i] == ' ') {
+      if (i > start) tokens.emplace_back(norm.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> WordTokenSet(std::string_view s) {
+  auto tokens = WordTokens(s);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+}  // namespace hera

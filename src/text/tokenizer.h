@@ -1,0 +1,22 @@
+// Word-level tokenization for token-based similarities (cosine,
+// Soft TF-IDF, Monge–Elkan).
+
+#ifndef HERA_TEXT_TOKENIZER_H_
+#define HERA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hera {
+
+/// Splits on whitespace after normalization; tokens keep duplicates and
+/// original order (bag semantics — cosine needs term frequencies).
+std::vector<std::string> WordTokens(std::string_view s);
+
+/// Like WordTokens but sorted + deduplicated (set semantics).
+std::vector<std::string> WordTokenSet(std::string_view s);
+
+}  // namespace hera
+
+#endif  // HERA_TEXT_TOKENIZER_H_

@@ -1,0 +1,168 @@
+// Tests for sorted-neighborhood blocking and dataset profiling.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blocking/sorted_neighborhood.h"
+#include "blocking/token_blocking.h"
+#include "data/movie_generator.h"
+#include "data/profile.h"
+#include "testing_util.h"
+
+namespace hera {
+namespace {
+
+// ---------------------------------------------------- SortedNeighborhood
+
+TEST(SortedNeighborhoodTest, KeyUsesSortedTokens) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a", "b"}));
+  ds.AddRecord(s, {Value("zebra apple"), Value("mango")});
+  SortedNeighborhoodOptions opts;
+  std::string key0 = SortedNeighborhoodKey(ds.record(0), 0, opts);
+  // Pass 0 keys on the alphabetically first token: "apple...".
+  EXPECT_EQ(key0.rfind("apple", 0), 0u) << key0;
+  std::string key1 = SortedNeighborhoodKey(ds.record(0), 1, opts);
+  EXPECT_EQ(key1.rfind("mango", 0), 0u) << key1;
+}
+
+TEST(SortedNeighborhoodTest, KeyRotationWraps) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  ds.AddRecord(s, {Value("alpha beta")});
+  SortedNeighborhoodOptions opts;
+  EXPECT_EQ(SortedNeighborhoodKey(ds.record(0), 0, opts),
+            SortedNeighborhoodKey(ds.record(0), 2, opts));
+}
+
+TEST(SortedNeighborhoodTest, EmptyRecordGetsNoKey) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  ds.AddRecord(s, {Value()});
+  EXPECT_TRUE(SortedNeighborhoodKey(ds.record(0), 0, {}).empty());
+}
+
+TEST(SortedNeighborhoodTest, NearDuplicatesLandAdjacent) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"name"}));
+  ds.AddRecord(s, {Value("jonathan smithers")});
+  ds.AddRecord(s, {Value("unrelated words here")});
+  ds.AddRecord(s, {Value("jonathan smithers")});
+  auto pairs = SortedNeighborhoodPairs(ds, {});
+  std::set<std::pair<uint32_t, uint32_t>> set(pairs.begin(), pairs.end());
+  EXPECT_TRUE(set.count({0, 2}));
+}
+
+TEST(SortedNeighborhoodTest, WindowBoundsCandidateCount) {
+  MovieGeneratorConfig config;
+  config.num_records = 200;
+  config.num_entities = 40;
+  config.seed = 8;
+  Dataset ds = GenerateMovieDataset(config);
+  SortedNeighborhoodOptions opts;
+  opts.window = 5;
+  opts.passes = 1;
+  auto pairs = SortedNeighborhoodPairs(ds, opts);
+  // At most n * (window - 1) pairs per pass.
+  EXPECT_LE(pairs.size(), ds.size() * (opts.window - 1));
+}
+
+TEST(SortedNeighborhoodTest, MorePassesNeverReduceCoverage) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  SortedNeighborhoodOptions one;
+  one.passes = 1;
+  SortedNeighborhoodOptions three;
+  three.passes = 3;
+  auto p1 = SortedNeighborhoodPairs(ds, one);
+  auto p3 = SortedNeighborhoodPairs(ds, three);
+  std::set<std::pair<uint32_t, uint32_t>> s1(p1.begin(), p1.end());
+  for (auto pr : p1) EXPECT_TRUE(s1.count(pr));
+  EXPECT_GE(p3.size(), p1.size());
+}
+
+TEST(SortedNeighborhoodTest, ReasonableCompletenessOnGeneratedData) {
+  MovieGeneratorConfig config;
+  config.num_records = 200;
+  config.num_entities = 30;
+  config.seed = 12;
+  Dataset ds = GenerateMovieDataset(config);
+  SortedNeighborhoodOptions opts;
+  opts.window = 15;
+  opts.passes = 3;
+  auto pairs = SortedNeighborhoodPairs(ds, opts);
+  BlockingQuality q = EvaluateBlocking(pairs, ds.entity_of());
+  EXPECT_GT(q.pair_completeness, 0.5);
+  EXPECT_GT(q.reduction_ratio, 0.5);
+}
+
+// ------------------------------------------------------------- Profiling
+
+TEST(ProfileTest, CountsPerAttribute) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"name", "tag"}));
+  ds.AddRecord(s, {Value("alice"), Value("x")});
+  ds.AddRecord(s, {Value("bob"), Value("x")});
+  ds.AddRecord(s, {Value(), Value("x")});
+  DatasetProfile p = ProfileDataset(ds);
+  ASSERT_EQ(p.attributes.size(), 2u);
+  const AttributeProfile& name = p.attributes[0];
+  EXPECT_EQ(name.attr_name, "name");
+  EXPECT_EQ(name.num_records, 3u);
+  EXPECT_EQ(name.num_present, 2u);
+  EXPECT_EQ(name.num_distinct, 2u);
+  EXPECT_NEAR(name.null_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(name.distinct_ratio, 1.0);
+  const AttributeProfile& tag = p.attributes[1];
+  EXPECT_EQ(tag.num_distinct, 1u);
+  EXPECT_EQ(p.total_values, 6u);
+  EXPECT_EQ(p.total_nulls, 1u);
+}
+
+TEST(ProfileTest, FlagsLowCardinality) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"flag"}));
+  for (int i = 0; i < 100; ++i) {
+    ds.AddRecord(s, {Value(i % 2 ? "yes" : "no")});
+  }
+  DatasetProfile p = ProfileDataset(ds);
+  EXPECT_TRUE(p.attributes[0].low_cardinality);
+}
+
+TEST(ProfileTest, KeyLikeAttributeNotFlagged) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"id"}));
+  for (int i = 0; i < 100; ++i) {
+    ds.AddRecord(s, {Value("id-" + std::to_string(i))});
+  }
+  DatasetProfile p = ProfileDataset(ds);
+  EXPECT_FALSE(p.attributes[0].low_cardinality);
+  EXPECT_DOUBLE_EQ(p.attributes[0].distinct_ratio, 1.0);
+}
+
+TEST(ProfileTest, NumericValuesCounted) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"year"}));
+  ds.AddRecord(s, {Value(1999.0)});
+  ds.AddRecord(s, {Value("not a number")});
+  DatasetProfile p = ProfileDataset(ds);
+  EXPECT_EQ(p.attributes[0].num_numeric, 1u);
+}
+
+TEST(ProfileTest, ToStringRendersEveryAttribute) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  std::string text = ProfileDataset(ds).ToString();
+  EXPECT_NE(text.find("Con.Type"), std::string::npos);
+  EXPECT_NE(text.find("Contact No."), std::string::npos);
+}
+
+TEST(ProfileTest, UnusedSchemaStillListed) {
+  Dataset ds;
+  ds.schemas().Register(Schema("empty", {"a"}));
+  DatasetProfile p = ProfileDataset(ds);
+  ASSERT_EQ(p.attributes.size(), 1u);
+  EXPECT_EQ(p.attributes[0].num_records, 0u);
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,153 @@
+// Tests for src/blocking: token blocking, block purging, candidate
+// generation, blocking quality, and the attribute-agnostic ER baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "blocking/token_blocking.h"
+#include "data/movie_generator.h"
+#include "eval/metrics.h"
+#include "sim/metrics.h"
+#include "testing_util.h"
+
+namespace hera {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset ds;
+  uint32_t s1 = ds.schemas().Register(Schema("A", {"name", "city"}));
+  uint32_t s2 = ds.schemas().Register(Schema("B", {"person", "location"}));
+  ds.AddRecord(s1, {Value("John Smith"), Value("Springfield")});
+  ds.AddRecord(s2, {Value("John Smith"), Value("Springfield")});
+  ds.AddRecord(s1, {Value("Mary Jones"), Value("Shelbyville")});
+  ds.entity_of() = {0, 0, 1};
+  return ds;
+}
+
+TEST(TokenBlockingTest, BuildsOneBlockPerToken) {
+  Dataset ds = TinyDataset();
+  auto blocks = BuildBlocks(ds);
+  // Tokens: john, smith, springfield, mary, jones, shelbyville.
+  EXPECT_EQ(blocks.size(), 6u);
+  // Sorted by token.
+  EXPECT_TRUE(std::is_sorted(blocks.begin(), blocks.end(),
+                             [](const Block& a, const Block& b) {
+                               return a.token < b.token;
+                             }));
+}
+
+TEST(TokenBlockingTest, BlocksAreSchemaAgnostic) {
+  // Records under different schemas land in the same token block.
+  Dataset ds = TinyDataset();
+  auto blocks = BuildBlocks(ds);
+  for (const Block& b : blocks) {
+    if (b.token == "john") {
+      EXPECT_EQ(b.record_ids, (std::vector<uint32_t>{0, 1}));
+      return;
+    }
+  }
+  FAIL() << "no 'john' block";
+}
+
+TEST(TokenBlockingTest, MinTokenLengthFilters) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  ds.AddRecord(s, {Value("of x yz abc")});
+  BlockingOptions opts;
+  opts.min_token_length = 3;
+  auto blocks = BuildBlocks(ds, opts);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].token, "abc");
+}
+
+TEST(TokenBlockingTest, PurgeRemovesSingletonsAndGiants) {
+  std::vector<Block> blocks = {
+      {"solo", {1}},
+      {"pair", {1, 2}},
+      {"giant", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+  };
+  BlockingOptions opts;
+  opts.max_block_fraction = 0.5;
+  size_t purged = PurgeBlocks(&blocks, /*dataset_size=*/10, opts);
+  EXPECT_EQ(purged, 2u);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].token, "pair");
+}
+
+TEST(TokenBlockingTest, CandidatePairsDeduplicated) {
+  std::vector<Block> blocks = {
+      {"x", {0, 1, 2}},
+      {"y", {1, 0}},  // Repeats the (0,1) pair.
+  };
+  auto pairs = CandidatePairsFromBlocks(blocks);
+  EXPECT_EQ(pairs.size(), 3u);  // (0,1), (0,2), (1,2).
+  for (auto [a, b] : pairs) EXPECT_LT(a, b);
+}
+
+TEST(TokenBlockingTest, QualityMetricsPerfectBlocking) {
+  std::vector<std::pair<uint32_t, uint32_t>> candidates = {{0, 1}};
+  std::vector<uint32_t> truth = {5, 5, 6};
+  BlockingQuality q = EvaluateBlocking(candidates, truth);
+  EXPECT_DOUBLE_EQ(q.pair_completeness, 1.0);
+  EXPECT_NEAR(q.reduction_ratio, 1.0 - 1.0 / 3.0, 1e-12);
+}
+
+TEST(TokenBlockingTest, QualityMetricsMissedPair) {
+  std::vector<std::pair<uint32_t, uint32_t>> candidates = {{0, 2}};
+  std::vector<uint32_t> truth = {5, 5, 6};
+  BlockingQuality q = EvaluateBlocking(candidates, truth);
+  EXPECT_DOUBLE_EQ(q.pair_completeness, 0.0);
+}
+
+TEST(TokenBlockingTest, CompletenessHighOnGeneratedData) {
+  MovieGeneratorConfig config;
+  config.num_records = 200;
+  config.num_entities = 30;
+  config.seed = 3;
+  Dataset ds = GenerateMovieDataset(config);
+  auto blocks = BuildBlocks(ds);
+  PurgeBlocks(&blocks, ds.size());
+  BlockingQuality q =
+      EvaluateBlocking(CandidatePairsFromBlocks(blocks), ds.entity_of());
+  // Token blocking is recall-oriented: nearly every true pair shares
+  // a token somewhere.
+  EXPECT_GT(q.pair_completeness, 0.95);
+  EXPECT_GT(q.reduction_ratio, 0.3);
+}
+
+TEST(TokenBlockingERTest, SolvesMotivatingExampleRoughly) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  auto metric = MakeSimilarity("jaccard_q2");
+  TokenBlockingEROptions opts;
+  opts.blocking.max_block_fraction = 1.0;  // Tiny data: keep all blocks.
+  auto labels = TokenBlockingER(ds, *metric, opts);
+  ASSERT_EQ(labels.size(), 6u);
+  // The attribute-agnostic baseline finds the easy pairs but has no
+  // compare-and-merge: it cannot guarantee the description-difference
+  // pair (r1, r2). Evaluate it scores at least the directly similar
+  // clusters, i.e. r3 and r5 together.
+  EXPECT_EQ(labels[2], labels[4]);
+}
+
+TEST(TokenBlockingERTest, EmptyDataset) {
+  Dataset ds;
+  auto metric = MakeSimilarity("jaccard_q2");
+  EXPECT_TRUE(TokenBlockingER(ds, *metric, {}).empty());
+}
+
+TEST(TokenBlockingERTest, ReasonableQualityOnGeneratedData) {
+  MovieGeneratorConfig config;
+  config.num_records = 200;
+  config.num_entities = 30;
+  config.seed = 5;
+  Dataset ds = GenerateMovieDataset(config);
+  auto metric = MakeSimilarity("jaccard_q2");
+  auto labels = TokenBlockingER(ds, *metric, {});
+  PairMetrics m = EvaluatePairs(labels, ds.entity_of());
+  EXPECT_GT(m.f1, 0.5);  // Baseline floor: works, but below HERA.
+}
+
+}  // namespace
+}  // namespace hera

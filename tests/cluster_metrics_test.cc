@@ -1,0 +1,125 @@
+// Tests for src/eval/cluster_metrics: ARI, closest-cluster F1, and the
+// per-entity breakdown.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "eval/cluster_metrics.h"
+
+namespace hera {
+namespace {
+
+TEST(AdjustedRandIndexTest, IdenticalPartitions) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 0, 1, 1}, {7, 7, 9, 9}), 1.0);
+}
+
+TEST(AdjustedRandIndexTest, CompletelyOpposed) {
+  // All-singletons vs all-one-cluster: ARI 0 (no agreement structure).
+  double ari = AdjustedRandIndex({0, 1, 2, 3}, {5, 5, 5, 5});
+  EXPECT_NEAR(ari, 0.0, 1e-9);
+}
+
+TEST(AdjustedRandIndexTest, KnownValue) {
+  // Classic example: predicted {a,a,b,b,b,c}, truth {x,x,x,y,y,y}.
+  std::vector<uint32_t> pred = {0, 0, 1, 1, 1, 2};
+  std::vector<uint32_t> truth = {0, 0, 0, 1, 1, 1};
+  double ari = AdjustedRandIndex(pred, truth);
+  EXPECT_GT(ari, 0.05);
+  EXPECT_LT(ari, 0.3);
+}
+
+TEST(AdjustedRandIndexTest, RandomLabelsNearZero) {
+  Rng rng(17);
+  double total = 0.0;
+  const int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<uint32_t> a(200), b(200);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<uint32_t>(rng.Uniform(5));
+      b[i] = static_cast<uint32_t>(rng.Uniform(5));
+    }
+    total += AdjustedRandIndex(a, b);
+  }
+  EXPECT_NEAR(total / kTrials, 0.0, 0.05);
+}
+
+TEST(AdjustedRandIndexTest, SymmetricInArguments) {
+  std::vector<uint32_t> a = {0, 0, 1, 2, 2, 2};
+  std::vector<uint32_t> b = {0, 1, 1, 2, 2, 0};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), AdjustedRandIndex(b, a));
+}
+
+TEST(AdjustedRandIndexTest, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({3}, {9}), 1.0);
+}
+
+TEST(ClosestClusterF1Test, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(ClosestClusterF1({4, 4, 5}, {0, 0, 1}), 1.0);
+}
+
+TEST(ClosestClusterF1Test, SplitEntityScoresBelowOne) {
+  // Entity {0,1,2} split into {0,1} and {2}.
+  double f1 = ClosestClusterF1({7, 7, 8}, {0, 0, 0});
+  // Best match is {0,1}: P=1, R=2/3 -> F1=0.8.
+  EXPECT_NEAR(f1, 0.8, 1e-9);
+}
+
+TEST(ClosestClusterF1Test, ContaminatedClusterScoresBelowOne) {
+  // Predicted merges two entities.
+  double f1 = ClosestClusterF1({7, 7, 7, 7}, {0, 0, 1, 1});
+  // Each entity matches the giant cluster: P=1/2, R=1 -> F1=2/3.
+  EXPECT_NEAR(f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(ClosestClusterF1Test, BoundedByOne) {
+  Rng rng(23);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<uint32_t> a(60), b(60);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<uint32_t>(rng.Uniform(8));
+      b[i] = static_cast<uint32_t>(rng.Uniform(8));
+    }
+    double f1 = ClosestClusterF1(a, b);
+    EXPECT_GE(f1, 0.0);
+    EXPECT_LE(f1, 1.0);
+  }
+}
+
+TEST(PerEntityBreakdownTest, ExactEntities) {
+  auto outcomes = PerEntityBreakdown({4, 4, 5}, {0, 0, 1});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].entity, 0u);
+  EXPECT_EQ(outcomes[0].size, 2u);
+  EXPECT_EQ(outcomes[0].num_fragments, 1u);
+  EXPECT_TRUE(outcomes[0].pure);
+  BreakdownSummary s = SummarizeBreakdown(outcomes);
+  EXPECT_EQ(s.exact, 2u);
+  EXPECT_EQ(s.split, 0u);
+  EXPECT_EQ(s.contaminated, 0u);
+}
+
+TEST(PerEntityBreakdownTest, SplitEntity) {
+  auto outcomes = PerEntityBreakdown({1, 2, 2}, {0, 0, 0});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].num_fragments, 2u);
+  BreakdownSummary s = SummarizeBreakdown(outcomes);
+  EXPECT_EQ(s.split, 1u);
+}
+
+TEST(PerEntityBreakdownTest, ContaminatedEntity) {
+  // Entities 0 and 1 merged into one predicted cluster.
+  auto outcomes = PerEntityBreakdown({9, 9, 9}, {0, 0, 1});
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& o : outcomes) {
+    EXPECT_EQ(o.num_fragments, 1u);
+    EXPECT_FALSE(o.pure);
+  }
+  BreakdownSummary s = SummarizeBreakdown(outcomes);
+  EXPECT_EQ(s.contaminated, 2u);
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,229 @@
+// Tests for src/data: corruption model, movie generator, benchmark
+// dataset specs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "data/benchmark_datasets.h"
+#include "data/corruption.h"
+#include "data/movie_generator.h"
+#include "sim/string_metrics.h"
+
+namespace hera {
+namespace {
+
+// ------------------------------------------------------------ Corruption
+
+TEST(CorruptionTest, ZeroProbabilitiesLeaveInputIntact) {
+  CorruptionOptions off;
+  off.typo_prob = off.abbreviate_prob = off.drop_token_prob = 0.0;
+  off.case_flip_prob = off.numeric_jitter_prob = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(CorruptString("John Smith", &rng, off), "John Smith");
+  EXPECT_EQ(CorruptValue(Value(1999.0), &rng, off), Value(1999.0));
+}
+
+TEST(CorruptionTest, NullPassesThrough) {
+  Rng rng(2);
+  EXPECT_TRUE(CorruptValue(Value(), &rng).is_null());
+}
+
+TEST(CorruptionTest, Deterministic) {
+  Rng a(42), b(42);
+  CorruptionOptions opts;
+  opts.typo_prob = 1.0;
+  EXPECT_EQ(CorruptString("hello world", &a, opts),
+            CorruptString("hello world", &b, opts));
+}
+
+TEST(CorruptionTest, TypoChangesString) {
+  CorruptionOptions opts;
+  opts.typo_prob = 1.0;
+  opts.abbreviate_prob = opts.drop_token_prob = opts.case_flip_prob = 0.0;
+  Rng rng(7);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (CorruptString("reference string", &rng, opts) != "reference string") {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 40);  // A transpose of equal chars may no-op.
+}
+
+TEST(CorruptionTest, MildDefaultsPreserveRecognizability) {
+  // The default model must keep most values similar enough for the
+  // paper's xi = 0.5 Jaccard threshold to find them.
+  Rng rng(11);
+  int recognizable = 0;
+  const std::string original = "Paramount Pictures";
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    std::string corrupted = CorruptString(original, &rng);
+    if (QgramJaccard(original, corrupted, 2) >= 0.5) ++recognizable;
+  }
+  EXPECT_GT(recognizable, kTrials * 7 / 10);
+}
+
+TEST(CorruptionTest, AbbreviationKeepsSurname) {
+  CorruptionOptions opts;
+  opts.abbreviate_prob = 1.0;
+  opts.typo_prob = opts.drop_token_prob = opts.case_flip_prob = 0.0;
+  Rng rng(3);
+  EXPECT_EQ(CorruptString("John Smith", &rng, opts), "J. Smith");
+}
+
+TEST(CorruptionTest, NumericJitterIsSmall) {
+  CorruptionOptions opts;
+  opts.numeric_jitter_prob = 1.0;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Value v = CorruptValue(Value(2000.0), &rng, opts);
+    ASSERT_TRUE(v.is_number());
+    EXPECT_NEAR(v.AsNumber(), 2000.0, 25.0);
+    EXPECT_NE(v.AsNumber(), 2000.0);
+  }
+}
+
+// ------------------------------------------------------- MovieGenerator
+
+TEST(MovieGeneratorTest, ProducesRequestedShape) {
+  MovieGeneratorConfig config;
+  config.num_records = 200;
+  config.num_entities = 30;
+  config.seed = 9;
+  Dataset ds = GenerateMovieDataset(config);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.NumEntities(), 30u);
+  EXPECT_TRUE(ds.has_ground_truth());
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_EQ(ds.schemas().size(), 4u);  // All standard profiles.
+}
+
+TEST(MovieGeneratorTest, EveryEntityHasAtLeastOneRecord) {
+  MovieGeneratorConfig config;
+  config.num_records = 50;
+  config.num_entities = 50;
+  config.seed = 10;
+  Dataset ds = GenerateMovieDataset(config);
+  std::set<uint32_t> entities(ds.entity_of().begin(), ds.entity_of().end());
+  EXPECT_EQ(entities.size(), 50u);
+}
+
+TEST(MovieGeneratorTest, DeterministicForSeed) {
+  MovieGeneratorConfig config;
+  config.num_records = 100;
+  config.num_entities = 20;
+  config.seed = 77;
+  Dataset a = GenerateMovieDataset(config);
+  Dataset b = GenerateMovieDataset(config);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.entity_of(), b.entity_of());
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.record(i).schema_id(), b.record(i).schema_id());
+    for (size_t v = 0; v < a.record(i).size(); ++v) {
+      EXPECT_EQ(a.record(i).value(v), b.record(i).value(v));
+    }
+  }
+}
+
+TEST(MovieGeneratorTest, DifferentSeedsDiffer) {
+  MovieGeneratorConfig a_cfg, b_cfg;
+  a_cfg.num_records = b_cfg.num_records = 100;
+  a_cfg.num_entities = b_cfg.num_entities = 20;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  Dataset a = GenerateMovieDataset(a_cfg);
+  Dataset b = GenerateMovieDataset(b_cfg);
+  bool any_diff = a.entity_of() != b.entity_of();
+  for (uint32_t i = 0; !any_diff && i < a.size(); ++i) {
+    if (a.record(i).schema_id() != b.record(i).schema_id()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MovieGeneratorTest, CanonicalAttrCoversEveryAttribute) {
+  MovieGeneratorConfig config;
+  config.num_records = 20;
+  config.num_entities = 5;
+  Dataset ds = GenerateMovieDataset(config);
+  size_t total_attrs = 0;
+  for (uint32_t s = 0; s < ds.schemas().size(); ++s) {
+    total_attrs += ds.schemas().Get(s).size();
+  }
+  EXPECT_EQ(ds.canonical_attr().size(), total_attrs);
+}
+
+TEST(MovieGeneratorTest, NullProbabilityProducesNulls) {
+  MovieGeneratorConfig config;
+  config.num_records = 300;
+  config.num_entities = 30;
+  config.null_prob = 0.3;
+  Dataset ds = GenerateMovieDataset(config);
+  size_t nulls = 0, total = 0;
+  for (const Record& r : ds.records()) {
+    total += r.size();
+    nulls += r.size() - r.NumPresent();
+  }
+  double rate = static_cast<double>(nulls) / static_cast<double>(total);
+  EXPECT_NEAR(rate, 0.3, 0.06);
+}
+
+TEST(MovieGeneratorTest, StandardProfilesShareTitleConcept) {
+  auto profiles = StandardMovieProfiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  for (const auto& p : profiles) {
+    bool has_title = false;
+    for (const auto& [attr, concept_id] : p.attrs) {
+      (void)attr;
+      if (concept_id == kTitle) has_title = true;
+    }
+    EXPECT_TRUE(has_title) << p.name;
+  }
+}
+
+TEST(MovieGeneratorTest, ProfilesUseDistinctAttributeNames) {
+  // Heterogeneity: the same concept goes by different names.
+  auto profiles = StandardMovieProfiles();
+  std::set<std::string> title_names;
+  for (const auto& p : profiles) {
+    for (const auto& [attr, concept_id] : p.attrs) {
+      if (concept_id == kTitle) title_names.insert(attr);
+    }
+  }
+  EXPECT_EQ(title_names.size(), 4u);  // title/name/movie_title/film.
+}
+
+// --------------------------------------------------- Benchmark datasets
+
+TEST(BenchmarkDatasetsTest, SpecsMatchTableI) {
+  EXPECT_EQ(SpecFor(BenchmarkDataset::kDm1).num_records, 1000u);
+  EXPECT_EQ(SpecFor(BenchmarkDataset::kDm1).num_entities, 121u);
+  EXPECT_EQ(SpecFor(BenchmarkDataset::kDm2).num_records, 2000u);
+  EXPECT_EQ(SpecFor(BenchmarkDataset::kDm2).num_entities, 277u);
+  EXPECT_EQ(SpecFor(BenchmarkDataset::kDm3).num_records, 3000u);
+  EXPECT_EQ(SpecFor(BenchmarkDataset::kDm3).num_entities, 361u);
+  EXPECT_EQ(SpecFor(BenchmarkDataset::kDm4).num_records, 4000u);
+  EXPECT_EQ(SpecFor(BenchmarkDataset::kDm4).num_entities, 533u);
+}
+
+TEST(BenchmarkDatasetsTest, Dm1BuildsWithSixteenDistinctAttrs) {
+  Dataset ds = BuildBenchmarkDataset(BenchmarkDataset::kDm1);
+  EXPECT_EQ(ds.size(), 1000u);
+  EXPECT_EQ(ds.NumEntities(), 121u);
+  EXPECT_EQ(ds.NumDistinctAttributes(), 16u);  // Table I.
+}
+
+TEST(BenchmarkDatasetsTest, DistinctAttributeCountsNearTableI) {
+  // Paper: 16 / 22 / 23 / 21.
+  EXPECT_EQ(BuildBenchmarkDataset(BenchmarkDataset::kDm2).NumDistinctAttributes(),
+            22u);
+  EXPECT_EQ(BuildBenchmarkDataset(BenchmarkDataset::kDm3).NumDistinctAttributes(),
+            23u);
+  EXPECT_EQ(BuildBenchmarkDataset(BenchmarkDataset::kDm4).NumDistinctAttributes(),
+            21u);
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,108 @@
+// Direct tests for ResolutionEngine: record growth across rounds,
+// precomputed indexing, label stability.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/hera.h"
+#include "sim/metrics.h"
+#include "testing_util.h"
+
+namespace hera {
+namespace {
+
+ValueSimilarityPtr Metric() { return MakeSimilarity("jaccard_q2"); }
+
+TEST(EngineTest, EmptyEngineYieldsNoLabels) {
+  ResolutionEngine engine(HeraOptions{}, Metric());
+  EXPECT_EQ(engine.NumRecords(), 0u);
+  EXPECT_TRUE(engine.Labels().empty());
+  engine.IterateToFixpoint();  // No-op on empty state.
+  EXPECT_EQ(engine.stats().merges, 0u);
+}
+
+TEST(EngineTest, AddRecordsPreservesEarlierMerges) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  ResolutionEngine engine(HeraOptions{}, Metric());
+  // Round 1: r1 (0) and r6 (5) only — renumber as 0 and 1.
+  std::vector<Record> first = {
+      Record(0, ds.record(0).schema_id(), ds.record(0).values()),
+      Record(1, ds.record(5).schema_id(), ds.record(5).values()),
+  };
+  engine.AddRecords(first);
+  engine.IndexNewRecords();
+  engine.IterateToFixpoint();
+  auto labels = engine.Labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], labels[1]);  // Near-identical records merged.
+
+  // Round 2: an unrelated record must not disturb the merge.
+  std::vector<Record> second = {
+      Record(2, ds.record(2).schema_id(), ds.record(2).values()),  // r3.
+  };
+  engine.AddRecords(second);
+  engine.IndexNewRecords();
+  engine.IterateToFixpoint();
+  labels = engine.Labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[2], labels[0]);
+}
+
+TEST(EngineTest, IndexPrecomputedMatchesIndexNewRecords) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+
+  ResolutionEngine joined(opts, Metric());
+  joined.AddRecords(ds.records());
+  joined.IndexNewRecords();
+  joined.IterateToFixpoint();
+
+  auto pairs = ComputeSimilarValuePairs(ds, opts);
+  ASSERT_TRUE(pairs.ok());
+  ResolutionEngine seeded(opts, Metric());
+  seeded.AddRecords(ds.records());
+  seeded.IndexPrecomputed(*pairs);
+  seeded.IterateToFixpoint();
+
+  EXPECT_EQ(joined.Labels(), seeded.Labels());
+  EXPECT_EQ(joined.stats().index_size, seeded.stats().index_size);
+}
+
+TEST(EngineTest, IndexNewRecordsReturnsPairCount) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  ResolutionEngine engine(HeraOptions{}, Metric());
+  engine.AddRecords(ds.records());
+  size_t added = engine.IndexNewRecords();
+  EXPECT_GT(added, 0u);
+  EXPECT_EQ(added, engine.stats().index_size);
+  // Nothing new: zero additional pairs.
+  EXPECT_EQ(engine.IndexNewRecords(), 0u);
+}
+
+TEST(EngineTest, PredictorAccessibleAfterRun) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  ResolutionEngine engine(HeraOptions{}, Metric());
+  engine.AddRecords(ds.records());
+  engine.IndexNewRecords();
+  engine.IterateToFixpoint();
+  // Predictions were recorded (the decided count may be 0 at this
+  // scale, but votes must exist once merges happened).
+  EXPECT_GT(engine.predictor().num_predictions(), 0u);
+}
+
+TEST(EngineTest, TakeSuperRecordsTransfersOwnership) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  ResolutionEngine engine(HeraOptions{}, Metric());
+  engine.AddRecords(ds.records());
+  engine.IndexNewRecords();
+  engine.IterateToFixpoint();
+  auto supers = engine.TakeSuperRecords();
+  EXPECT_EQ(supers.size(), 2u);
+  EXPECT_TRUE(engine.active().empty());
+}
+
+}  // namespace
+}  // namespace hera

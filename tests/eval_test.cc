@@ -1,0 +1,102 @@
+// Tests for src/eval: pairwise precision / recall / F1.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "eval/metrics.h"
+
+namespace hera {
+namespace {
+
+TEST(CountIntraPairsTest, KnownValues) {
+  EXPECT_EQ(CountIntraPairs({}), 0u);
+  EXPECT_EQ(CountIntraPairs({1}), 0u);
+  EXPECT_EQ(CountIntraPairs({1, 1}), 1u);
+  EXPECT_EQ(CountIntraPairs({1, 1, 1}), 3u);
+  EXPECT_EQ(CountIntraPairs({1, 2, 1, 2}), 2u);
+  EXPECT_EQ(CountIntraPairs({0, 1, 2, 3}), 0u);
+}
+
+TEST(EvaluatePairsTest, PerfectPrediction) {
+  PairMetrics m = EvaluatePairs({5, 5, 9, 9}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.true_positives, 2u);
+}
+
+TEST(EvaluatePairsTest, AllSingletonsPredicted) {
+  PairMetrics m = EvaluatePairs({0, 1, 2, 3}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);  // Vacuous: no predicted pairs.
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(EvaluatePairsTest, EverythingMergedPredicted) {
+  PairMetrics m = EvaluatePairs({7, 7, 7, 7}, {0, 0, 1, 1});
+  EXPECT_EQ(m.predicted_pairs, 6u);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(EvaluatePairsTest, PartialOverlap) {
+  // Predicted: {0,1},{2,3}; truth: {0,1,2},{3}.
+  PairMetrics m = EvaluatePairs({4, 4, 5, 5}, {0, 0, 0, 1});
+  EXPECT_EQ(m.predicted_pairs, 2u);
+  EXPECT_EQ(m.truth_pairs, 3u);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2.0 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0), 1e-12);
+}
+
+TEST(EvaluatePairsTest, LabelValuesIrrelevant) {
+  PairMetrics a = EvaluatePairs({0, 0, 1}, {9, 9, 4});
+  PairMetrics b = EvaluatePairs({100, 100, 7}, {2, 2, 3});
+  EXPECT_DOUBLE_EQ(a.f1, b.f1);
+  EXPECT_DOUBLE_EQ(a.f1, 1.0);
+}
+
+TEST(EvaluatePairsTest, EmptyInput) {
+  PairMetrics m = EvaluatePairs({}, {});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(EvaluatePairsTest, PropertyScoresInRange) {
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t n = 1 + rng.Uniform(50);
+    std::vector<uint32_t> pred(n), truth(n);
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] = static_cast<uint32_t>(rng.Uniform(8));
+      truth[i] = static_cast<uint32_t>(rng.Uniform(8));
+    }
+    PairMetrics m = EvaluatePairs(pred, truth);
+    EXPECT_GE(m.precision, 0.0);
+    EXPECT_LE(m.precision, 1.0);
+    EXPECT_GE(m.recall, 0.0);
+    EXPECT_LE(m.recall, 1.0);
+    EXPECT_GE(m.f1, 0.0);
+    EXPECT_LE(m.f1, 1.0);
+    EXPECT_LE(m.true_positives, m.predicted_pairs);
+    EXPECT_LE(m.true_positives, m.truth_pairs);
+  }
+}
+
+TEST(EvaluatePairsTest, SymmetricWhenSwapped) {
+  // Swapping prediction and truth swaps precision and recall.
+  std::vector<uint32_t> a{0, 0, 1, 1, 2};
+  std::vector<uint32_t> b{0, 0, 0, 1, 1};
+  PairMetrics ab = EvaluatePairs(a, b);
+  PairMetrics ba = EvaluatePairs(b, a);
+  EXPECT_DOUBLE_EQ(ab.precision, ba.recall);
+  EXPECT_DOUBLE_EQ(ab.recall, ba.precision);
+  EXPECT_DOUBLE_EQ(ab.f1, ba.f1);
+}
+
+}  // namespace
+}  // namespace hera

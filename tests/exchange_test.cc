@@ -1,0 +1,139 @@
+// Tests for src/data data exchange (target-schema projection).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/benchmark_datasets.h"
+#include "data/data_exchange.h"
+#include "data/movie_generator.h"
+
+namespace hera {
+namespace {
+
+MovieGeneratorConfig SmallConfig() {
+  MovieGeneratorConfig config;
+  config.num_records = 120;
+  config.num_entities = 20;
+  config.seed = 4;
+  return config;
+}
+
+TEST(DataExchangeTest, PreservesRecordCountAndOrder) {
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  ExchangeResult ex = ExchangeToTargetSchema(src, 1.0 / 3.0, 99);
+  EXPECT_EQ(ex.dataset.size(), src.size());
+  EXPECT_EQ(ex.dataset.entity_of(), src.entity_of());
+  EXPECT_TRUE(ex.dataset.Validate().ok());
+}
+
+TEST(DataExchangeTest, SingleTargetSchema) {
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  ExchangeResult ex = ExchangeToTargetSchema(src, 0.5, 99);
+  EXPECT_EQ(ex.dataset.schemas().size(), 1u);
+  for (const Record& r : ex.dataset.records()) {
+    EXPECT_EQ(r.schema_id(), 0u);
+    EXPECT_EQ(r.size(), ex.target_concepts.size());
+  }
+}
+
+TEST(DataExchangeTest, FractionControlsTargetWidth) {
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  size_t total = src.NumDistinctAttributes();
+  ExchangeResult small = ExchangeToTargetSchema(src, 1.0 / 3.0, 5);
+  ExchangeResult large = ExchangeToTargetSchema(src, 2.0 / 3.0, 5);
+  EXPECT_EQ(small.target_concepts.size(),
+            static_cast<size_t>(std::lround(total / 3.0)));
+  EXPECT_EQ(large.target_concepts.size(),
+            static_cast<size_t>(std::lround(2.0 * total / 3.0)));
+  EXPECT_LT(small.target_concepts.size(), large.target_concepts.size());
+}
+
+TEST(DataExchangeTest, AnchorConceptAlwaysIncluded) {
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    ExchangeResult ex = ExchangeToTargetSchema(src, 1.0 / 3.0, seed);
+    EXPECT_TRUE(std::count(ex.target_concepts.begin(),
+                           ex.target_concepts.end(), kTitle))
+        << "seed " << seed;
+  }
+}
+
+TEST(DataExchangeTest, TgdsReferenceValidAttributes) {
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  ExchangeResult ex = ExchangeToTargetSchema(src, 0.5, 3);
+  std::set<uint32_t> chosen(ex.target_concepts.begin(),
+                            ex.target_concepts.end());
+  for (const CopyTgd& tgd : ex.tgds) {
+    ASSERT_LT(tgd.source.schema_id, src.schemas().size());
+    ASSERT_LT(tgd.source.attr_index,
+              src.schemas().Get(tgd.source.schema_id).size());
+    ASSERT_LT(tgd.target_attr, ex.target_concepts.size());
+    // The tgd must copy between attributes of the same concept.
+    uint32_t src_concept = src.canonical_attr().at(tgd.source);
+    EXPECT_EQ(src_concept, ex.target_concepts[tgd.target_attr]);
+  }
+}
+
+TEST(DataExchangeTest, ValuesCopiedFaithfully) {
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  ExchangeResult ex = ExchangeToTargetSchema(src, 2.0 / 3.0, 8);
+  // Rebuild the expected projection per record from the tgds.
+  for (const Record& r : src.records()) {
+    const Record& t = ex.dataset.record(r.id());
+    for (const CopyTgd& tgd : ex.tgds) {
+      if (tgd.source.schema_id != r.schema_id()) continue;
+      EXPECT_EQ(t.value(tgd.target_attr), r.value(tgd.source.attr_index));
+    }
+  }
+}
+
+TEST(DataExchangeTest, UnmappedAttributesAreNull) {
+  // A source record only fills target attributes its schema maps to;
+  // everything else must be null (the paper's information loss).
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  ExchangeResult ex = ExchangeToTargetSchema(src, 2.0 / 3.0, 8);
+  std::set<std::pair<uint32_t, uint32_t>> mapped;  // (schema, target attr)
+  for (const CopyTgd& tgd : ex.tgds) {
+    mapped.emplace(tgd.source.schema_id, tgd.target_attr);
+  }
+  for (const Record& r : src.records()) {
+    const Record& t = ex.dataset.record(r.id());
+    for (uint32_t a = 0; a < t.size(); ++a) {
+      if (!mapped.count({r.schema_id(), a})) {
+        EXPECT_TRUE(t.value(a).is_null());
+      }
+    }
+  }
+}
+
+TEST(DataExchangeTest, DeterministicForSeed) {
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  ExchangeResult a = ExchangeToTargetSchema(src, 0.5, 31);
+  ExchangeResult b = ExchangeToTargetSchema(src, 0.5, 31);
+  EXPECT_EQ(a.target_concepts, b.target_concepts);
+}
+
+TEST(DataExchangeTest, ProjectionLosesInformation) {
+  // The homogeneous projection must carry strictly fewer non-null
+  // values than the heterogeneous source (the motivation for HERA).
+  Dataset src = GenerateMovieDataset(SmallConfig());
+  ExchangeResult ex = ExchangeToTargetSchema(src, 1.0 / 3.0, 12);
+  size_t src_values = 0, dst_values = 0;
+  for (const Record& r : src.records()) src_values += r.NumPresent();
+  for (const Record& r : ex.dataset.records()) dst_values += r.NumPresent();
+  EXPECT_LT(dst_values, src_values);
+}
+
+TEST(BenchmarkProjectionTest, BuildsSmallAndLarge) {
+  ExchangeResult s = BuildHomogeneousProjection(BenchmarkDataset::kDm1, true);
+  ExchangeResult l = BuildHomogeneousProjection(BenchmarkDataset::kDm1, false);
+  EXPECT_EQ(s.dataset.size(), 1000u);
+  EXPECT_EQ(l.dataset.size(), 1000u);
+  EXPECT_LT(s.target_concepts.size(), l.target_concepts.size());
+}
+
+}  // namespace
+}  // namespace hera

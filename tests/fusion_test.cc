@@ -1,0 +1,143 @@
+// Tests for entity fusion (data/entity_fusion.h): the final data
+// exchange of the paper's framework.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/hera.h"
+#include "data/entity_fusion.h"
+#include "data/movie_generator.h"
+#include "testing_util.h"
+
+namespace hera {
+namespace {
+
+class FusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = testing_util::MakeCustomersDataset();
+    auto result = Hera(HeraOptions{}).Run(ds_);
+    ASSERT_TRUE(result.ok());
+    result_ = std::move(result).value();
+    ASSERT_EQ(result_.super_records.size(), 2u);  // Ground-truth perfect.
+  }
+
+  Dataset ds_;
+  HeraResult result_;
+};
+
+TEST_F(FusionTest, AllConceptsEnumerated) {
+  EXPECT_EQ(AllConcepts(ds_),
+            (std::vector<uint32_t>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST_F(FusionTest, OneFusedRecordPerEntity) {
+  FusionResult fused =
+      FuseEntities(ds_, result_.super_records, AllConcepts(ds_));
+  EXPECT_EQ(fused.dataset.size(), 2u);
+  EXPECT_EQ(fused.dataset.schemas().size(), 1u);
+  EXPECT_TRUE(fused.dataset.Validate().ok());
+  EXPECT_EQ(fused.fused_of.size(), 2u);
+  EXPECT_TRUE(fused.contaminated.empty());
+  EXPECT_EQ(fused.dataset.entity_of(), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(FusionTest, FusedRecordJoinsInformationAcrossSources) {
+  // Entity 0 = {r1, r2, r4, r6}: name from all, phone only from
+  // CustomerII/III, job only from CustomerII — the fused record must
+  // carry all of them (the paper's "ideal exchange": r9 = join of
+  // records of the same entity).
+  FusionResult fused =
+      FuseEntities(ds_, result_.super_records, AllConcepts(ds_));
+  // Find the fused record of entity 0.
+  uint32_t id = fused.dataset.entity_of()[0] == 0 ? 0 : 1;
+  const Record& r = fused.dataset.record(id);
+  // Concepts in order: name, address, e-mail, city, Con.Type, phone, job.
+  EXPECT_FALSE(r.value(0).is_null());  // name
+  EXPECT_FALSE(r.value(1).is_null());  // address
+  EXPECT_EQ(r.value(2).ToString(), "bush@gmail");
+  EXPECT_EQ(r.value(3).ToString(), "LA");
+  EXPECT_EQ(r.value(5).ToString(), "831-432");
+  EXPECT_EQ(r.value(6).ToString(), "manager");
+}
+
+TEST_F(FusionTest, MostFrequentPolicyPicksMajority) {
+  // Entity 0 names: John (r1), Bush (r2), Bush (r4), John (r6) — tie,
+  // first seen wins; Con.Type: Electronic (x2), electronics (x1).
+  FusionOptions opts;
+  opts.policy = ConflictPolicy::kMostFrequent;
+  FusionResult fused =
+      FuseEntities(ds_, result_.super_records, AllConcepts(ds_), opts);
+  uint32_t id = fused.dataset.entity_of()[0] == 0 ? 0 : 1;
+  EXPECT_EQ(fused.dataset.record(id).value(4).ToString(), "Electronic");
+}
+
+TEST_F(FusionTest, LongestPolicyPicksLongestVariant) {
+  FusionOptions opts;
+  opts.policy = ConflictPolicy::kLongest;
+  FusionResult fused =
+      FuseEntities(ds_, result_.super_records, AllConcepts(ds_), opts);
+  uint32_t id = fused.dataset.entity_of()[0] == 0 ? 0 : 1;
+  EXPECT_EQ(fused.dataset.record(id).value(4).ToString(), "electronics");
+  // Address: "2 Norman Street" (15) vs "2 West Norman" (13).
+  EXPECT_EQ(fused.dataset.record(id).value(1).ToString(), "2 Norman Street");
+}
+
+TEST_F(FusionTest, SubsetTargetSchema) {
+  FusionResult fused =
+      FuseEntities(ds_, result_.super_records, {0, 5});
+  EXPECT_EQ(fused.dataset.schemas().Get(0).size(), 2u);
+  for (const Record& r : fused.dataset.records()) {
+    EXPECT_EQ(r.size(), 2u);
+  }
+}
+
+TEST_F(FusionTest, PolicyNames) {
+  EXPECT_STREQ(ConflictPolicyToString(ConflictPolicy::kMostFrequent),
+               "most_frequent");
+  EXPECT_STREQ(ConflictPolicyToString(ConflictPolicy::kLongest), "longest");
+  EXPECT_STREQ(ConflictPolicyToString(ConflictPolicy::kFirst), "first");
+}
+
+TEST(FusionContaminationTest, MixedClustersReported) {
+  // Force an over-merged result: run HERA with a very low delta so
+  // different entities land in one super record.
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.xi = 0.1;
+  opts.delta = 0.01;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  if (result->super_records.size() < 2) {
+    FusionResult fused =
+        FuseEntities(ds, result->super_records, AllConcepts(ds));
+    EXPECT_FALSE(fused.contaminated.empty());
+  }
+}
+
+TEST(FusionGeneratedTest, FusesMovieDatasetCleanly) {
+  MovieGeneratorConfig config;
+  config.num_records = 200;
+  config.num_entities = 30;
+  config.seed = 77;
+  Dataset ds = GenerateMovieDataset(config);
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  FusionResult fused =
+      FuseEntities(ds, result->super_records, AllConcepts(ds));
+  EXPECT_EQ(fused.dataset.size(), result->super_records.size());
+  EXPECT_TRUE(fused.dataset.Validate().ok());
+  // Fused records should be densely populated: merged entities carry
+  // values for most concepts.
+  size_t populated = 0, total = 0;
+  for (const Record& r : fused.dataset.records()) {
+    populated += r.NumPresent();
+    total += r.size();
+  }
+  EXPECT_GT(static_cast<double>(populated) / static_cast<double>(total), 0.5);
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,251 @@
+// End-to-end tests for the HERA algorithm (Algorithm 2), centered on
+// the paper's motivating example and robustness edge cases.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hera.h"
+#include "eval/metrics.h"
+#include "testing_util.h"
+
+namespace hera {
+namespace {
+
+TEST(HeraTest, MotivatingExampleResolvesGroundTruth) {
+  // Section V: xi = 0.5, delta = 0.5 must produce {r1,r2,r4,r6} and
+  // {r3,r5} — including the description-difference pair (r1, r2).
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.xi = 0.5;
+  opts.delta = 0.5;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(testing_util::SamePartition(result->entity_of, ds.entity_of()))
+      << "got labels: " << ::testing::PrintToString(result->entity_of);
+  PairMetrics m = EvaluatePairs(result->entity_of, ds.entity_of());
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(HeraTest, MergesProduceConsistentSuperRecords) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  // Every record belongs to exactly one final super record.
+  std::vector<bool> seen(ds.size(), false);
+  for (const auto& [rid, sr] : result->super_records) {
+    EXPECT_EQ(rid, sr.rid());
+    for (uint32_t member : sr.members()) {
+      EXPECT_FALSE(seen[member]);
+      seen[member] = true;
+      EXPECT_EQ(result->entity_of[member], rid);
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(HeraTest, StatsPopulated) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  const HeraStats& st = result->stats;
+  EXPECT_GT(st.index_size, 0u);
+  EXPECT_GE(st.iterations, 2u);  // At least one merging pass + fixpoint.
+  EXPECT_GT(st.merges, 0u);
+  EXPECT_GE(st.total_ms, 0.0);
+}
+
+TEST(HeraTest, DeterministicAcrossRuns) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  auto r1 = Hera(HeraOptions{}).Run(ds);
+  auto r2 = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->entity_of, r2->entity_of);
+  EXPECT_EQ(r1->stats.merges, r2->stats.merges);
+  EXPECT_EQ(r1->stats.comparisons, r2->stats.comparisons);
+}
+
+TEST(HeraTest, DeltaOneMergesOnlyNearIdentical) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.delta = 1.0;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  // No record pair reaches similarity 1.0 here: nothing merges.
+  PairMetrics m = EvaluatePairs(result->entity_of, ds.entity_of());
+  EXPECT_EQ(m.predicted_pairs, 0u);
+}
+
+TEST(HeraTest, LowDeltaOverMerges) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.xi = 0.2;
+  opts.delta = 0.05;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  // Aggressive thresholds must merge at least as much as the default.
+  PairMetrics loose = EvaluatePairs(result->entity_of, ds.entity_of());
+  auto strict_result = Hera(HeraOptions{}).Run(ds);
+  PairMetrics strict =
+      EvaluatePairs(strict_result->entity_of, ds.entity_of());
+  EXPECT_GE(loose.predicted_pairs, strict.predicted_pairs);
+}
+
+TEST(HeraTest, EmptyDataset) {
+  Dataset ds;
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->entity_of.empty());
+  EXPECT_EQ(result->stats.merges, 0u);
+}
+
+TEST(HeraTest, SingleRecord) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  ds.AddRecord(s, {Value("x")});
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity_of, (std::vector<uint32_t>{0}));
+}
+
+TEST(HeraTest, AllNullRecordsStaySingletons) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a", "b"}));
+  ds.AddRecord(s, {Value(), Value()});
+  ds.AddRecord(s, {Value(), Value()});
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->entity_of[0], result->entity_of[1]);
+}
+
+TEST(HeraTest, IdenticalRecordsMerge) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"name", "city"}));
+  for (int i = 0; i < 4; ++i) {
+    ds.AddRecord(s, {Value("John Smith"), Value("Springfield")});
+  }
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  for (uint32_t r = 1; r < 4; ++r) {
+    EXPECT_EQ(result->entity_of[r], result->entity_of[0]);
+  }
+  EXPECT_EQ(result->super_records.size(), 1u);
+}
+
+TEST(HeraTest, RejectsInvalidOptions) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions bad_metric;
+  bad_metric.metric = "no_such_metric";
+  EXPECT_FALSE(Hera(bad_metric).Run(ds).ok());
+
+  HeraOptions bad_xi;
+  bad_xi.xi = 1.5;
+  EXPECT_FALSE(Hera(bad_xi).Run(ds).ok());
+
+  HeraOptions bad_delta;
+  bad_delta.delta = -0.1;
+  EXPECT_FALSE(Hera(bad_delta).Run(ds).ok());
+}
+
+TEST(HeraTest, RejectsInvalidDataset) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a", "b"}));
+  ds.AddRecord(s, {Value("short")});
+  EXPECT_FALSE(Hera(HeraOptions{}).Run(ds).ok());
+}
+
+TEST(HeraTest, NestedLoopJoinGivesSameResult) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions fast;
+  HeraOptions slow;
+  slow.use_prefix_filter_join = false;
+  auto rf = Hera(fast).Run(ds);
+  auto rs = Hera(slow).Run(ds);
+  ASSERT_TRUE(rf.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(testing_util::SamePartition(rf->entity_of, rs->entity_of));
+  EXPECT_EQ(rf->stats.index_size, rs->stats.index_size);
+}
+
+TEST(HeraTest, SchemaVotingOffStillResolvesExample) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.enable_schema_voting = false;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(testing_util::SamePartition(result->entity_of, ds.entity_of()));
+  EXPECT_EQ(result->stats.decided_schema_matchings, 0u);
+}
+
+TEST(HeraTest, AlternativeMetricsRun) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  for (const char* metric : {"edit", "jaro_winkler", "cosine_q2",
+                             "hybrid(jaccard_q2)"}) {
+    HeraOptions opts;
+    opts.metric = metric;
+    // Non-Jaccard thresholds behave differently; just require a clean
+    // run with sane labels.
+    auto result = Hera(opts).Run(ds);
+    ASSERT_TRUE(result.ok()) << metric;
+    EXPECT_EQ(result->entity_of.size(), ds.size()) << metric;
+  }
+}
+
+TEST(HeraTest, ComparisonsShrinkAsDeltaRises) {
+  // Fig 10's trend on the motivating example: higher delta, fewer (or
+  // equal) verifications.
+  Dataset ds = testing_util::MakeCustomersDataset();
+  size_t prev = SIZE_MAX;
+  for (double delta : {0.3, 0.5, 0.7, 0.9}) {
+    HeraOptions opts;
+    opts.delta = delta;
+    auto result = Hera(opts).Run(ds);
+    ASSERT_TRUE(result.ok());
+    size_t work = result->stats.comparisons + result->stats.direct_merges;
+    EXPECT_LE(work, prev) << "delta=" << delta;
+    prev = work;
+  }
+}
+
+
+TEST(HeraTest, RunWithPrecomputedPairsMatchesRun) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  auto pairs = ComputeSimilarValuePairs(ds, opts);
+  ASSERT_TRUE(pairs.ok());
+  auto direct = Hera(opts).Run(ds);
+  auto precomputed = Hera(opts).RunWithPairs(ds, *pairs);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(precomputed.ok());
+  EXPECT_EQ(direct->entity_of, precomputed->entity_of);
+  EXPECT_EQ(direct->stats.index_size, precomputed->stats.index_size);
+  EXPECT_EQ(direct->stats.merges, precomputed->stats.merges);
+  EXPECT_EQ(direct->stats.comparisons, precomputed->stats.comparisons);
+}
+
+TEST(HeraTest, ComputeSimilarValuePairsRespectsXi) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions loose;
+  loose.xi = 0.3;
+  HeraOptions strict;
+  strict.xi = 0.9;
+  auto many = ComputeSimilarValuePairs(ds, loose);
+  auto few = ComputeSimilarValuePairs(ds, strict);
+  ASSERT_TRUE(many.ok());
+  ASSERT_TRUE(few.ok());
+  EXPECT_GT(many->size(), few->size());
+  for (const ValuePair& p : *few) EXPECT_GE(p.sim, 0.9);
+}
+
+TEST(HeraTest, ComputeSimilarValuePairsRejectsBadOptions) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions bad;
+  bad.metric = "unknown";
+  EXPECT_FALSE(ComputeSimilarValuePairs(ds, bad).ok());
+}
+
+}  // namespace
+}  // namespace hera
+

@@ -1,0 +1,138 @@
+// Integration tests: the full pipeline — generator -> HERA on
+// heterogeneous records, data exchange -> baselines on homogeneous
+// projections — on a scaled-down benchmark dataset. These assert the
+// paper's qualitative claims end to end.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/naive.h"
+#include "baselines/rswoosh.h"
+#include "core/hera.h"
+#include "data/data_exchange.h"
+#include "data/movie_generator.h"
+#include "eval/metrics.h"
+#include "sim/metrics.h"
+
+namespace hera {
+namespace {
+
+/// A small D_m1-style dataset: fast enough for unit testing.
+MovieGeneratorConfig SmallMovieConfig() {
+  MovieGeneratorConfig config;
+  config.num_records = 250;
+  config.num_entities = 40;
+  config.seed = 1234;
+  return config;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(GenerateMovieDataset(SmallMovieConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+};
+
+Dataset* PipelineTest::dataset_ = nullptr;
+
+TEST_F(PipelineTest, HeraResolvesGeneratedDataWell) {
+  HeraOptions opts;
+  opts.xi = 0.5;
+  opts.delta = 0.5;
+  auto result = Hera(opts).Run(*dataset_);
+  ASSERT_TRUE(result.ok());
+  PairMetrics m = EvaluatePairs(result->entity_of, dataset_->entity_of());
+  // The generator's mild corruption keeps this well within reach.
+  EXPECT_GT(m.precision, 0.8) << "P=" << m.precision << " R=" << m.recall;
+  EXPECT_GT(m.recall, 0.6) << "P=" << m.precision << " R=" << m.recall;
+}
+
+TEST_F(PipelineTest, HeraOnHeterogeneousBeatsNaiveOnProjection) {
+  // The paper's headline: resolving heterogeneous records directly
+  // (all source information) beats resolving the lossy homogeneous
+  // projection. Which attributes the random target schema keeps
+  // decides how lossy a single projection is, so compare against the
+  // mean over several target-schema draws.
+  HeraOptions opts;
+  auto hera_result = Hera(opts).Run(*dataset_);
+  ASSERT_TRUE(hera_result.ok());
+  PairMetrics hera_m =
+      EvaluatePairs(hera_result->entity_of, dataset_->entity_of());
+
+  auto metric = MakeSimilarity("jaccard_q2");
+  double naive_f1_sum = 0.0;
+  const int kSeeds = 5;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ExchangeResult projected =
+        ExchangeToTargetSchema(*dataset_, 1.0 / 3.0, seed);
+    auto naive =
+        NaivePairwiseER(projected.dataset, *metric, {0.5, 0.5, false});
+    naive_f1_sum += EvaluatePairs(naive, dataset_->entity_of()).f1;
+  }
+  double naive_f1_mean = naive_f1_sum / kSeeds;
+
+  EXPECT_GT(hera_m.f1, naive_f1_mean)
+      << "hera F1=" << hera_m.f1
+      << " naive-on-projection mean F1=" << naive_f1_mean;
+}
+
+TEST_F(PipelineTest, StatsReflectWorkload) {
+  HeraOptions opts;
+  auto result = Hera(opts).Run(*dataset_);
+  ASSERT_TRUE(result.ok());
+  const HeraStats& st = result->stats;
+  EXPECT_GT(st.index_size, 1000u);  // Plenty of similar value pairs.
+  EXPECT_GT(st.merges, 100u);       // 250 records / 40 entities.
+  EXPECT_GT(st.comparisons, 0u);
+  EXPECT_LT(st.iterations, 50u);
+}
+
+TEST_F(PipelineTest, SuperRecordsAccumulateSourceInformation) {
+  HeraOptions opts;
+  auto result = Hera(opts).Run(*dataset_);
+  ASSERT_TRUE(result.ok());
+  // At least one super record must have absorbed records from more
+  // than one source schema (the point of heterogeneous ER).
+  bool found_cross_schema = false;
+  for (const auto& [rid, sr] : result->super_records) {
+    (void)rid;
+    std::set<uint32_t> schemas;
+    for (uint32_t member : sr.members()) {
+      schemas.insert(dataset_->record(member).schema_id());
+    }
+    if (schemas.size() >= 2) {
+      found_cross_schema = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_cross_schema);
+}
+
+TEST_F(PipelineTest, SchemaVotingDiscoversTrueMatchings) {
+  HeraOptions opts;
+  opts.enable_schema_voting = true;
+  auto result = Hera(opts).Run(*dataset_);
+  ASSERT_TRUE(result.ok());
+  // With hundreds of merges, the vote must have promoted some
+  // cross-schema attribute matchings.
+  EXPECT_GT(result->stats.decided_schema_matchings, 0u);
+}
+
+TEST_F(PipelineTest, RSwooshOnProjectionRuns) {
+  ExchangeResult projected = ExchangeToTargetSchema(*dataset_, 1.0 / 3.0, 7);
+  auto metric = MakeSimilarity("jaccard_q2");
+  auto labels = RSwoosh(projected.dataset, *metric, {0.5, 0.5});
+  ASSERT_EQ(labels.size(), dataset_->size());
+  PairMetrics m = EvaluatePairs(labels, dataset_->entity_of());
+  EXPECT_GT(m.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,90 @@
+// Tests for the logging and timer utilities.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace hera {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError, LogLevel::kOff}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  // Streaming into a disabled message must be a safe no-op.
+  HERA_LOG(Error) << "suppressed " << 42 << " entirely";
+  HERA_LOG(Debug) << "also suppressed";
+}
+
+TEST(LoggingTest, CapturesStderrOutput) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  HERA_LOG(Info) << "hello " << 7;
+  std::string got = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(got.find("INFO"), std::string::npos);
+  EXPECT_NE(got.find("hello 7"), std::string::npos);
+  EXPECT_NE(got.find("logging_timer_test"), std::string::npos);  // Basename.
+}
+
+TEST(LoggingTest, BelowThresholdProducesNoOutput) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  HERA_LOG(Info) << "should not appear";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+}
+
+TEST(TimerTest, UnitsAreConsistent) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double micros = t.ElapsedMicros();
+  double millis = t.ElapsedMillis();
+  double seconds = t.ElapsedSeconds();
+  EXPECT_NEAR(micros / 1000.0, millis, millis * 0.5 + 1.0);
+  EXPECT_NEAR(millis / 1000.0, seconds, seconds * 0.5 + 0.001);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Restart();
+  EXPECT_LT(t.ElapsedMillis(), 15.0);
+}
+
+}  // namespace
+}  // namespace hera

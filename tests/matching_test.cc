@@ -1,0 +1,199 @@
+// Tests for src/matching: Kuhn–Munkres correctness against brute
+// force, graph simplification optimality (Theorem 1), greedy baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "matching/bipartite.h"
+
+namespace hera {
+namespace {
+
+double BruteForceAssignment(const std::vector<std::vector<double>>& w) {
+  const size_t n = w.size();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 0.0;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += w[i][perm[i]];
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+double WeightOf(const std::vector<std::vector<double>>& w,
+                const std::vector<uint32_t>& match) {
+  double total = 0.0;
+  for (size_t i = 0; i < match.size(); ++i) total += w[i][match[i]];
+  return total;
+}
+
+TEST(KuhnMunkresTest, EmptyMatrix) {
+  EXPECT_TRUE(KuhnMunkres({}).empty());
+}
+
+TEST(KuhnMunkresTest, SingleCell) {
+  auto m = KuhnMunkres({{0.7}});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], 0u);
+}
+
+TEST(KuhnMunkresTest, PicksCrossDiagonalWhenBetter) {
+  // w = [[1, 5], [5, 1]] -> match 0-1 and 1-0, weight 10.
+  auto m = KuhnMunkres({{1.0, 5.0}, {5.0, 1.0}});
+  EXPECT_EQ(m[0], 1u);
+  EXPECT_EQ(m[1], 0u);
+}
+
+TEST(KuhnMunkresTest, IsPermutation) {
+  auto m = KuhnMunkres({{0.2, 0.8, 0.1}, {0.5, 0.5, 0.5}, {0.9, 0.1, 0.3}});
+  std::vector<uint32_t> sorted = m;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+class KuhnMunkresPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KuhnMunkresPropertyTest, MatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 1 + rng.Uniform(6);  // Up to 6x6: brute force feasible.
+    std::vector<std::vector<double>> w(n, std::vector<double>(n));
+    for (auto& row : w) {
+      for (auto& x : row) x = rng.UniformDouble();
+    }
+    auto m = KuhnMunkres(w);
+    EXPECT_NEAR(WeightOf(w, m), BruteForceAssignment(w), 1e-9)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KuhnMunkresPropertyTest,
+                         ::testing::Values(7, 13, 29, 41));
+
+// ------------------------------------------------- SolveFieldMatching
+
+double BruteForceEdges(const std::vector<WeightedEdge>& edges) {
+  // Recursion over edges: include (if endpoints free) or skip.
+  std::function<double(size_t, uint64_t, uint64_t)> go =
+      [&](size_t i, uint64_t used_l, uint64_t used_r) -> double {
+    if (i == edges.size()) return 0.0;
+    double best = go(i + 1, used_l, used_r);
+    const WeightedEdge& e = edges[i];
+    if (!(used_l >> e.left & 1) && !(used_r >> e.right & 1)) {
+      best = std::max(best, e.weight + go(i + 1, used_l | (1ull << e.left),
+                                          used_r | (1ull << e.right)));
+    }
+    return best;
+  };
+  return go(0, 0, 0);
+}
+
+TEST(SolveFieldMatchingTest, EmptyEdges) {
+  MatchingResult r = SolveFieldMatching({});
+  EXPECT_TRUE(r.matching.empty());
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+}
+
+TEST(SolveFieldMatchingTest, SingleEdgeIsMappedEdge) {
+  MatchingResult r = SolveFieldMatching({{0, 0, 0.9}});
+  ASSERT_EQ(r.matching.size(), 1u);
+  EXPECT_EQ(r.mapped_edges, 1u);
+  EXPECT_EQ(r.simplified_nodes, 0u);  // Nothing left for KM.
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.9);
+}
+
+TEST(SolveFieldMatchingTest, SimplificationRemovesIsolatedPairs) {
+  // Edges (0,0) and (1,1) are both degree-1/degree-1; (2,2)-(2,3)-(3,2)
+  // form a conflicted core for KM.
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 0.5}, {1, 1, 0.6}, {2, 2, 0.9}, {2, 3, 0.8}, {3, 2, 0.7}};
+  MatchingResult r = SolveFieldMatching(edges);
+  EXPECT_EQ(r.mapped_edges, 2u);
+  EXPECT_EQ(r.simplified_nodes, 4u);  // {2,3} x {2,3}.
+  // Optimum: 0.5 + 0.6 + 0.9 (2-2) + ... 3-2 conflicts with 2-2; best
+  // core is 0.9 + nothing vs 0.8 + 0.7 = 1.5 -> core 1.5.
+  EXPECT_NEAR(r.total_weight, 0.5 + 0.6 + 1.5, 1e-9);
+}
+
+TEST(SolveFieldMatchingTest, OneToOneOutput) {
+  Rng rng(5);
+  std::vector<WeightedEdge> edges;
+  for (uint32_t l = 0; l < 5; ++l) {
+    for (uint32_t r = 0; r < 5; ++r) {
+      if (rng.Bernoulli(0.6)) edges.push_back({l, r, rng.UniformDouble()});
+    }
+  }
+  MatchingResult result = SolveFieldMatching(edges);
+  std::vector<bool> seen_l(5, false), seen_r(5, false);
+  for (const auto& e : result.matching) {
+    EXPECT_FALSE(seen_l[e.left]);
+    EXPECT_FALSE(seen_r[e.right]);
+    seen_l[e.left] = seen_r[e.right] = true;
+  }
+}
+
+TEST(SolveFieldMatchingTest, ParallelEdgesKeepMaxWeight) {
+  MatchingResult r =
+      SolveFieldMatching({{0, 0, 0.3}, {0, 0, 0.8}, {0, 0, 0.5}});
+  ASSERT_EQ(r.matching.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.8);
+}
+
+class FieldMatchingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FieldMatchingPropertyTest, OptimalWithAndWithoutSimplification) {
+  // Theorem 1: simplification preserves optimality. Verify against
+  // exhaustive search on random sparse graphs.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<WeightedEdge> edges;
+    uint32_t nl = 1 + static_cast<uint32_t>(rng.Uniform(5));
+    uint32_t nr = 1 + static_cast<uint32_t>(rng.Uniform(5));
+    for (uint32_t l = 0; l < nl; ++l) {
+      for (uint32_t r = 0; r < nr; ++r) {
+        if (rng.Bernoulli(0.35)) {
+          edges.push_back({l, r, 0.05 + 0.95 * rng.UniformDouble()});
+        }
+      }
+    }
+    MatchingResult got = SolveFieldMatching(edges);
+    EXPECT_NEAR(got.total_weight, BruteForceEdges(edges), 1e-9)
+        << "trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldMatchingPropertyTest,
+                         ::testing::Values(3, 17, 23, 31, 47));
+
+TEST(GreedyMatchingTest, NeverExceedsOptimal) {
+  Rng rng(19);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<WeightedEdge> edges;
+    for (uint32_t l = 0; l < 4; ++l) {
+      for (uint32_t r = 0; r < 4; ++r) {
+        if (rng.Bernoulli(0.5)) edges.push_back({l, r, rng.UniformDouble()});
+      }
+    }
+    MatchingResult greedy = GreedyMatching(edges);
+    MatchingResult optimal = SolveFieldMatching(edges);
+    EXPECT_LE(greedy.total_weight, optimal.total_weight + 1e-9);
+  }
+}
+
+TEST(GreedyMatchingTest, PicksHeaviestFirst) {
+  MatchingResult r = GreedyMatching({{0, 0, 0.5}, {0, 1, 0.9}, {1, 1, 0.8}});
+  // Greedy takes (0,1,0.9), blocking (1,1); then (0,0) blocked too...
+  // (0,0) shares left node 0 -> skipped; (1,1) shares right 1 -> skipped.
+  ASSERT_EQ(r.matching.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.9);
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,105 @@
+// Tests for the bibliographic dataset generator, including an
+// end-to-end HERA run on the publications domain.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/hera.h"
+#include "data/publication_generator.h"
+#include "eval/metrics.h"
+
+namespace hera {
+namespace {
+
+PublicationGeneratorConfig SmallConfig() {
+  PublicationGeneratorConfig config;
+  config.num_records = 150;
+  config.num_entities = 30;
+  config.seed = 11;
+  return config;
+}
+
+TEST(PublicationGeneratorTest, ProducesRequestedShape) {
+  Dataset ds = GeneratePublicationDataset(SmallConfig());
+  EXPECT_EQ(ds.size(), 150u);
+  EXPECT_EQ(ds.NumEntities(), 30u);
+  EXPECT_EQ(ds.schemas().size(), 3u);  // dblp, acm, scholar.
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_TRUE(ds.has_ground_truth());
+}
+
+TEST(PublicationGeneratorTest, TenDistinctConcepts) {
+  Dataset ds = GeneratePublicationDataset(SmallConfig());
+  EXPECT_EQ(ds.NumDistinctAttributes(), kNumPublicationConcepts);
+}
+
+TEST(PublicationGeneratorTest, DeterministicForSeed) {
+  Dataset a = GeneratePublicationDataset(SmallConfig());
+  Dataset b = GeneratePublicationDataset(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.entity_of(), b.entity_of());
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    for (size_t v = 0; v < a.record(i).size(); ++v) {
+      EXPECT_EQ(a.record(i).value(v), b.record(i).value(v));
+    }
+  }
+}
+
+TEST(PublicationGeneratorTest, ProfilesShareTitleUnderDifferentNames) {
+  auto profiles = StandardPublicationProfiles();
+  std::set<std::string> title_attrs;
+  for (const auto& p : profiles) {
+    for (const auto& [attr, concept_id] : p.attrs) {
+      if (concept_id == kPubTitle) title_attrs.insert(attr);
+    }
+  }
+  EXPECT_EQ(title_attrs.size(), 3u);  // title / paper_title / name.
+}
+
+TEST(PublicationGeneratorTest, VenueAbbreviationAppears) {
+  PublicationGeneratorConfig config = SmallConfig();
+  config.venue_abbrev_prob = 1.0;
+  config.corruption = CorruptionOptions{0, 0, 0, 0, 0};
+  config.null_prob = 0.0;
+  Dataset ds = GeneratePublicationDataset(config);
+  // With abbreviation probability 1, every venue value is short.
+  bool found_abbrev = false;
+  for (const Record& r : ds.records()) {
+    const Schema& schema = ds.schemas().Get(r.schema_id());
+    for (size_t a = 0; a < schema.size(); ++a) {
+      uint32_t concept_id = ds.canonical_attr().at({r.schema_id(),
+                                                    static_cast<uint32_t>(a)});
+      if (concept_id == kPubVenue && !r.value(a).is_null()) {
+        EXPECT_LT(r.value(a).ToString().size(), 15u);
+        found_abbrev = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_abbrev);
+}
+
+TEST(PublicationGeneratorTest, HeraResolvesPublications) {
+  Dataset ds = GeneratePublicationDataset(SmallConfig());
+  HeraOptions opts;
+  opts.xi = 0.5;
+  opts.delta = 0.5;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  PairMetrics m = EvaluatePairs(result->entity_of, ds.entity_of());
+  EXPECT_GT(m.precision, 0.85) << "P=" << m.precision << " R=" << m.recall;
+  EXPECT_GT(m.recall, 0.6) << "P=" << m.precision << " R=" << m.recall;
+}
+
+TEST(PublicationGeneratorTest, EveryEntityRepresented) {
+  PublicationGeneratorConfig config = SmallConfig();
+  config.num_records = 40;
+  config.num_entities = 40;
+  Dataset ds = GeneratePublicationDataset(config);
+  std::set<uint32_t> entities(ds.entity_of().begin(), ds.entity_of().end());
+  EXPECT_EQ(entities.size(), 40u);
+}
+
+}  // namespace
+}  // namespace hera

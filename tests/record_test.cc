@@ -1,0 +1,219 @@
+// Tests for src/record: Schema, Record, SuperRecord (merge semantics of
+// Definition 2 / Example 2), Dataset.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "record/dataset.h"
+#include "record/record.h"
+#include "record/schema.h"
+#include "record/super_record.h"
+#include "testing_util.h"
+
+namespace hera {
+namespace {
+
+// ----------------------------------------------------------------- Schema
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s("CustomerI", {"name", "addr", "city"});
+  EXPECT_EQ(s.name(), "CustomerI");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.attribute(1), "addr");
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s("S", {"a", "b", "c"});
+  EXPECT_EQ(s.IndexOf("b").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("zzz").has_value());
+}
+
+TEST(SchemaCatalogTest, RegisterAssignsDenseIds) {
+  SchemaCatalog cat;
+  EXPECT_EQ(cat.Register(Schema("A", {"x"})), 0u);
+  EXPECT_EQ(cat.Register(Schema("B", {"y"})), 1u);
+  EXPECT_EQ(cat.Get(1).name(), "B");
+  EXPECT_EQ(cat.AttrName(AttrRef{0, 0}), "x");
+}
+
+TEST(AttrRefTest, Ordering) {
+  AttrRef a{0, 1}, b{0, 2}, c{1, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == (AttrRef{0, 1}));
+}
+
+// ----------------------------------------------------------------- Record
+
+TEST(RecordTest, NumPresentSkipsNulls) {
+  Record r(0, 0, {Value("a"), Value(), Value(2.0)});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.NumPresent(), 2u);
+}
+
+// ------------------------------------------------------------ SuperRecord
+
+TEST(SuperRecordTest, FromRecordSkipsNullValues) {
+  Record r(7, 2, {Value("a"), Value(), Value("c")});
+  SuperRecord sr = SuperRecord::FromRecord(r);
+  EXPECT_EQ(sr.rid(), 7u);
+  EXPECT_EQ(sr.num_fields(), 2u);
+  EXPECT_EQ(sr.NumValues(), 2u);
+  EXPECT_EQ(sr.members(), (std::vector<uint32_t>{7}));
+  // Origins carry the schema attribute positions (nulls skipped).
+  EXPECT_EQ(sr.field(0).value(0).origin, (AttrRef{2, 0}));
+  EXPECT_EQ(sr.field(1).value(0).origin, (AttrRef{2, 2}));
+}
+
+TEST(SuperRecordTest, MergeUnionsMatchedFieldsAndAppendsRest) {
+  // Mirrors Example 2: merge r1 and r6 of the motivating example.
+  Dataset ds = testing_util::MakeCustomersDataset();
+  SuperRecord r1 = SuperRecord::FromRecord(ds.record(0));
+  SuperRecord r6 = SuperRecord::FromRecord(ds.record(5));
+  // Matching: name-name(0,0), address-addr(1,1), email-mailbox(2,2),
+  // ConType-ConType(4,4). r6's Tel (field 3) is unmatched.
+  std::vector<FieldMatch> matching = {
+      {0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}, {4, 4, 0.9}};
+  SuperRecord merged = SuperRecord::Merge(r1, r6, matching, 0);
+
+  EXPECT_EQ(merged.rid(), 0u);
+  EXPECT_EQ(merged.members(), (std::vector<uint32_t>{0, 5}));
+  // 5 fields from r1 + 1 unmatched from r6 (Tel).
+  EXPECT_EQ(merged.num_fields(), 6u);
+  // ConType field stores both variants (Example 2).
+  EXPECT_EQ(merged.field(4).size(), 2u);
+  // Identical values dedup: name/addr/email fields keep one value.
+  EXPECT_EQ(merged.field(0).size(), 1u);
+  EXPECT_EQ(merged.field(1).size(), 1u);
+  EXPECT_EQ(merged.field(2).size(), 1u);
+  // Unmatched Tel appended last.
+  EXPECT_EQ(merged.field(5).value(0).value.ToString(), "831-432");
+}
+
+TEST(SuperRecordTest, MergeRemapCoversEveryInputValue) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  SuperRecord r1 = SuperRecord::FromRecord(ds.record(0));
+  SuperRecord r6 = SuperRecord::FromRecord(ds.record(5));
+  std::vector<FieldMatch> matching = {
+      {0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}, {4, 4, 0.9}};
+  std::vector<std::pair<ValueLabel, ValueLabel>> remap;
+  SuperRecord merged = SuperRecord::Merge(r1, r6, matching, 0, &remap);
+
+  EXPECT_EQ(remap.size(), r1.NumValues() + r6.NumValues());
+  std::map<ValueLabel, ValueLabel> m(remap.begin(), remap.end());
+  EXPECT_EQ(m.size(), remap.size()) << "old labels must be unique";
+  for (const auto& [from, to] : m) {
+    EXPECT_TRUE(from.rid == 0 || from.rid == 5);
+    EXPECT_EQ(to.rid, 0u);
+    // New label must point at the identical value in the merged record.
+    const SuperRecord& src = from.rid == 0 ? r1 : r6;
+    EXPECT_EQ(merged.field(to.fid).value(to.vid).value,
+              src.field(from.fid).value(from.vid).value);
+  }
+}
+
+TEST(SuperRecordTest, MergeDeduplicatedValueMapsToSurvivor) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  SuperRecord r1 = SuperRecord::FromRecord(ds.record(0));
+  SuperRecord r6 = SuperRecord::FromRecord(ds.record(5));
+  std::vector<FieldMatch> matching = {{0, 0, 1.0}};
+  std::vector<std::pair<ValueLabel, ValueLabel>> remap;
+  SuperRecord merged = SuperRecord::Merge(r1, r6, matching, 0, &remap);
+  // "John" from r6 deduplicates onto r1's "John": both map to (0,0,0).
+  std::map<ValueLabel, ValueLabel> m(remap.begin(), remap.end());
+  EXPECT_EQ(m.at(ValueLabel{0, 0, 0}), (ValueLabel{0, 0, 0}));
+  EXPECT_EQ(m.at(ValueLabel{5, 0, 0}), (ValueLabel{0, 0, 0}));
+  EXPECT_EQ(merged.field(0).size(), 1u);
+}
+
+TEST(SuperRecordTest, MergeWithEmptyMatchingAppendsAllFields) {
+  Record a(0, 0, {Value("x"), Value("y")});
+  Record b(1, 1, {Value("p")});
+  SuperRecord merged = SuperRecord::Merge(SuperRecord::FromRecord(a),
+                                          SuperRecord::FromRecord(b), {}, 0);
+  EXPECT_EQ(merged.num_fields(), 3u);
+  EXPECT_EQ(merged.members(), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(SuperRecordTest, MergeIsAssociativeOnMembers) {
+  Record a(0, 0, {Value("x")});
+  Record b(1, 0, {Value("y")});
+  Record c(2, 0, {Value("z")});
+  SuperRecord ab = SuperRecord::Merge(SuperRecord::FromRecord(a),
+                                      SuperRecord::FromRecord(b), {}, 0);
+  SuperRecord abc = SuperRecord::Merge(ab, SuperRecord::FromRecord(c), {}, 0);
+  EXPECT_EQ(abc.members(), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(abc.num_fields(), 3u);
+}
+
+TEST(FieldTest, AddValueDedupsByEquality) {
+  Field f;
+  EXPECT_EQ(f.AddValue({Value("a"), AttrRef{0, 0}}), 0u);
+  EXPECT_EQ(f.AddValue({Value("b"), AttrRef{0, 1}}), 1u);
+  EXPECT_EQ(f.AddValue({Value("a"), AttrRef{1, 5}}), 0u);  // Dedup.
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(SuperRecordTest, ToStringIsReadable) {
+  Record r(3, 0, {Value("John")});
+  std::string s = SuperRecord::FromRecord(r).ToString();
+  EXPECT_NE(s.find("R3"), std::string::npos);
+  EXPECT_NE(s.find("John"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, AddRecordAssignsSequentialIds) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  EXPECT_EQ(ds.AddRecord(s, {Value("1")}), 0u);
+  EXPECT_EQ(ds.AddRecord(s, {Value("2")}), 1u);
+  EXPECT_EQ(ds.size(), 2u);
+}
+
+TEST(DatasetTest, MotivatingExampleShape) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  EXPECT_EQ(ds.size(), 6u);
+  EXPECT_EQ(ds.schemas().size(), 3u);
+  EXPECT_TRUE(ds.has_ground_truth());
+  EXPECT_EQ(ds.NumEntities(), 2u);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesArityMismatch) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a", "b"}));
+  ds.AddRecord(s, {Value("only one")});
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesBadCanonicalAttr) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  ds.AddRecord(s, {Value("x")});
+  ds.canonical_attr()[AttrRef{5, 0}] = 0;
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, DistinctAttributesFromCanonicalMap) {
+  Dataset ds;
+  uint32_t s1 = ds.schemas().Register(Schema("A", {"name", "addr"}));
+  uint32_t s2 = ds.schemas().Register(Schema("B", {"title"}));
+  ds.canonical_attr()[AttrRef{s1, 0}] = 0;
+  ds.canonical_attr()[AttrRef{s1, 1}] = 1;
+  ds.canonical_attr()[AttrRef{s2, 0}] = 0;  // title == name concept.
+  EXPECT_EQ(ds.NumDistinctAttributes(), 2u);
+}
+
+TEST(DatasetTest, DistinctAttributesFallbackCountsNames) {
+  Dataset ds;
+  ds.schemas().Register(Schema("A", {"name", "addr"}));
+  ds.schemas().Register(Schema("B", {"name", "city"}));
+  EXPECT_EQ(ds.NumDistinctAttributes(), 3u);  // name, addr, city.
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,263 @@
+// Robustness and failure-injection tests: adversarial inputs that a
+// production ER library must survive — degenerate values, extreme
+// configurations, hostile datasets — plus randomized invariant checks
+// over the whole pipeline.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "core/hera.h"
+#include "eval/metrics.h"
+#include "sim/metrics.h"
+#include "simjoin/similarity_join.h"
+
+namespace hera {
+namespace {
+
+// ------------------------------------------------ degenerate datasets
+
+TEST(RobustnessTest, SingleCharacterValues) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  for (const char* v : {"x", "y", "x", "z", "x"}) {
+    ds.AddRecord(s, {Value(v)});
+  }
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  // The three "x" records must land together.
+  EXPECT_EQ(result->entity_of[0], result->entity_of[2]);
+  EXPECT_EQ(result->entity_of[0], result->entity_of[4]);
+  EXPECT_NE(result->entity_of[0], result->entity_of[1]);
+}
+
+TEST(RobustnessTest, PunctuationOnlyValues) {
+  // Values that normalize to empty must not match anything.
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  ds.AddRecord(s, {Value("!!!")});
+  ds.AddRecord(s, {Value("...")});
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->entity_of[0], result->entity_of[1]);
+}
+
+TEST(RobustnessTest, VeryLongValues) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"text"}));
+  std::string longv(10000, 'a');
+  for (size_t i = 0; i < 5000; i += 2) longv[i] = 'b';
+  ds.AddRecord(s, {Value(longv)});
+  ds.AddRecord(s, {Value(longv)});
+  ds.AddRecord(s, {Value(std::string(10000, 'c'))});
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity_of[0], result->entity_of[1]);
+  EXPECT_NE(result->entity_of[0], result->entity_of[2]);
+}
+
+TEST(RobustnessTest, NonAsciiBytesSurvive) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"name"}));
+  ds.AddRecord(s, {Value("Ren\xc3\xa9 Fran\xc3\xa7ois")});
+  ds.AddRecord(s, {Value("Ren\xc3\xa9 Fran\xc3\xa7ois")});
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity_of[0], result->entity_of[1]);
+}
+
+TEST(RobustnessTest, ExtremeNumericValues) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"n"}));
+  ds.AddRecord(s, {Value(1e300)});
+  ds.AddRecord(s, {Value(-1e300)});
+  ds.AddRecord(s, {Value(0.0)});
+  ds.AddRecord(s, {Value(1e-300)});
+  HeraOptions opts;
+  opts.metric = "hybrid(jaccard_q2)";
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity_of.size(), 4u);
+}
+
+TEST(RobustnessTest, SchemaWithSingleAttribute) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"only"}));
+  ds.AddRecord(s, {Value("alpha beta gamma")});
+  ds.AddRecord(s, {Value("alpha beta gamma")});
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity_of[0], result->entity_of[1]);
+}
+
+TEST(RobustnessTest, ManyIdenticalRecordsCollapseToOneEntity) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"name", "addr"}));
+  for (int i = 0; i < 64; ++i) {
+    ds.AddRecord(s, {Value("Same Person"), Value("Same Street 1")});
+  }
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->super_records.size(), 1u);
+  EXPECT_EQ(result->super_records.begin()->second.members().size(), 64u);
+  // Deduplication: the super record holds each distinct value once.
+  EXPECT_EQ(result->super_records.begin()->second.NumValues(), 2u);
+}
+
+TEST(RobustnessTest, AdversarialSharedTokenSoup) {
+  // Every record shares half its tokens with every other; HERA must
+  // terminate and keep similarity sane (no crash, labels valid).
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a", "b"}));
+  const char* common = "common shared token";
+  for (int i = 0; i < 30; ++i) {
+    ds.AddRecord(s, {Value(std::string(common) + " " + std::to_string(i * 7919)),
+                     Value("unique" + std::to_string(i) + " payload")});
+  }
+  auto result = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity_of.size(), 30u);
+  EXPECT_LT(result->stats.iterations, 100u);
+}
+
+// ----------------------------------------------- extreme configurations
+
+TEST(RobustnessTest, XiZeroStillTerminates) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  for (const char* v : {"aa", "bb", "cc"}) ds.AddRecord(s, {Value(v)});
+  HeraOptions opts;
+  opts.xi = 0.0;
+  opts.delta = 0.9;
+  opts.use_prefix_filter_join = false;  // xi = 0: the oracle join.
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(RobustnessTest, XiOneMatchesOnlyIdenticalValues) {
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a", "b"}));
+  ds.AddRecord(s, {Value("exact"), Value("match")});
+  ds.AddRecord(s, {Value("exact"), Value("match")});
+  ds.AddRecord(s, {Value("exakt"), Value("match")});
+  HeraOptions opts;
+  opts.xi = 1.0;
+  opts.delta = 0.6;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity_of[0], result->entity_of[1]);
+}
+
+TEST(RobustnessTest, ScaledNumericMetricInRegistry) {
+  auto m = MakeSimilarity("numeric_tol5");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->Name(), "numeric_tol5");
+  EXPECT_DOUBLE_EQ(m->Compute(Value(1970.0), Value(1970.0)), 1.0);
+  EXPECT_DOUBLE_EQ(m->Compute(Value(1970.0), Value(1975.0)), 0.0);
+  EXPECT_NEAR(m->Compute(Value(1970.0), Value(1972.0)), 0.6, 1e-12);
+  EXPECT_EQ(MakeSimilarity("numeric_tol0"), nullptr);
+  EXPECT_EQ(MakeSimilarity("numeric_tol-3"), nullptr);
+}
+
+TEST(RobustnessTest, HybridWithCustomNumericMetric) {
+  auto m = MakeSimilarity("hybrid(jaccard_q2,numeric_tol10)");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->Name(), "hybrid(jaccard_q2,numeric_tol10)");
+  // Relative-difference would give 1973 vs 2023 sim ~0.975; the
+  // tolerance metric correctly scores 0.
+  EXPECT_DOUBLE_EQ(m->Compute(Value(1973.0), Value(2023.0)), 0.0);
+  EXPECT_NEAR(m->Compute(Value(1973.0), Value(1975.0)), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(m->Compute(Value("abc"), Value("abc")), 1.0);
+}
+
+TEST(RobustnessTest, JoinExactWithToleranceMetric) {
+  // The numeric sweep window must stay exact for the absolute
+  // tolerance metric (a relative window would miss small values).
+  auto metric = MakeSimilarity("hybrid(jaccard_q2,numeric_tol5)");
+  std::vector<LabeledValue> values;
+  Rng rng(61);
+  for (uint32_t i = 0; i < 60; ++i) {
+    values.push_back({ValueLabel{i, 0, 0},
+                      Value(static_cast<double>(rng.UniformInt(-10, 10)))});
+  }
+  for (double xi : {0.3, 0.5, 0.8, 1.0}) {
+    auto fast = PrefixFilterJoin().Join(values, *metric, xi);
+    auto slow = NestedLoopJoin().Join(values, *metric, xi);
+    EXPECT_EQ(fast.size(), slow.size()) << "xi=" << xi;
+  }
+  // And the probe/base form.
+  std::vector<LabeledValue> probe(values.begin(), values.begin() + 20);
+  std::vector<LabeledValue> base(values.begin() + 20, values.end());
+  for (double xi : {0.3, 0.8}) {
+    auto fast = PrefixFilterJoin().JoinAB(probe, base, *metric, xi);
+    auto slow = NestedLoopJoin().JoinAB(probe, base, *metric, xi);
+    EXPECT_EQ(fast.size(), slow.size()) << "AB xi=" << xi;
+  }
+}
+
+// ------------------------------------------------- randomized invariants
+
+TEST(RobustnessTest, RandomDatasetsInvariants) {
+  Rng rng(97);
+  const char* kWords[] = {"red", "blue", "green", "null", "void", "zero",
+                          "one", "data"};
+  for (int trial = 0; trial < 15; ++trial) {
+    Dataset ds;
+    size_t num_schemas = 1 + rng.Uniform(3);
+    std::vector<uint32_t> sids;
+    for (size_t s = 0; s < num_schemas; ++s) {
+      size_t arity = 1 + rng.Uniform(4);
+      std::vector<std::string> attrs;
+      for (size_t a = 0; a < arity; ++a) {
+        attrs.push_back("attr" + std::to_string(s) + "_" + std::to_string(a));
+      }
+      sids.push_back(ds.schemas().Register(Schema("S" + std::to_string(s), attrs)));
+    }
+    size_t n = 5 + rng.Uniform(30);
+    for (size_t r = 0; r < n; ++r) {
+      uint32_t sid = sids[rng.Uniform(sids.size())];
+      std::vector<Value> values;
+      for (size_t a = 0; a < ds.schemas().Get(sid).size(); ++a) {
+        switch (rng.Uniform(4)) {
+          case 0:
+            values.emplace_back();  // Null.
+            break;
+          case 1:
+            values.emplace_back(static_cast<double>(rng.Uniform(100)));
+            break;
+          default: {
+            std::string v = kWords[rng.Uniform(8)];
+            if (rng.Bernoulli(0.5)) v += " " + std::string(kWords[rng.Uniform(8)]);
+            values.emplace_back(v);
+          }
+        }
+      }
+      ds.AddRecord(sid, std::move(values));
+    }
+    HeraOptions opts;
+    opts.xi = 0.3 + 0.6 * rng.UniformDouble();
+    opts.delta = 0.3 + 0.6 * rng.UniformDouble();
+    auto result = Hera(opts).Run(ds);
+    ASSERT_TRUE(result.ok()) << "trial " << trial;
+
+    // Invariant 1: labels form a partition consistent with super records.
+    std::map<uint32_t, std::set<uint32_t>> clusters;
+    for (uint32_t r = 0; r < n; ++r) clusters[result->entity_of[r]].insert(r);
+    size_t member_total = 0;
+    for (const auto& [rid, sr] : result->super_records) {
+      EXPECT_TRUE(clusters.count(rid)) << "trial " << trial;
+      EXPECT_EQ(clusters[rid].size(), sr.members().size()) << "trial " << trial;
+      member_total += sr.members().size();
+    }
+    EXPECT_EQ(member_total, n) << "trial " << trial;
+    // Invariant 2: merge count == records - clusters.
+    EXPECT_EQ(result->stats.merges, n - result->super_records.size())
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,114 @@
+// Tests for src/schema: Theorem 2 error bound and the majority-vote
+// schema matching decisions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "schema/majority_vote.h"
+
+namespace hera {
+namespace {
+
+TEST(ErrorBoundTest, PaperExampleValue) {
+  // Paper: p = 0.8, n = 10 -> UP_error = 0.57 (2 decimals).
+  double up = SchemaMatchingPredictor::ErrorUpperBound(10, 0.8);
+  EXPECT_NEAR(up, std::exp(-(10.0 / 1.6) * 0.09), 1e-12);
+  EXPECT_NEAR(up, 0.57, 0.005);
+}
+
+TEST(ErrorBoundTest, DecreasesWithN) {
+  double prev = 1.0;
+  for (size_t n : {1, 2, 5, 10, 20, 50, 100}) {
+    double up = SchemaMatchingPredictor::ErrorUpperBound(n, 0.8);
+    EXPECT_LT(up, prev);
+    prev = up;
+  }
+}
+
+TEST(ErrorBoundTest, ZeroTrialsGiveVacuousBound) {
+  EXPECT_DOUBLE_EQ(SchemaMatchingPredictor::ErrorUpperBound(0, 0.8), 1.0);
+}
+
+TEST(ErrorBoundTest, HigherAccuracyTightensBound) {
+  EXPECT_LT(SchemaMatchingPredictor::ErrorUpperBound(10, 0.9),
+            SchemaMatchingPredictor::ErrorUpperBound(10, 0.7));
+}
+
+TEST(MajorityVoteTest, NoDecisionWithoutEnoughVotes) {
+  SchemaMatchingPredictor pred(0.8, 0.6);
+  AttrRef a{0, 0}, b{1, 2};
+  // Paper example: at n = 10, UP = 0.57 < 0.6 -> decided. At n = 9,
+  // UP = 0.60.2... -> not decided.
+  for (int i = 0; i < 9; ++i) pred.AddPrediction(a, b);
+  EXPECT_FALSE(pred.IsDecided(a, b));
+  pred.AddPrediction(a, b);
+  EXPECT_TRUE(pred.IsDecided(a, b));
+}
+
+TEST(MajorityVoteTest, ModalPartnerWins) {
+  SchemaMatchingPredictor pred(0.8, 0.9);  // Loose rho: decide fast.
+  AttrRef a{0, 0}, b{1, 0}, c{1, 1};
+  for (int i = 0; i < 5; ++i) pred.AddPrediction(a, b);
+  for (int i = 0; i < 2; ++i) pred.AddPrediction(a, c);
+  EXPECT_TRUE(pred.IsDecided(a, b));
+  EXPECT_FALSE(pred.IsDecided(a, c));
+  auto partner = pred.DecidedPartner(a, 1);
+  ASSERT_TRUE(partner.has_value());
+  EXPECT_TRUE(*partner == b);
+}
+
+TEST(MajorityVoteTest, MutualityRequired) {
+  SchemaMatchingPredictor pred(0.8, 0.9);
+  AttrRef a0{0, 0}, a1{0, 1}, b{1, 0};
+  // b's votes are split: 5 for a0 and 6 for a1 -> b's modal partner is
+  // a1, so (a0, b) must not be decided even though a0 votes only b.
+  for (int i = 0; i < 5; ++i) pred.AddPrediction(a0, b);
+  for (int i = 0; i < 6; ++i) pred.AddPrediction(a1, b);
+  EXPECT_FALSE(pred.IsDecided(a0, b));
+  EXPECT_TRUE(pred.IsDecided(a1, b));
+}
+
+TEST(MajorityVoteTest, SameSchemaPredictionsIgnored) {
+  SchemaMatchingPredictor pred(0.8, 0.99);
+  AttrRef a{0, 0}, b{0, 1};
+  for (int i = 0; i < 50; ++i) pred.AddPrediction(a, b);
+  EXPECT_EQ(pred.num_predictions(), 0u);
+  EXPECT_FALSE(pred.IsDecided(a, b));
+}
+
+TEST(MajorityVoteTest, DecidedMatchingsListsEachOnce) {
+  SchemaMatchingPredictor pred(0.8, 0.9);
+  AttrRef a{0, 0}, b{1, 0}, c{0, 1}, d{2, 3};
+  for (int i = 0; i < 8; ++i) pred.AddPrediction(a, b);
+  for (int i = 0; i < 8; ++i) pred.AddPrediction(c, d);
+  auto decided = pred.DecidedMatchings();
+  EXPECT_EQ(decided.size(), 2u);
+}
+
+TEST(MajorityVoteTest, PerSchemaIndependence) {
+  SchemaMatchingPredictor pred(0.8, 0.9);
+  AttrRef a{0, 0}, b{1, 0}, c{2, 0};
+  for (int i = 0; i < 8; ++i) pred.AddPrediction(a, b);
+  // a has no votes w.r.t. schema 2.
+  EXPECT_TRUE(pred.IsDecided(a, b));
+  EXPECT_FALSE(pred.IsDecided(a, c));
+  EXPECT_FALSE(pred.DecidedPartner(a, 2).has_value());
+}
+
+TEST(MajorityVoteTest, TightRhoBlocksDecisions) {
+  SchemaMatchingPredictor pred(0.8, 1e-6);
+  AttrRef a{0, 0}, b{1, 0};
+  for (int i = 0; i < 20; ++i) pred.AddPrediction(a, b);
+  EXPECT_FALSE(pred.IsDecided(a, b));
+}
+
+TEST(MajorityVoteTest, CountsPredictions) {
+  SchemaMatchingPredictor pred(0.8, 0.6);
+  pred.AddPrediction({0, 0}, {1, 1});
+  pred.AddPrediction({1, 1}, {0, 0});  // Order-insensitive accumulation.
+  EXPECT_EQ(pred.num_predictions(), 2u);
+}
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,295 @@
+// Unit and property tests for src/sim: the Value model and every
+// similarity metric.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/metrics.h"
+#include "sim/string_metrics.h"
+#include "sim/value.h"
+#include "text/tfidf.h"
+
+namespace hera {
+namespace {
+
+// ------------------------------------------------------------------ Value
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, StringValue) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "hello");
+  EXPECT_EQ(v.ToString(), "hello");
+}
+
+TEST(ValueTest, NumberValueIntegerRendering) {
+  Value v(1999.0);
+  EXPECT_TRUE(v.is_number());
+  EXPECT_EQ(v.ToString(), "1999");
+}
+
+TEST(ValueTest, NumberValueFractionalRendering) {
+  Value v(3.5);
+  EXPECT_EQ(v.ToString(), "3.5");
+}
+
+TEST(ValueTest, ParseEmptyIsNull) {
+  EXPECT_TRUE(Value::Parse("").is_null());
+  EXPECT_TRUE(Value::Parse("  ").is_null());
+  EXPECT_TRUE(Value::Parse("null").is_null());
+  EXPECT_TRUE(Value::Parse("NULL").is_null());
+}
+
+TEST(ValueTest, ParseSniffsNumbersOnlyWhenAsked) {
+  EXPECT_TRUE(Value::Parse("42", false).is_string());
+  EXPECT_TRUE(Value::Parse("42", true).is_number());
+  EXPECT_DOUBLE_EQ(Value::Parse("42.5", true).AsNumber(), 42.5);
+  EXPECT_TRUE(Value::Parse("42a", true).is_string());
+}
+
+TEST(ValueTest, ParseTrimsWhitespace) {
+  EXPECT_EQ(Value::Parse(" abc ").AsString(), "abc");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(2.0), Value(2.0));
+  EXPECT_NE(Value(2.0), Value("2"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNumber), "number");
+}
+
+// ---------------------------------------------------------- string metrics
+
+TEST(StringMetricsTest, JaccardPaperExample) {
+  EXPECT_DOUBLE_EQ(QgramJaccard("Electronic", "electronics", 2), 0.9);
+}
+
+TEST(StringMetricsTest, JaccardCaseInsensitiveViaNormalize) {
+  EXPECT_DOUBLE_EQ(QgramJaccard("BUSH", "bush", 2), 1.0);
+}
+
+TEST(StringMetricsTest, DiceBetweenJaccardAndOverlap) {
+  double j = QgramJaccard("night", "nacht", 2);
+  double d = QgramDice("night", "nacht", 2);
+  double o = QgramOverlap("night", "nacht", 2);
+  EXPECT_LE(j, d);
+  EXPECT_LE(d, o);
+}
+
+TEST(StringMetricsTest, LevenshteinKnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+}
+
+TEST(StringMetricsTest, NormalizedLevenshteinRange) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+}
+
+TEST(StringMetricsTest, JaroKnownValue) {
+  // Classic example: jaro(martha, marhta) = 0.9444...
+  EXPECT_NEAR(Jaro("MARTHA", "MARHTA"), 0.944444, 1e-5);
+}
+
+TEST(StringMetricsTest, JaroWinklerBoostsSharedPrefix) {
+  double jw = JaroWinkler("MARTHA", "MARHTA");
+  double j = Jaro("MARTHA", "MARHTA");
+  EXPECT_GT(jw, j);
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+}
+
+TEST(StringMetricsTest, JaroEdgeCases) {
+  EXPECT_DOUBLE_EQ(Jaro("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(Jaro("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("abc", "xyz"), 0.0);
+}
+
+TEST(StringMetricsTest, MongeElkanTokenReorderInsensitive) {
+  // Token order should barely matter.
+  double s1 = MongeElkan("John Smith", "Smith John");
+  EXPECT_GT(s1, 0.9);
+}
+
+TEST(StringMetricsTest, MongeElkanPartialOverlap) {
+  double s = MongeElkan("John Smith", "John Doe");
+  EXPECT_GT(s, 0.4);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(StringMetricsTest, TfIdfCosineExactMatch) {
+  TfIdfModel model;
+  model.AddDocument("alpha beta");
+  model.AddDocument("gamma delta");
+  model.Freeze();
+  EXPECT_NEAR(TfIdfCosine("alpha beta", "alpha beta", model), 1.0, 1e-9);
+  EXPECT_NEAR(TfIdfCosine("alpha beta", "gamma delta", model), 0.0, 1e-9);
+}
+
+TEST(StringMetricsTest, SoftTfIdfToleratesTypos) {
+  TfIdfModel model;
+  model.AddDocument("jonathan smith");
+  model.AddDocument("mary jones");
+  model.Freeze();
+  double soft = SoftTfIdf("jonathan smith", "jonathon smith", model, 0.9);
+  double hard = TfIdfCosine("jonathan smith", "jonathon smith", model);
+  EXPECT_GT(soft, hard);
+  EXPECT_GT(soft, 0.8);
+}
+
+// ------------------------------------------------------ metric registry
+
+TEST(MetricsRegistryTest, KnownNames) {
+  EXPECT_NE(MakeSimilarity("jaccard_q2"), nullptr);
+  EXPECT_NE(MakeSimilarity("jaccard_q3"), nullptr);
+  EXPECT_NE(MakeSimilarity("jaccard"), nullptr);
+  EXPECT_NE(MakeSimilarity("edit"), nullptr);
+  EXPECT_NE(MakeSimilarity("jaro_winkler"), nullptr);
+  EXPECT_NE(MakeSimilarity("cosine"), nullptr);
+  EXPECT_NE(MakeSimilarity("cosine_q3"), nullptr);
+  EXPECT_NE(MakeSimilarity("monge_elkan"), nullptr);
+  EXPECT_NE(MakeSimilarity("hybrid(jaccard_q2)"), nullptr);
+}
+
+TEST(MetricsRegistryTest, UnknownNamesReturnNull) {
+  EXPECT_EQ(MakeSimilarity(""), nullptr);
+  EXPECT_EQ(MakeSimilarity("nope"), nullptr);
+  EXPECT_EQ(MakeSimilarity("jaccard_q0"), nullptr);
+  EXPECT_EQ(MakeSimilarity("hybrid(nope)"), nullptr);
+  EXPECT_EQ(MakeSimilarity("soft_tfidf"), nullptr);  // Needs a corpus model.
+}
+
+TEST(MetricsRegistryTest, NameRoundTrips) {
+  for (const char* name :
+       {"jaccard_q2", "jaccard_q3", "edit", "jaro_winkler", "cosine_q2",
+        "monge_elkan", "hybrid(jaccard_q2)"}) {
+    auto m = MakeSimilarity(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->Name(), name);
+  }
+}
+
+// ------------------------------------------------- ValueSimilarity rules
+
+TEST(ValueSimilarityTest, NullNeverMatches) {
+  for (const char* name : {"jaccard_q2", "edit", "jaro_winkler", "cosine_q2",
+                           "monge_elkan", "hybrid(jaccard_q2)"}) {
+    auto m = MakeSimilarity(name);
+    EXPECT_DOUBLE_EQ(m->Compute(Value(), Value("x")), 0.0) << name;
+    EXPECT_DOUBLE_EQ(m->Compute(Value("x"), Value()), 0.0) << name;
+    EXPECT_DOUBLE_EQ(m->Compute(Value(), Value()), 0.0) << name;
+  }
+}
+
+TEST(ValueSimilarityTest, NumericSimilarityKnownValues) {
+  NumericSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Compute(Value(100.0), Value(100.0)), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Compute(Value(100.0), Value(50.0)), 0.5);
+  EXPECT_DOUBLE_EQ(sim.Compute(Value(0.0), Value(0.0)), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Compute(Value(1.0), Value(-1.0)), 0.0);
+  // Mixed types are not comparable numerically.
+  EXPECT_DOUBLE_EQ(sim.Compute(Value(1.0), Value("1")), 0.0);
+}
+
+TEST(ValueSimilarityTest, NumericSimilaritySymmetric) {
+  NumericSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Compute(Value(1999.0), Value(2001.0)),
+                   sim.Compute(Value(2001.0), Value(1999.0)));
+}
+
+TEST(ValueSimilarityTest, HybridDispatchesOnType) {
+  auto hybrid = MakeSimilarity("hybrid(jaccard_q2)");
+  // Numbers: relative difference (1999 vs 2000 very close).
+  EXPECT_GT(hybrid->Compute(Value(1999.0), Value(2000.0)), 0.999);
+  // Same numbers as strings under Jaccard share no bigram.
+  EXPECT_DOUBLE_EQ(hybrid->Compute(Value("1999"), Value("2000")), 0.0);
+  // Mixed: canonical string rendering comparison.
+  EXPECT_DOUBLE_EQ(hybrid->Compute(Value(1999.0), Value("1999")), 1.0);
+}
+
+// ---------------------------------------------- property sweeps (TEST_P)
+
+class MetricPropertyTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::string RandomString(Rng* rng, size_t max_len) {
+    const char kAlphabet[] = "abcdefg hij";
+    size_t len = rng->Uniform(max_len + 1);
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    return s;
+  }
+};
+
+TEST_P(MetricPropertyTest, RangeSymmetryIdentity) {
+  auto metric = MakeSimilarity(GetParam());
+  ASSERT_NE(metric, nullptr);
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    Value a(RandomString(&rng, 12));
+    Value b(RandomString(&rng, 12));
+    double sab = metric->Compute(a, b);
+    double sba = metric->Compute(b, a);
+    EXPECT_GE(sab, 0.0) << GetParam();
+    EXPECT_LE(sab, 1.0) << GetParam();
+    EXPECT_NEAR(sab, sba, 1e-12) << GetParam() << " not symmetric for '"
+                                 << a.ToString() << "' / '" << b.ToString()
+                                 << "'";
+    // Identity on non-degenerate strings.
+    if (!a.AsString().empty() && a.AsString().find_first_not_of(' ') !=
+                                     std::string::npos) {
+      EXPECT_DOUBLE_EQ(metric->Compute(a, a), 1.0)
+          << GetParam() << " identity failed for '" << a.ToString() << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
+                         ::testing::Values("jaccard_q2", "jaccard_q3", "edit",
+                                           "jaro_winkler", "cosine_q2",
+                                           "monge_elkan",
+                                           "hybrid(jaccard_q2)"));
+
+class NumericPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NumericPropertyTest, RangeAndMonotonicity) {
+  NumericSimilarity sim;
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    double x = rng.UniformDouble() * 1000.0;
+    double d1 = rng.UniformDouble() * 100.0;
+    double d2 = d1 + rng.UniformDouble() * 100.0;
+    double near = sim.Compute(Value(x), Value(x + d1));
+    double far = sim.Compute(Value(x), Value(x + d2));
+    EXPECT_GE(near, 0.0);
+    EXPECT_LE(near, 1.0);
+    EXPECT_GE(near, far);  // Farther value never more similar.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NumericPropertyTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace hera

@@ -1,0 +1,238 @@
+// Unit tests for src/text: normalization, q-grams, tokenizers, TF-IDF.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "text/normalize.h"
+#include "text/qgram.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace hera {
+namespace {
+
+// ------------------------------------------------------------- Normalize
+
+TEST(NormalizeTest, LowercasesByDefault) {
+  EXPECT_EQ(Normalize("AbC"), "abc");
+}
+
+TEST(NormalizeTest, StripsPunctuationToSpaces) {
+  EXPECT_EQ(Normalize("J.Bush"), "j bush");
+  EXPECT_EQ(Normalize("831-432"), "831 432");
+}
+
+TEST(NormalizeTest, CollapsesWhitespace) {
+  EXPECT_EQ(Normalize("  a   b  "), "a b");
+  EXPECT_EQ(Normalize("a\t\tb"), "a b");
+}
+
+TEST(NormalizeTest, EmptyAndAllPunctuation) {
+  EXPECT_EQ(Normalize(""), "");
+  EXPECT_EQ(Normalize("!!!"), "");
+}
+
+TEST(NormalizeTest, OptionsDisableSteps) {
+  NormalizeOptions opts;
+  opts.lowercase = false;
+  opts.strip_punctuation = false;
+  opts.collapse_whitespace = false;
+  EXPECT_EQ(Normalize("A.B  C", opts), "A.B  C");
+}
+
+TEST(NormalizeTest, Idempotent) {
+  std::string once = Normalize("J. Bush-JR  !");
+  EXPECT_EQ(Normalize(once), once);
+}
+
+// ----------------------------------------------------------------- Qgram
+
+TEST(QgramTest, BasicBigrams) {
+  // "abc" -> {ab, bc}, sorted.
+  EXPECT_EQ(QgramSet("abc", 2), (std::vector<std::string>{"ab", "bc"}));
+}
+
+TEST(QgramTest, DeduplicatesRepeatedGrams) {
+  // "aaaa" -> {"aa"} only.
+  EXPECT_EQ(QgramSet("aaaa", 2), (std::vector<std::string>{"aa"}));
+}
+
+TEST(QgramTest, ShortStringYieldsWholeString) {
+  EXPECT_EQ(QgramSet("x", 2), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(QgramSet("ab", 3), (std::vector<std::string>{"ab"}));
+}
+
+TEST(QgramTest, EmptyStringYieldsEmptySet) {
+  EXPECT_TRUE(QgramSet("", 2).empty());
+}
+
+TEST(QgramTest, UnigramsEqualDistinctChars) {
+  auto grams = QgramSet("banana", 1);
+  EXPECT_EQ(grams, (std::vector<std::string>{"a", "b", "n"}));
+}
+
+TEST(QgramTest, OverlapOfSets) {
+  auto a = QgramSet("night", 2);
+  auto b = QgramSet("nacht", 2);
+  // Shared bigram: "ht" only.
+  EXPECT_EQ(OverlapOfSets(a, b), 1u);
+}
+
+TEST(QgramTest, JaccardIdentical) {
+  auto a = QgramSet("electronic", 2);
+  EXPECT_DOUBLE_EQ(JaccardOfSets(a, a), 1.0);
+}
+
+TEST(QgramTest, JaccardDisjoint) {
+  EXPECT_DOUBLE_EQ(JaccardOfSets(QgramSet("abc", 2), QgramSet("xyz", 2)), 0.0);
+}
+
+TEST(QgramTest, JaccardEmptySetsScoreZero) {
+  // Matching on nothing is not evidence (library convention).
+  EXPECT_DOUBLE_EQ(JaccardOfSets({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardOfSets(QgramSet("ab", 2), {}), 0.0);
+}
+
+TEST(QgramTest, PaperExampleElectronics) {
+  // Example 3: simv(Electronic, electronics) with 2-grams.
+  // grams(electronic) ⊂ grams(electronics), 9 vs 10 grams -> 0.9.
+  auto a = QgramSet("electronic", 2);
+  auto b = QgramSet("electronics", 2);
+  EXPECT_EQ(a.size(), 9u);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_DOUBLE_EQ(JaccardOfSets(a, b), 0.9);
+}
+
+class QgramSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QgramSweepTest, GramCountMatchesFormula) {
+  const int q = GetParam();
+  const std::string s = "abcdefghij";  // All distinct chars.
+  auto grams = QgramSet(s, q);
+  EXPECT_EQ(grams.size(), s.size() - q + 1);
+  for (const auto& g : grams) EXPECT_EQ(g.size(), static_cast<size_t>(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Q1to5, QgramSweepTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------- QgramDictionary
+
+TEST(QgramDictionaryTest, EncodeSortedAscending) {
+  QgramDictionary dict(2);
+  dict.Add("abab");
+  dict.Add("abcd");
+  dict.Freeze();
+  auto ids = dict.Encode("abcd");
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(QgramDictionaryTest, RarerGramsGetSmallerIds) {
+  QgramDictionary dict(2);
+  // "ab" appears twice across docs, "cd" once.
+  dict.Add("abx");
+  dict.Add("aby");
+  dict.Add("cdz");
+  dict.Freeze();
+  auto ab = dict.Encode("ab");
+  auto cd = dict.Encode("cd");
+  ASSERT_EQ(ab.size(), 1u);
+  ASSERT_EQ(cd.size(), 1u);
+  EXPECT_LT(cd[0], ab[0]);
+}
+
+TEST(QgramDictionaryTest, UnknownGramsGetFreshIds) {
+  QgramDictionary dict(2);
+  dict.Add("abcd");
+  dict.Freeze();
+  size_t vocab = dict.vocab_size();
+  auto ids = dict.Encode("zzzz");
+  EXPECT_FALSE(ids.empty());
+  EXPECT_GT(dict.vocab_size(), vocab);
+}
+
+TEST(QgramDictionaryTest, SameStringSameEncoding) {
+  QgramDictionary dict(2);
+  dict.Add("hello world");
+  dict.Freeze();
+  EXPECT_EQ(dict.Encode("hello"), dict.Encode("hello"));
+}
+
+// -------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, SplitsOnWhitespaceAfterNormalize) {
+  EXPECT_EQ(WordTokens("John  Smith"),
+            (std::vector<std::string>{"john", "smith"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparatesTokens) {
+  EXPECT_EQ(WordTokens("J.Bush"), (std::vector<std::string>{"j", "bush"}));
+}
+
+TEST(TokenizerTest, KeepsDuplicatesInBagMode) {
+  EXPECT_EQ(WordTokens("a b a"), (std::vector<std::string>{"a", "b", "a"}));
+}
+
+TEST(TokenizerTest, SetModeSortsAndDedups) {
+  EXPECT_EQ(WordTokenSet("b a b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokenSet("  . ").empty());
+}
+
+// ------------------------------------------------------------------ TfIdf
+
+TEST(TfIdfTest, RareTokenHasHigherIdf) {
+  TfIdfModel model;
+  model.AddDocument("common word alpha");
+  model.AddDocument("common word beta");
+  model.AddDocument("common word gamma");
+  model.Freeze();
+  EXPECT_GT(model.Idf("alpha"), model.Idf("common"));
+}
+
+TEST(TfIdfTest, UnseenTokenGetsMaxIdf) {
+  TfIdfModel model;
+  model.AddDocument("a b");
+  model.AddDocument("a c");
+  model.Freeze();
+  EXPECT_GE(model.Idf("zzz"), model.Idf("b"));
+  EXPECT_GT(model.Idf("zzz"), model.Idf("a"));
+}
+
+TEST(TfIdfTest, WeightVectorIsL2Normalized) {
+  TfIdfModel model;
+  model.AddDocument("x y z");
+  model.AddDocument("x q");
+  model.Freeze();
+  auto w = model.WeightVector("x y");
+  double norm_sq = 0.0;
+  for (const auto& [tok, weight] : w) {
+    (void)tok;
+    norm_sq += weight * weight;
+  }
+  EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, EmptyValueGivesEmptyVector) {
+  TfIdfModel model;
+  model.AddDocument("a");
+  model.Freeze();
+  EXPECT_TRUE(model.WeightVector("").empty());
+}
+
+TEST(TfIdfTest, DocumentCountTracked) {
+  TfIdfModel model;
+  model.AddDocument("a");
+  model.AddDocument("b");
+  model.Freeze();
+  EXPECT_EQ(model.num_documents(), 2u);
+  EXPECT_TRUE(model.frozen());
+}
+
+}  // namespace
+}  // namespace hera
