@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_comparisons.dir/bench_fig10_comparisons.cc.o"
+  "CMakeFiles/bench_fig10_comparisons.dir/bench_fig10_comparisons.cc.o.d"
+  "bench_fig10_comparisons"
+  "bench_fig10_comparisons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_matching.dir/bench_micro_matching.cc.o"
+  "CMakeFiles/bench_micro_matching.dir/bench_micro_matching.cc.o.d"
+  "bench_micro_matching"
+  "bench_micro_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

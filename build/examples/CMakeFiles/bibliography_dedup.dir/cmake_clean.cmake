@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_dedup.dir/bibliography_dedup.cpp.o"
+  "CMakeFiles/bibliography_dedup.dir/bibliography_dedup.cpp.o.d"
+  "bibliography_dedup"
+  "bibliography_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/customer_dedup.dir/customer_dedup.cpp.o"
+  "CMakeFiles/customer_dedup.dir/customer_dedup.cpp.o.d"
+  "customer_dedup"
+  "customer_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/customer_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

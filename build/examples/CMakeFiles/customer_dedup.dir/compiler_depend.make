@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for customer_dedup.
+# This may be replaced when dependencies are built.

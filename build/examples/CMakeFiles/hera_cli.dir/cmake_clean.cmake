@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_cli.dir/hera_cli.cpp.o"
+  "CMakeFiles/hera_cli.dir/hera_cli.cpp.o.d"
+  "hera_cli"
+  "hera_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

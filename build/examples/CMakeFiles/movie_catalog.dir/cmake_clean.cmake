@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_catalog.dir/movie_catalog.cpp.o"
+  "CMakeFiles/movie_catalog.dir/movie_catalog.cpp.o.d"
+  "movie_catalog"
+  "movie_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/collective_er.cc" "src/baselines/CMakeFiles/hera_baselines.dir/collective_er.cc.o" "gcc" "src/baselines/CMakeFiles/hera_baselines.dir/collective_er.cc.o.d"
+  "/root/repo/src/baselines/correlation_clustering.cc" "src/baselines/CMakeFiles/hera_baselines.dir/correlation_clustering.cc.o" "gcc" "src/baselines/CMakeFiles/hera_baselines.dir/correlation_clustering.cc.o.d"
+  "/root/repo/src/baselines/homogeneous.cc" "src/baselines/CMakeFiles/hera_baselines.dir/homogeneous.cc.o" "gcc" "src/baselines/CMakeFiles/hera_baselines.dir/homogeneous.cc.o.d"
+  "/root/repo/src/baselines/naive.cc" "src/baselines/CMakeFiles/hera_baselines.dir/naive.cc.o" "gcc" "src/baselines/CMakeFiles/hera_baselines.dir/naive.cc.o.d"
+  "/root/repo/src/baselines/rswoosh.cc" "src/baselines/CMakeFiles/hera_baselines.dir/rswoosh.cc.o" "gcc" "src/baselines/CMakeFiles/hera_baselines.dir/rswoosh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/hera_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hera_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simjoin/CMakeFiles/hera_simjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hera_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

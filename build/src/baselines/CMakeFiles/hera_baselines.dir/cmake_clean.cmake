@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_baselines.dir/collective_er.cc.o"
+  "CMakeFiles/hera_baselines.dir/collective_er.cc.o.d"
+  "CMakeFiles/hera_baselines.dir/correlation_clustering.cc.o"
+  "CMakeFiles/hera_baselines.dir/correlation_clustering.cc.o.d"
+  "CMakeFiles/hera_baselines.dir/homogeneous.cc.o"
+  "CMakeFiles/hera_baselines.dir/homogeneous.cc.o.d"
+  "CMakeFiles/hera_baselines.dir/naive.cc.o"
+  "CMakeFiles/hera_baselines.dir/naive.cc.o.d"
+  "CMakeFiles/hera_baselines.dir/rswoosh.cc.o"
+  "CMakeFiles/hera_baselines.dir/rswoosh.cc.o.d"
+  "libhera_baselines.a"
+  "libhera_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_blocking.dir/sorted_neighborhood.cc.o"
+  "CMakeFiles/hera_blocking.dir/sorted_neighborhood.cc.o.d"
+  "CMakeFiles/hera_blocking.dir/token_blocking.cc.o"
+  "CMakeFiles/hera_blocking.dir/token_blocking.cc.o.d"
+  "libhera_blocking.a"
+  "libhera_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_common.dir/logging.cc.o"
+  "CMakeFiles/hera_common.dir/logging.cc.o.d"
+  "CMakeFiles/hera_common.dir/random.cc.o"
+  "CMakeFiles/hera_common.dir/random.cc.o.d"
+  "CMakeFiles/hera_common.dir/status.cc.o"
+  "CMakeFiles/hera_common.dir/status.cc.o.d"
+  "CMakeFiles/hera_common.dir/string_util.cc.o"
+  "CMakeFiles/hera_common.dir/string_util.cc.o.d"
+  "libhera_common.a"
+  "libhera_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

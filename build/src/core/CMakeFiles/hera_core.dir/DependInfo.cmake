@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/hera_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/hera_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/hera_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/hera_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/hera.cc" "src/core/CMakeFiles/hera_core.dir/hera.cc.o" "gcc" "src/core/CMakeFiles/hera_core.dir/hera.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/hera_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/hera_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/hera_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/hera_core.dir/sweep.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/core/CMakeFiles/hera_core.dir/verifier.cc.o" "gcc" "src/core/CMakeFiles/hera_core.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/hera_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hera_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simjoin/CMakeFiles/hera_simjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hera_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hera_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/hera_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hera_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hera_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_core.dir/engine.cc.o"
+  "CMakeFiles/hera_core.dir/engine.cc.o.d"
+  "CMakeFiles/hera_core.dir/explain.cc.o"
+  "CMakeFiles/hera_core.dir/explain.cc.o.d"
+  "CMakeFiles/hera_core.dir/hera.cc.o"
+  "CMakeFiles/hera_core.dir/hera.cc.o.d"
+  "CMakeFiles/hera_core.dir/incremental.cc.o"
+  "CMakeFiles/hera_core.dir/incremental.cc.o.d"
+  "CMakeFiles/hera_core.dir/sweep.cc.o"
+  "CMakeFiles/hera_core.dir/sweep.cc.o.d"
+  "CMakeFiles/hera_core.dir/verifier.cc.o"
+  "CMakeFiles/hera_core.dir/verifier.cc.o.d"
+  "libhera_core.a"
+  "libhera_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

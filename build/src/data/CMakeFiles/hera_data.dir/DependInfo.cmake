@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/benchmark_datasets.cc" "src/data/CMakeFiles/hera_data.dir/benchmark_datasets.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/benchmark_datasets.cc.o.d"
+  "/root/repo/src/data/corpus_model.cc" "src/data/CMakeFiles/hera_data.dir/corpus_model.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/corpus_model.cc.o.d"
+  "/root/repo/src/data/corruption.cc" "src/data/CMakeFiles/hera_data.dir/corruption.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/corruption.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/hera_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/data_exchange.cc" "src/data/CMakeFiles/hera_data.dir/data_exchange.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/data_exchange.cc.o.d"
+  "/root/repo/src/data/entity_fusion.cc" "src/data/CMakeFiles/hera_data.dir/entity_fusion.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/entity_fusion.cc.o.d"
+  "/root/repo/src/data/movie_generator.cc" "src/data/CMakeFiles/hera_data.dir/movie_generator.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/movie_generator.cc.o.d"
+  "/root/repo/src/data/profile.cc" "src/data/CMakeFiles/hera_data.dir/profile.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/profile.cc.o.d"
+  "/root/repo/src/data/publication_generator.cc" "src/data/CMakeFiles/hera_data.dir/publication_generator.cc.o" "gcc" "src/data/CMakeFiles/hera_data.dir/publication_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/hera_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hera_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hera_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

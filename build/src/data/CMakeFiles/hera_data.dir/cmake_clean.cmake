@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_data.dir/benchmark_datasets.cc.o"
+  "CMakeFiles/hera_data.dir/benchmark_datasets.cc.o.d"
+  "CMakeFiles/hera_data.dir/corpus_model.cc.o"
+  "CMakeFiles/hera_data.dir/corpus_model.cc.o.d"
+  "CMakeFiles/hera_data.dir/corruption.cc.o"
+  "CMakeFiles/hera_data.dir/corruption.cc.o.d"
+  "CMakeFiles/hera_data.dir/csv.cc.o"
+  "CMakeFiles/hera_data.dir/csv.cc.o.d"
+  "CMakeFiles/hera_data.dir/data_exchange.cc.o"
+  "CMakeFiles/hera_data.dir/data_exchange.cc.o.d"
+  "CMakeFiles/hera_data.dir/entity_fusion.cc.o"
+  "CMakeFiles/hera_data.dir/entity_fusion.cc.o.d"
+  "CMakeFiles/hera_data.dir/movie_generator.cc.o"
+  "CMakeFiles/hera_data.dir/movie_generator.cc.o.d"
+  "CMakeFiles/hera_data.dir/profile.cc.o"
+  "CMakeFiles/hera_data.dir/profile.cc.o.d"
+  "CMakeFiles/hera_data.dir/publication_generator.cc.o"
+  "CMakeFiles/hera_data.dir/publication_generator.cc.o.d"
+  "libhera_data.a"
+  "libhera_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

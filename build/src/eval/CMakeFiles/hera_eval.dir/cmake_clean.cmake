@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_eval.dir/cluster_metrics.cc.o"
+  "CMakeFiles/hera_eval.dir/cluster_metrics.cc.o.d"
+  "CMakeFiles/hera_eval.dir/metrics.cc.o"
+  "CMakeFiles/hera_eval.dir/metrics.cc.o.d"
+  "libhera_eval.a"
+  "libhera_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_index.dir/bounds.cc.o"
+  "CMakeFiles/hera_index.dir/bounds.cc.o.d"
+  "CMakeFiles/hera_index.dir/value_pair_index.cc.o"
+  "CMakeFiles/hera_index.dir/value_pair_index.cc.o.d"
+  "libhera_index.a"
+  "libhera_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_matching.dir/bipartite.cc.o"
+  "CMakeFiles/hera_matching.dir/bipartite.cc.o.d"
+  "libhera_matching.a"
+  "libhera_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

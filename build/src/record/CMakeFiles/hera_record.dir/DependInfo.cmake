@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/record/dataset.cc" "src/record/CMakeFiles/hera_record.dir/dataset.cc.o" "gcc" "src/record/CMakeFiles/hera_record.dir/dataset.cc.o.d"
+  "/root/repo/src/record/record.cc" "src/record/CMakeFiles/hera_record.dir/record.cc.o" "gcc" "src/record/CMakeFiles/hera_record.dir/record.cc.o.d"
+  "/root/repo/src/record/schema.cc" "src/record/CMakeFiles/hera_record.dir/schema.cc.o" "gcc" "src/record/CMakeFiles/hera_record.dir/schema.cc.o.d"
+  "/root/repo/src/record/super_record.cc" "src/record/CMakeFiles/hera_record.dir/super_record.cc.o" "gcc" "src/record/CMakeFiles/hera_record.dir/super_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hera_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hera_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

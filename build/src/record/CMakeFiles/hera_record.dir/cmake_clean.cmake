@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_record.dir/dataset.cc.o"
+  "CMakeFiles/hera_record.dir/dataset.cc.o.d"
+  "CMakeFiles/hera_record.dir/record.cc.o"
+  "CMakeFiles/hera_record.dir/record.cc.o.d"
+  "CMakeFiles/hera_record.dir/schema.cc.o"
+  "CMakeFiles/hera_record.dir/schema.cc.o.d"
+  "CMakeFiles/hera_record.dir/super_record.cc.o"
+  "CMakeFiles/hera_record.dir/super_record.cc.o.d"
+  "libhera_record.a"
+  "libhera_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/majority_vote.cc" "src/schema/CMakeFiles/hera_schema.dir/majority_vote.cc.o" "gcc" "src/schema/CMakeFiles/hera_schema.dir/majority_vote.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/hera_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hera_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hera_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_schema.dir/majority_vote.cc.o"
+  "CMakeFiles/hera_schema.dir/majority_vote.cc.o.d"
+  "libhera_schema.a"
+  "libhera_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

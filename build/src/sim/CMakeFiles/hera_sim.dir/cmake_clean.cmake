@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_sim.dir/metrics.cc.o"
+  "CMakeFiles/hera_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/hera_sim.dir/string_metrics.cc.o"
+  "CMakeFiles/hera_sim.dir/string_metrics.cc.o.d"
+  "CMakeFiles/hera_sim.dir/value.cc.o"
+  "CMakeFiles/hera_sim.dir/value.cc.o.d"
+  "libhera_sim.a"
+  "libhera_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

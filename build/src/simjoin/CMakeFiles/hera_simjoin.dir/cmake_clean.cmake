@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_simjoin.dir/similarity_join.cc.o"
+  "CMakeFiles/hera_simjoin.dir/similarity_join.cc.o.d"
+  "libhera_simjoin.a"
+  "libhera_simjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_simjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

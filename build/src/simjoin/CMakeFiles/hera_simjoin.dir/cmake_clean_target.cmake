@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhera_simjoin.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/normalize.cc" "src/text/CMakeFiles/hera_text.dir/normalize.cc.o" "gcc" "src/text/CMakeFiles/hera_text.dir/normalize.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/text/CMakeFiles/hera_text.dir/qgram.cc.o" "gcc" "src/text/CMakeFiles/hera_text.dir/qgram.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/hera_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/hera_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/hera_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/hera_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

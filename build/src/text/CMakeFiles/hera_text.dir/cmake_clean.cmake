@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_text.dir/normalize.cc.o"
+  "CMakeFiles/hera_text.dir/normalize.cc.o.d"
+  "CMakeFiles/hera_text.dir/qgram.cc.o"
+  "CMakeFiles/hera_text.dir/qgram.cc.o.d"
+  "CMakeFiles/hera_text.dir/tfidf.cc.o"
+  "CMakeFiles/hera_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/hera_text.dir/tokenizer.cc.o"
+  "CMakeFiles/hera_text.dir/tokenizer.cc.o.d"
+  "libhera_text.a"
+  "libhera_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

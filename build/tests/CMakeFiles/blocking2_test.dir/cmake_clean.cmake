@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking2_test.dir/blocking2_test.cc.o"
+  "CMakeFiles/blocking2_test.dir/blocking2_test.cc.o.d"
+  "blocking2_test"
+  "blocking2_test.pdb"
+  "blocking2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

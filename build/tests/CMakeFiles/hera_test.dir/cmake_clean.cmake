@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hera_test.dir/hera_test.cc.o"
+  "CMakeFiles/hera_test.dir/hera_test.cc.o.d"
+  "hera_test"
+  "hera_test.pdb"
+  "hera_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hera_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/incremental_test.cc" "tests/CMakeFiles/incremental_test.dir/incremental_test.cc.o" "gcc" "tests/CMakeFiles/incremental_test.dir/incremental_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocking/CMakeFiles/hera_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hera_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hera_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hera_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/hera_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hera_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/simjoin/CMakeFiles/hera_simjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hera_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/hera_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hera_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hera_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hera_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

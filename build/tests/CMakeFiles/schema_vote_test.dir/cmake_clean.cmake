@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_vote_test.dir/schema_vote_test.cc.o"
+  "CMakeFiles/schema_vote_test.dir/schema_vote_test.cc.o.d"
+  "schema_vote_test"
+  "schema_vote_test.pdb"
+  "schema_vote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_vote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

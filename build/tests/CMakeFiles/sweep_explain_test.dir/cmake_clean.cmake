@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_explain_test.dir/sweep_explain_test.cc.o"
+  "CMakeFiles/sweep_explain_test.dir/sweep_explain_test.cc.o.d"
+  "sweep_explain_test"
+  "sweep_explain_test.pdb"
+  "sweep_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
