@@ -1,0 +1,95 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace hera {
+namespace failpoint {
+
+namespace {
+
+struct SiteState {
+  Status error;
+  int skip = 0;
+  int trips = 0;  // Remaining trips; < 0 = unlimited.
+  bool armed = false;
+  size_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+  // Fast-path gate: number of armed sites. When zero, Check() is one
+  // relaxed load and no lock is taken.
+  std::atomic<int> armed_count{0};
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, Status error, int skip, int trips) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SiteState& s = r.sites[site];
+  if (!s.armed) r.armed_count.fetch_add(1, std::memory_order_relaxed);
+  s.error = std::move(error);
+  s.skip = skip;
+  s.trips = trips;
+  s.armed = true;
+  s.hits = 0;
+}
+
+void Disarm(const std::string& site) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end() && it->second.armed) {
+    it->second.armed = false;
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  r.armed_count.store(0, std::memory_order_relaxed);
+}
+
+size_t HitCount(const std::string& site) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> KnownSites() {
+  return {"csv.read",  "csv.record",    "index.build",
+          "simjoin.join", "verify.km", "engine.merge"};
+}
+
+Status Check(const char* site) {
+  Registry& r = GlobalRegistry();
+  if (r.armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return Status::OK();
+  SiteState& s = it->second;
+  ++s.hits;
+  if (!s.armed) return Status::OK();
+  if (s.skip > 0) {
+    --s.skip;
+    return Status::OK();
+  }
+  if (s.trips == 0) return Status::OK();
+  if (s.trips > 0) --s.trips;
+  return s.error;
+}
+
+}  // namespace failpoint
+}  // namespace hera

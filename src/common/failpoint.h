@@ -1,0 +1,67 @@
+// Deterministic fault injection for tests.
+//
+// The library declares named failpoint *sites* on its error-prone
+// paths (csv load, index build, similarity join, KM verification,
+// merge). A test arms a site with the Status it should yield and,
+// optionally, how many passing hits to skip first and how many times
+// to trip — so it can force "the 3rd merge fails" reproducibly and
+// assert that the public API surfaces a clean error (or a documented
+// degraded result) instead of crashing or corrupting state.
+//
+//   failpoint::Arm("engine.merge", Status::Internal("boom"),
+//                  /*skip=*/2, /*trips=*/1);
+//   auto result = Hera(opts).Run(ds);   // Fails on the 3rd merge.
+//   failpoint::DisarmAll();
+//
+// When nothing is armed, a check is one relaxed atomic load. Compiling
+// with -DHERA_DISABLE_FAILPOINTS (CMake: -DHERA_FAILPOINTS=OFF)
+// removes the checks entirely for release builds.
+
+#ifndef HERA_COMMON_FAILPOINT_H_
+#define HERA_COMMON_FAILPOINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hera {
+namespace failpoint {
+
+/// Arms `site`: after `skip` passing hits, the next `trips` hits
+/// return `error` (trips < 0 trips forever). Re-arming replaces the
+/// previous configuration and resets the site's hit count.
+void Arm(const std::string& site, Status error, int skip = 0, int trips = 1);
+
+/// Disarms one site; its hit count is kept.
+void Disarm(const std::string& site);
+
+/// Disarms every site and zeroes all hit counts.
+void DisarmAll();
+
+/// Hits observed at `site` since it was armed (counted only while any
+/// site is armed; 0 for unknown sites).
+size_t HitCount(const std::string& site);
+
+/// Every site compiled into the library, for sweep tests.
+std::vector<std::string> KnownSites();
+
+/// The check the HERA_FAILPOINT macro calls; returns the armed error
+/// when the site trips, OK otherwise.
+Status Check(const char* site);
+
+}  // namespace failpoint
+}  // namespace hera
+
+#ifndef HERA_DISABLE_FAILPOINTS
+/// Returns the armed error from the enclosing function when `site`
+/// trips; no-op when unarmed or when failpoints are compiled out.
+#define HERA_FAILPOINT(site) HERA_RETURN_NOT_OK(::hera::failpoint::Check(site))
+#else
+#define HERA_FAILPOINT(site) \
+  do {                       \
+  } while (false)
+#endif
+
+#endif  // HERA_COMMON_FAILPOINT_H_

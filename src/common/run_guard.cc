@@ -1,0 +1,15 @@
+#include "common/run_guard.h"
+
+namespace hera {
+
+Status RunGuard::StatusIfInterrupted() const {
+  if (Cancelled()) return Status::Cancelled("run cancelled via token");
+  if (DeadlineExpired()) {
+    return Status::DeadlineExceeded("run deadline of " +
+                                    std::to_string(timeout_ms_) +
+                                    " ms exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace hera

@@ -23,6 +23,8 @@ enum class StatusCode {
   kInternal = 6,
   kIOError = 7,
   kUnimplemented = 8,
+  kDeadlineExceeded = 9,
+  kCancelled = 10,
 };
 
 /// Returns a stable human-readable name for a code ("OK", "InvalidArgument"...).
@@ -66,6 +68,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

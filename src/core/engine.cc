@@ -1,8 +1,13 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
 #include <unordered_map>
+#include <utility>
 
+#include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/timer.h"
 #include "core/verifier.h"
 #include "index/bounds.h"
@@ -13,6 +18,7 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
                                    ValueSimilarityPtr simv)
     : options_(options),
       simv_(std::move(simv)),
+      guard_(options.guard),
       predictor_(options.vote_prior_p, options.vote_rho) {
   assert(simv_ != nullptr);
   if (options_.use_prefix_filter_join) {
@@ -20,6 +26,7 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
   } else {
     joiner_ = std::make_unique<NestedLoopJoin>();
   }
+  index_.SetCeilings(guard_.max_index_pairs(), guard_.max_posting_list());
 }
 
 void ResolutionEngine::AddRecords(const std::vector<Record>& records) {
@@ -37,6 +44,47 @@ void ResolutionEngine::AddRecords(const std::vector<Record>& records) {
   }
 }
 
+void ResolutionEngine::ArmGuard() {
+  guard_.Arm();
+  stats_.outcome = RunOutcome::kCompleted;
+}
+
+void ResolutionEngine::RaiseOutcome(RunOutcome outcome) {
+  if (static_cast<int>(outcome) > static_cast<int>(stats_.outcome)) {
+    stats_.outcome = outcome;
+  }
+}
+
+RunOutcome ResolutionEngine::TruncationOutcome() const {
+  return guard_.Cancelled() ? RunOutcome::kTruncatedCancelled
+                            : RunOutcome::kTruncatedDeadline;
+}
+
+void ResolutionEngine::NoteJoinReport(const JoinReport& report) {
+  if (report.truncated) {
+    stats_.join_truncated = true;
+    RaiseOutcome(TruncationOutcome());
+  }
+  if (report.shed_posting_entries > 0) {
+    join_shed_posting_ += report.shed_posting_entries;
+    RaiseOutcome(RunOutcome::kDegraded);
+  }
+}
+
+void ResolutionEngine::AddPairsGuarded(std::vector<ValuePair> pairs) {
+  if (guard_.max_index_pairs() > 0 || guard_.max_posting_list() > 0) {
+    std::sort(pairs.begin(), pairs.end(),
+              [](const ValuePair& a, const ValuePair& b) { return a.sim > b.sim; });
+  }
+  index_.AddPairs(pairs);
+  stats_.shed_index_pairs = index_.shed_pairs();
+  stats_.shed_posting_entries =
+      join_shed_posting_ + index_.shed_posting_entries();
+  if (stats_.shed_index_pairs > 0 || stats_.shed_posting_entries > 0) {
+    RaiseOutcome(RunOutcome::kDegraded);
+  }
+}
+
 std::vector<LabeledValue> ResolutionEngine::ValuesOf(const SuperRecord& sr) const {
   std::vector<LabeledValue> values;
   for (uint32_t f = 0; f < sr.num_fields(); ++f) {
@@ -47,18 +95,38 @@ std::vector<LabeledValue> ResolutionEngine::ValuesOf(const SuperRecord& sr) cons
   return values;
 }
 
-size_t ResolutionEngine::IndexNewRecords() {
+StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
   Timer timer;
+  HERA_FAILPOINT("index.build");
+  size_t before = index_.size();
+  if (guard_.Interrupted()) {
+    // Out of budget before the join even starts: leave the index as is
+    // (records are marked indexed so a later round won't re-join them
+    // against a half-processed watermark).
+    RaiseOutcome(TruncationOutcome());
+    stats_.join_truncated = true;
+    indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
+    stats_.index_size = index_.size();
+    stats_.index_build_ms += timer.ElapsedMillis();
+    return size_t{0};
+  }
   std::vector<LabeledValue> fresh, existing;
   for (const auto& [rid, sr] : active_) {
     auto values = ValuesOf(sr);
     auto* dest = rid >= indexed_watermark_ ? &fresh : &existing;
     dest->insert(dest->end(), values.begin(), values.end());
   }
-  size_t before = index_.size();
-  index_.AddPairs(joiner_->Join(fresh, *simv_, options_.xi));
-  if (!existing.empty()) {
-    index_.AddPairs(joiner_->JoinAB(fresh, existing, *simv_, options_.xi));
+  std::vector<ValuePair> joined;
+  JoinReport report;
+  HERA_RETURN_NOT_OK(
+      joiner_->Join(fresh, *simv_, options_.xi, guard_, &joined, &report));
+  NoteJoinReport(report);
+  AddPairsGuarded(std::move(joined));
+  if (!existing.empty() && !guard_.Interrupted()) {
+    HERA_RETURN_NOT_OK(joiner_->JoinAB(fresh, existing, *simv_, options_.xi,
+                                       guard_, &joined, &report));
+    NoteJoinReport(report);
+    AddPairsGuarded(std::move(joined));
   }
   indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
   stats_.index_size = index_.size();
@@ -66,15 +134,17 @@ size_t ResolutionEngine::IndexNewRecords() {
   return index_.size() - before;
 }
 
-void ResolutionEngine::IndexPrecomputed(const std::vector<ValuePair>& pairs) {
+Status ResolutionEngine::IndexPrecomputed(const std::vector<ValuePair>& pairs) {
   Timer timer;
-  index_.AddPairs(pairs);
+  HERA_FAILPOINT("index.build");
+  AddPairsGuarded(pairs);
   indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
   stats_.index_size = index_.size();
   stats_.index_build_ms += timer.ElapsedMillis();
+  return Status::OK();
 }
 
-void ResolutionEngine::IterateToFixpoint() {
+Status ResolutionEngine::IterateToFixpoint() {
   Timer total_timer;
   InstanceBasedVerifier verifier(
       options_.enable_schema_voting ? &predictor_ : nullptr);
@@ -86,8 +156,27 @@ void ResolutionEngine::IterateToFixpoint() {
   // only groups touching a recently merged record are re-examined.
   bool first_pass = true;
   std::unordered_set<uint32_t> dirty;
+  // Groups pushed past the candidate ceiling: an explicit carry-over
+  // queue, so every deferred group is examined (and consumed) by some
+  // later pass even when it would no longer qualify as dirty.
+  std::vector<std::pair<uint32_t, uint32_t>> deferred;
 
-  while (merged_something && stats_.iterations < options_.max_iterations) {
+  while (merged_something || !deferred.empty()) {
+    // Safe points: state is always a valid labeling between passes, so
+    // deadline expiry / cancellation stops here and the caller gets
+    // the current partial result.
+    if (guard_.Interrupted()) {
+      RaiseOutcome(TruncationOutcome());
+      break;
+    }
+    if (stats_.iterations >= options_.max_iterations) {
+      HERA_LOG(Warning) << "IterateToFixpoint stopped at max_iterations="
+                        << options_.max_iterations
+                        << " before reaching a fixpoint; labeling is valid "
+                           "but further merges may have been possible";
+      RaiseOutcome(RunOutcome::kIterationCap);
+      break;
+    }
     merged_something = false;
     ++stats_.iterations;
 
@@ -98,15 +187,33 @@ void ResolutionEngine::IterateToFixpoint() {
     // groups have been combined (Proposition 3 guarantees no similar
     // value pair is lost).
     std::vector<std::pair<uint32_t, uint32_t>> groups;
+    std::set<std::pair<uint32_t, uint32_t>> listed;
     index_.ForEachGroup([&](uint32_t r1, uint32_t r2,
                             const std::vector<IndexedPair>& pairs) {
       (void)pairs;
       if (first_pass || dirty.count(r1) || dirty.count(r2)) {
-        groups.emplace_back(r1, r2);
+        if (listed.emplace(r1, r2).second) groups.emplace_back(r1, r2);
       }
     });
+    // Re-queue the carried deferrals (their rids may no longer be
+    // dirty; they are owed an examination regardless).
+    for (const auto& g : deferred) {
+      if (listed.insert(g).second) groups.push_back(g);
+    }
+    deferred.clear();
     first_pass = false;
     dirty.clear();
+
+    // Candidate ceiling: examine at most the cap this pass and carry
+    // the tail into the next one (deferral, not loss). Progress is
+    // guaranteed: a no-merge pass consumes `cap` queued groups.
+    const size_t cap = guard_.max_candidates_per_iteration();
+    if (cap > 0 && groups.size() > cap) {
+      deferred.assign(groups.begin() + cap, groups.end());
+      stats_.deferred_candidate_groups += deferred.size();
+      groups.resize(cap);
+    }
+
     std::unordered_map<uint32_t, bool> merged_this_pass;
 
     for (auto [g1, g2] : groups) {
@@ -149,6 +256,7 @@ void ResolutionEngine::IterateToFixpoint() {
         }
       } else {
         // Verification (Section IV).
+        HERA_FAILPOINT("verify.km");
         ++stats_.candidates;
         ++stats_.comparisons;
         VerifyResult vr = verifier.Verify(it_i->second, it_j->second, pairs);
@@ -165,7 +273,10 @@ void ResolutionEngine::IterateToFixpoint() {
         }
       }
 
-      // Merge (Section III-B2): the smaller rid survives.
+      // Merge (Section III-B2): the smaller rid survives. The
+      // failpoint sits before the first mutation, so an injected
+      // failure leaves the engine fully consistent.
+      HERA_FAILPOINT("engine.merge");
       uint32_t new_rid = uf_.Union(i, j);
       assert(new_rid == i);
       std::vector<std::pair<ValueLabel, ValueLabel>> remap;
@@ -187,6 +298,7 @@ void ResolutionEngine::IterateToFixpoint() {
           : simplified_nodes_sum_ / static_cast<double>(simplified_nodes_count_);
   stats_.decided_schema_matchings = predictor_.DecidedMatchings().size();
   stats_.total_ms += total_timer.ElapsedMillis();
+  return Status::OK();
 }
 
 std::vector<uint32_t> ResolutionEngine::Labels() {

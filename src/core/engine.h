@@ -3,6 +3,14 @@
 // records, the union-find over record ids, the value-pair index, and
 // the schema-matching predictor, and runs the compare-and-merge loop
 // (Algorithm 2's body) to fixpoint.
+//
+// Runs are governed by the RunGuard in HeraOptions: the engine arms it
+// at run start (ArmGuard) and honors its deadline, cancellation token,
+// and resource ceilings — degrading (shedding weakest index pairs,
+// deferring candidate groups) or stopping at an iteration boundary
+// with a valid partial labeling, never dying. stats().outcome reports
+// how the run ended. Fallible steps return Status so fault injection
+// (common/failpoint.h) can prove every error path propagates cleanly.
 
 #ifndef HERA_CORE_ENGINE_H_
 #define HERA_CORE_ENGINE_H_
@@ -12,6 +20,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/run_guard.h"
+#include "common/statusor.h"
 #include "common/union_find.h"
 #include "core/options.h"
 #include "index/value_pair_index.h"
@@ -25,10 +35,12 @@ namespace hera {
 
 /// \brief Stateful compare-and-merge resolver.
 ///
-/// Usage (batch): AddRecords(all) -> IndexNewRecords() ->
+/// Usage (batch): AddRecords(all) -> ArmGuard() -> IndexNewRecords() ->
 /// IterateToFixpoint() -> Labels(). Incremental callers interleave
 /// further AddRecords/IndexNewRecords/IterateToFixpoint rounds; the
-/// index, merges, and vote state persist across rounds.
+/// index, merges, and vote state persist across rounds. After a Status
+/// failure (only possible via fault injection) the engine state is
+/// consistent and a later IterateToFixpoint resumes correctly.
 class ResolutionEngine {
  public:
   /// `simv` must be the resolved metric (never null).
@@ -38,19 +50,29 @@ class ResolutionEngine {
   /// dense and continue from NumRecords().
   void AddRecords(const std::vector<Record>& records);
 
+  /// Starts the guard's clock and resets stats().outcome for a fresh
+  /// run. Call once per run (per Resolve round, for incremental use);
+  /// a no-deadline guard makes this a no-op reset.
+  void ArmGuard();
+
   /// Joins the values of every record not yet indexed against the
   /// current live values (and among themselves) and inserts the
-  /// resulting pairs. Returns the number of pairs added.
-  size_t IndexNewRecords();
+  /// resulting pairs. Returns the number of pairs added. Skips or
+  /// truncates the join once the guard interrupts, and sheds pairs
+  /// beyond its ceilings (weakest first); fails only via fault
+  /// injection.
+  StatusOr<size_t> IndexNewRecords();
 
   /// Seeds the index from precomputed join output instead of running
   /// the join (offline index construction). Marks every current record
-  /// as indexed.
-  void IndexPrecomputed(const std::vector<ValuePair>& pairs);
+  /// as indexed. Honors the guard's index ceilings.
+  Status IndexPrecomputed(const std::vector<ValuePair>& pairs);
 
-  /// Runs compare-and-merge passes until no merge happens (or the
-  /// options' iteration cap). Accumulates stats.
-  void IterateToFixpoint();
+  /// Runs compare-and-merge passes until no merge happens, the
+  /// options' iteration cap, or the guard interrupts — always leaving
+  /// a valid labeling; stats().outcome says which. Accumulates stats.
+  /// Fails only via fault injection, with the engine left consistent.
+  Status IterateToFixpoint();
 
   /// Entity label per record id (the rid of its super record).
   std::vector<uint32_t> Labels();
@@ -65,14 +87,30 @@ class ResolutionEngine {
   const HeraStats& stats() const { return stats_; }
   size_t NumRecords() const { return uf_.Size(); }
   const SchemaMatchingPredictor& predictor() const { return predictor_; }
+  const RunGuard& guard() const { return guard_; }
 
  private:
   /// All (label, value) pairs of one super record.
   std::vector<LabeledValue> ValuesOf(const SuperRecord& sr) const;
 
+  /// Keeps the most severe outcome seen this run.
+  void RaiseOutcome(RunOutcome outcome);
+
+  /// kTruncatedCancelled or kTruncatedDeadline per the guard's state.
+  RunOutcome TruncationOutcome() const;
+
+  /// Folds a guarded-join report into stats/outcome.
+  void NoteJoinReport(const JoinReport& report);
+
+  /// Inserts join output under the guard's index ceilings: sorts
+  /// strongest-first when a ceiling is set so the weakest pairs are
+  /// the ones shed, then refreshes shed counters and outcome.
+  void AddPairsGuarded(std::vector<ValuePair> pairs);
+
   HeraOptions options_;
   ValueSimilarityPtr simv_;
   std::unique_ptr<SimilarityJoin> joiner_;
+  RunGuard guard_;
 
   UnionFind uf_;
   std::map<uint32_t, SuperRecord> active_;
@@ -82,6 +120,10 @@ class ResolutionEngine {
 
   /// Records with ids >= indexed_watermark_ have not been joined yet.
   uint32_t indexed_watermark_ = 0;
+
+  /// Posting entries shed inside guarded joins (the index's own shed
+  /// counters are tracked separately and summed into stats_).
+  size_t join_shed_posting_ = 0;
 
   double simplified_nodes_sum_ = 0.0;
   size_t simplified_nodes_count_ = 0;

@@ -7,8 +7,10 @@ namespace hera {
 
 namespace {
 
-/// Resolves the configured metric; shared with IncrementalHera.
+/// Validates options and resolves the configured metric; shared with
+/// IncrementalHera.
 StatusOr<ValueSimilarityPtr> ResolveMetric(const HeraOptions& options) {
+  HERA_RETURN_NOT_OK(ValidateOptions(options));
   ValueSimilarityPtr simv = options.similarity;
   if (!simv) {
     simv = MakeSimilarity(options.metric);
@@ -16,10 +18,6 @@ StatusOr<ValueSimilarityPtr> ResolveMetric(const HeraOptions& options) {
       return Status::InvalidArgument("unknown similarity metric: " +
                                      options.metric);
     }
-  }
-  if (options.xi < 0.0 || options.xi > 1.0 || options.delta < 0.0 ||
-      options.delta > 1.0) {
-    return Status::InvalidArgument("thresholds must lie in [0, 1]");
   }
   return simv;
 }
@@ -32,8 +30,9 @@ StatusOr<HeraResult> Hera::Run(const Dataset& dataset) const {
 
   ResolutionEngine engine(options_, std::move(simv));
   engine.AddRecords(dataset.records());
-  engine.IndexNewRecords();
-  engine.IterateToFixpoint();
+  engine.ArmGuard();
+  HERA_RETURN_NOT_OK(engine.IndexNewRecords().status());
+  HERA_RETURN_NOT_OK(engine.IterateToFixpoint());
 
   HeraResult result;
   result.entity_of = engine.Labels();
@@ -49,8 +48,9 @@ StatusOr<HeraResult> Hera::RunWithPairs(
 
   ResolutionEngine engine(options_, std::move(simv));
   engine.AddRecords(dataset.records());
-  engine.IndexPrecomputed(pairs);
-  engine.IterateToFixpoint();
+  engine.ArmGuard();
+  HERA_RETURN_NOT_OK(engine.IndexPrecomputed(pairs));
+  HERA_RETURN_NOT_OK(engine.IterateToFixpoint());
 
   HeraResult result;
   result.entity_of = engine.Labels();
@@ -73,10 +73,15 @@ StatusOr<std::vector<ValuePair>> ComputeSimilarValuePairs(
       }
     }
   }
+  std::vector<ValuePair> pairs;
   if (options.use_prefix_filter_join) {
-    return PrefixFilterJoin().Join(values, *simv, options.xi);
+    HERA_RETURN_NOT_OK(
+        PrefixFilterJoin().Join(values, *simv, options.xi, RunGuard(), &pairs));
+  } else {
+    HERA_RETURN_NOT_OK(
+        NestedLoopJoin().Join(values, *simv, options.xi, RunGuard(), &pairs));
   }
-  return NestedLoopJoin().Join(values, *simv, options.xi);
+  return pairs;
 }
 
 }  // namespace hera

@@ -32,7 +32,9 @@ struct HeraResult {
   /// of exactly one.
   std::map<uint32_t, SuperRecord> super_records;
 
-  /// Counters and timings (Table II / Figures 10, 12 inputs).
+  /// Counters and timings (Table II / Figures 10, 12 inputs), plus
+  /// `stats.outcome`: completed, or how the run was truncated/degraded
+  /// by the options' RunGuard (docs/operational_limits.md).
   HeraStats stats;
 };
 
@@ -41,8 +43,11 @@ class Hera {
  public:
   explicit Hera(HeraOptions options) : options_(std::move(options)) {}
 
-  /// Resolves `dataset`. Fails if the dataset is inconsistent or the
-  /// configured metric name is unknown.
+  /// Resolves `dataset`. Fails if the dataset is inconsistent or an
+  /// option is out of range / the metric name unknown (see
+  /// ValidateOptions). Under a RunGuard deadline/cancellation the call
+  /// still returns ok() with a valid partial labeling and
+  /// stats.outcome reporting the truncation.
   StatusOr<HeraResult> Run(const Dataset& dataset) const;
 
   /// Like Run but skips the similarity join, building the index from

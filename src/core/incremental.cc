@@ -12,6 +12,7 @@ IncrementalHera::IncrementalHera(const HeraOptions& options,
 
 StatusOr<std::unique_ptr<IncrementalHera>> IncrementalHera::Create(
     const HeraOptions& options, SchemaCatalog schemas) {
+  HERA_RETURN_NOT_OK(ValidateOptions(options));
   ValueSimilarityPtr simv = options.similarity;
   if (!simv) {
     simv = MakeSimilarity(options.metric);
@@ -19,10 +20,6 @@ StatusOr<std::unique_ptr<IncrementalHera>> IncrementalHera::Create(
       return Status::InvalidArgument("unknown similarity metric: " +
                                      options.metric);
     }
-  }
-  if (options.xi < 0.0 || options.xi > 1.0 || options.delta < 0.0 ||
-      options.delta > 1.0) {
-    return Status::InvalidArgument("thresholds must lie in [0, 1]");
   }
   return std::unique_ptr<IncrementalHera>(
       new IncrementalHera(options, std::move(schemas), std::move(simv)));
@@ -45,13 +42,21 @@ StatusOr<uint32_t> IncrementalHera::AddRecord(uint32_t schema_id,
   return id;
 }
 
-size_t IncrementalHera::Resolve() {
-  if (pending_.empty()) return 0;
+StatusOr<size_t> IncrementalHera::Resolve() {
+  if (pending_.empty() && !resume_needed_) return size_t{0};
   size_t processed = pending_.size();
-  engine_->AddRecords(pending_);
-  pending_.clear();
-  engine_->IndexNewRecords();
-  engine_->IterateToFixpoint();
+  if (!pending_.empty()) {
+    engine_->AddRecords(pending_);
+    pending_.clear();
+  }
+  // Everything below may fail via fault injection; resume_needed_ makes
+  // the next Resolve retry from the engine's (consistent) state even
+  // with nothing new pending.
+  resume_needed_ = true;
+  engine_->ArmGuard();
+  HERA_RETURN_NOT_OK(engine_->IndexNewRecords().status());
+  HERA_RETURN_NOT_OK(engine_->IterateToFixpoint());
+  resume_needed_ = false;
   return processed;
 }
 

@@ -45,8 +45,12 @@ class IncrementalHera {
 
   /// Indexes all queued records and re-runs compare-and-merge to
   /// fixpoint. No-op when nothing is pending. Returns the number of
-  /// records processed.
-  size_t Resolve();
+  /// records processed. Each round is its own governed run: the
+  /// options' RunGuard is re-armed (fresh deadline budget) and
+  /// stats().outcome reports how the round ended. Fails only via fault
+  /// injection; after a failure the engine is consistent and the next
+  /// Resolve continues from where it stopped.
+  StatusOr<size_t> Resolve();
 
   /// Entity label per record id (records still pending keep their own
   /// id as a singleton label).
@@ -71,6 +75,9 @@ class IncrementalHera {
   std::unique_ptr<ResolutionEngine> engine_;
   std::vector<Record> pending_;
   uint32_t next_id_ = 0;
+  /// A previous Resolve failed after consuming its batch (fault
+  /// injection); the next Resolve retries even with nothing pending.
+  bool resume_needed_ = false;
 };
 
 }  // namespace hera

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/run_guard.h"
+#include "common/status.h"
 #include "sim/similarity.h"
 
 namespace hera {
@@ -52,7 +54,33 @@ struct HeraOptions {
 
   /// Safety cap on compare-and-merge iterations.
   size_t max_iterations = 1000;
+
+  /// Run governance: deadline, cancellation token, resource ceilings.
+  /// The default guard imposes nothing (and costs nothing). See
+  /// docs/operational_limits.md.
+  RunGuard guard;
 };
+
+/// Checks option ranges: xi, delta in [0, 1]; vote_prior_p in
+/// (0.5, 1]; vote_rho > 0; max_iterations > 0. The metric name is
+/// checked separately at resolution time. Run/RunWithPairs/
+/// IncrementalHera::Create call this and refuse to start on violation.
+Status ValidateOptions(const HeraOptions& options);
+
+/// \brief How a run ended, in increasing severity. A single outcome is
+/// reported: when several conditions co-occur (e.g. pairs were shed
+/// *and* the deadline expired) the most severe wins; the shed counters
+/// in HeraStats carry the details either way.
+enum class RunOutcome {
+  kCompleted = 0,          ///< Fixpoint reached, nothing shed.
+  kDegraded,               ///< Ceiling breached; load was shed.
+  kIterationCap,           ///< max_iterations hit while still merging.
+  kTruncatedDeadline,      ///< Deadline expired; partial result.
+  kTruncatedCancelled,     ///< Cancelled via token; partial result.
+};
+
+/// Stable name for an outcome ("completed", "truncated_deadline"...).
+const char* RunOutcomeToString(RunOutcome outcome);
 
 /// \brief Counters and timings filled in by one HERA run; these are the
 /// quantities reported in the paper's Table II and Figures 10/12.
@@ -73,6 +101,23 @@ struct HeraStats {
   /// merging), excluding the offline index build — the quantity the
   /// paper's Fig 12 reports ("the index could be built off-line").
   double total_ms = 0.0;
+
+  /// How the run ended (most severe condition observed; for
+  /// incremental resolution, of the latest Resolve round).
+  RunOutcome outcome = RunOutcome::kCompleted;
+  /// Value pairs dropped by the max_index_pairs ceiling.
+  size_t shed_index_pairs = 0;
+  /// Posting-list entries dropped by the max_posting_list ceiling
+  /// (join token postings + per-record index lists).
+  size_t shed_posting_entries = 0;
+  /// Candidate groups pushed to a later iteration by the
+  /// max_candidates_per_iteration ceiling. Deferred groups are
+  /// re-examined, so deferral alone does not change the fixpoint —
+  /// only ending the run with deferrals still pending degrades it.
+  size_t deferred_candidate_groups = 0;
+  /// True when the similarity join stopped early (deadline/cancel) and
+  /// the index is missing pairs the full join would have found.
+  bool join_truncated = false;
 };
 
 }  // namespace hera

@@ -4,9 +4,19 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace hera {
+
+namespace {
+
+/// Hard per-line cap. Legitimate records are far smaller; a line this
+/// long means a corrupt or hostile file (e.g. an unterminated quote
+/// swallowing the rest of the file into one getline).
+constexpr size_t kMaxLineBytes = 4u << 20;  // 4 MiB
+
+}  // namespace
 
 std::string EscapeCsvField(const std::string& field) {
   bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
@@ -20,7 +30,8 @@ std::string EscapeCsvField(const std::string& field) {
   return out;
 }
 
-std::vector<std::string> ParseCsvLine(const std::string& line) {
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      bool* unterminated) {
   std::vector<std::string> fields;
   std::string cur;
   bool in_quotes = false;
@@ -47,6 +58,7 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
     }
   }
   fields.push_back(std::move(cur));
+  if (unterminated != nullptr) *unterminated = in_quotes;
   return fields;
 }
 
@@ -87,26 +99,57 @@ Status WriteDataset(const Dataset& dataset, const std::string& path) {
 StatusOr<Dataset> ReadDataset(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for reading: " + path);
+  HERA_FAILPOINT("csv.read");
   Dataset ds;
   bool has_truth = false;
   std::string line;
   size_t lineno = 0;
   bool saw_header = false;
+  size_t num_records = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    if (line.size() > kMaxLineBytes) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(lineno) + " exceeds " +
+          std::to_string(kMaxLineBytes) +
+          " bytes (corrupt file or unterminated quote?)");
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '#') {
       if (StartsWith(line, "#hera-dataset")) {
+        if (saw_header) {
+          return Status::InvalidArgument("duplicate #hera-dataset header "
+                                         "at line " +
+                                         std::to_string(lineno));
+        }
         saw_header = true;
       } else if (StartsWith(line, "#schema ")) {
+        if (num_records > 0) {
+          return Status::InvalidArgument(
+              "#schema after data records at line " + std::to_string(lineno));
+        }
         std::istringstream ss(line.substr(8));
         uint32_t id;
         std::string name, attrs_csv;
-        ss >> id >> name;
+        if (!(ss >> id >> name)) {
+          return Status::InvalidArgument("malformed #schema line at line " +
+                                         std::to_string(lineno));
+        }
         std::getline(ss, attrs_csv);
         attrs_csv = std::string(Trim(attrs_csv));
-        std::vector<std::string> attrs = ParseCsvLine(attrs_csv);
+        bool unterminated = false;
+        std::vector<std::string> attrs = ParseCsvLine(attrs_csv, &unterminated);
+        if (unterminated) {
+          return Status::InvalidArgument(
+              "unterminated quote in #schema attributes at line " +
+              std::to_string(lineno));
+        }
+        if (id < ds.schemas().size()) {
+          return Status::InvalidArgument("duplicate #schema id " +
+                                         std::to_string(id) + " at line " +
+                                         std::to_string(lineno));
+        }
         uint32_t got = ds.schemas().Register(Schema(name, attrs));
         if (got != id) {
           return Status::InvalidArgument(
@@ -122,6 +165,15 @@ StatusOr<Dataset> ReadDataset(const std::string& path) {
         }
         ds.canonical_attr()[AttrRef{schema_id, attr_index}] = concept_id;
       } else if (StartsWith(line, "#truth")) {
+        if (has_truth) {
+          return Status::InvalidArgument("duplicate #truth header at line " +
+                                         std::to_string(lineno));
+        }
+        if (num_records > 0) {
+          return Status::InvalidArgument(
+              "#truth after data records at line " + std::to_string(lineno) +
+              " (earlier records have no entity id)");
+        }
         has_truth = true;
       }
       continue;
@@ -129,7 +181,13 @@ StatusOr<Dataset> ReadDataset(const std::string& path) {
     if (!saw_header) {
       return Status::InvalidArgument("missing #hera-dataset header");
     }
-    std::vector<std::string> fields = ParseCsvLine(line);
+    HERA_FAILPOINT("csv.record");
+    bool unterminated = false;
+    std::vector<std::string> fields = ParseCsvLine(line, &unterminated);
+    if (unterminated) {
+      return Status::InvalidArgument("unterminated quote at line " +
+                                     std::to_string(lineno));
+    }
     if (fields.size() < 2) {
       return Status::InvalidArgument("short record at line " +
                                      std::to_string(lineno));
@@ -147,8 +205,11 @@ StatusOr<Dataset> ReadDataset(const std::string& path) {
     }
     size_t expect = ds.schemas().Get(schema_id).size();
     if (fields.size() != expect + 2) {
-      return Status::InvalidArgument("record arity mismatch at line " +
-                                     std::to_string(lineno));
+      return Status::InvalidArgument(
+          "record arity mismatch at line " + std::to_string(lineno) +
+          ": schema " + std::to_string(schema_id) + " expects " +
+          std::to_string(expect) + " values, line has " +
+          std::to_string(fields.size() - 2));
     }
     std::vector<Value> values;
     values.reserve(expect);
@@ -158,6 +219,7 @@ StatusOr<Dataset> ReadDataset(const std::string& path) {
       values.push_back(Value::Parse(fields[i], /*sniff_numbers=*/true));
     }
     ds.AddRecord(schema_id, std::move(values));
+    ++num_records;
     if (has_truth) {
       uint32_t entity = 0;
       auto [p2, ec2] = std::from_chars(fields[1].data(),

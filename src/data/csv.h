@@ -24,11 +24,18 @@ namespace hera {
 /// Writes `dataset` to `path`. Overwrites.
 Status WriteDataset(const Dataset& dataset, const std::string& path);
 
-/// Reads a dataset written by WriteDataset.
+/// Reads a dataset written by WriteDataset. Hardened against malformed
+/// input: unterminated quotes, ragged rows, out-of-range schema ids,
+/// duplicate #truth/#schema headers, and oversized lines all yield a
+/// descriptive InvalidArgument carrying the line number — never a
+/// crash. Unknown #directives are skipped for forward compatibility.
 StatusOr<Dataset> ReadDataset(const std::string& path);
 
-/// Splits one CSV line into unquoted fields. Exposed for tests.
-std::vector<std::string> ParseCsvLine(const std::string& line);
+/// Splits one CSV line into unquoted fields. Exposed for tests. If
+/// `unterminated` is non-null it reports whether the line ended inside
+/// an open quote (the parse is still returned, best-effort).
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      bool* unterminated = nullptr);
 
 /// Quotes a field if needed. Exposed for tests.
 std::string EscapeCsvField(const std::string& field);

@@ -11,6 +11,8 @@ void ValuePairIndex::Build(const std::vector<ValuePair>& pairs) {
   by_pid_.clear();
   touching_.clear();
   next_pid_ = 0;
+  shed_pairs_ = 0;
+  shed_posting_entries_ = 0;
   AddPairs(pairs);
 }
 
@@ -19,6 +21,20 @@ void ValuePairIndex::AddPairs(const std::vector<ValuePair>& pairs) {
     ValueLabel a = p.a, b = p.b;
     assert(a.rid != b.rid);
     if (a.rid > b.rid) std::swap(a, b);
+    if (max_pairs_ > 0 && by_pid_.size() >= max_pairs_) {
+      ++shed_pairs_;
+      continue;
+    }
+    if (max_per_record_ > 0) {
+      auto over = [&](uint32_t rid) {
+        auto it = touching_.find(rid);
+        return it != touching_.end() && it->second.size() >= max_per_record_;
+      };
+      if (over(a.rid) || over(b.rid)) {
+        ++shed_posting_entries_;
+        continue;
+      }
+    }
     Insert(next_pid_++, a, b, p.sim);
   }
 }

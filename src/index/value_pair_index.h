@@ -36,12 +36,29 @@ class ValuePairIndex {
  public:
   ValuePairIndex() = default;
 
+  /// Installs resource ceilings (0 = unlimited): `max_pairs` caps the
+  /// total pair count, `max_per_record` caps one record's posting list
+  /// (pairs touching it). AddPairs rejects pairs beyond a ceiling and
+  /// counts them as shed — feed pairs strongest-first so the weakest
+  /// are what gets dropped. Merge maintenance is exempt: relabeling an
+  /// existing pair never sheds it.
+  void SetCeilings(size_t max_pairs, size_t max_per_record) {
+    max_pairs_ = max_pairs;
+    max_per_record_ = max_per_record;
+  }
+
+  /// Pairs rejected by the max_pairs ceiling.
+  size_t shed_pairs() const { return shed_pairs_; }
+  /// Pairs rejected by the per-record posting-list ceiling.
+  size_t shed_posting_entries() const { return shed_posting_entries_; }
+
   /// Ingests join output. Each pair is normalized so a.rid < b.rid and
   /// assigned a pid. Replaces any previous contents.
   void Build(const std::vector<ValuePair>& pairs);
 
   /// Adds further pairs to an existing index (fresh pids); used by
-  /// incremental resolution when new records arrive.
+  /// incremental resolution when new records arrive. Honors the
+  /// ceilings (see SetCeilings).
   void AddPairs(const std::vector<ValuePair>& pairs);
 
   /// Number of value pairs currently stored (the |S| of Table II at
@@ -102,6 +119,11 @@ class ValuePairIndex {
   // rid -> pids of pairs touching that record; drives ApplyMerge.
   std::unordered_map<uint32_t, std::unordered_set<uint64_t>> touching_;
   uint64_t next_pid_ = 0;
+
+  size_t max_pairs_ = 0;
+  size_t max_per_record_ = 0;
+  size_t shed_pairs_ = 0;
+  size_t shed_posting_entries_ = 0;
 };
 
 }  // namespace hera

@@ -6,38 +6,68 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "text/normalize.h"
 #include "text/qgram.h"
 
 namespace hera {
 
-std::vector<ValuePair> NestedLoopJoin::Join(
+std::vector<ValuePair> SimilarityJoin::Join(
     const std::vector<LabeledValue>& values, const ValueSimilarity& simv,
     double xi) const {
   std::vector<ValuePair> out;
-  for (size_t i = 0; i < values.size(); ++i) {
-    for (size_t j = i + 1; j < values.size(); ++j) {
-      if (values[i].label.rid == values[j].label.rid) continue;
-      double s = simv.Compute(values[i].value, values[j].value);
-      if (s >= xi) out.push_back({values[i].label, values[j].label, s});
-    }
-  }
+  Join(values, simv, xi, RunGuard(), &out);
   return out;
 }
 
-std::vector<ValuePair> NestedLoopJoin::JoinAB(
+std::vector<ValuePair> SimilarityJoin::JoinAB(
     const std::vector<LabeledValue>& probe, const std::vector<LabeledValue>& base,
     const ValueSimilarity& simv, double xi) const {
   std::vector<ValuePair> out;
-  for (const LabeledValue& p : probe) {
-    for (const LabeledValue& b : base) {
-      if (p.label.rid == b.label.rid) continue;
-      double s = simv.Compute(p.value, b.value);
-      if (s >= xi) out.push_back({p.label, b.label, s});
+  JoinAB(probe, base, simv, xi, RunGuard(), &out);
+  return out;
+}
+
+Status NestedLoopJoin::Join(const std::vector<LabeledValue>& values,
+                            const ValueSimilarity& simv, double xi,
+                            const RunGuard& guard, std::vector<ValuePair>* out,
+                            JoinReport* report) const {
+  HERA_FAILPOINT("simjoin.join");
+  out->clear();
+  GuardTicker ticker(guard);
+  for (size_t i = 0; i < values.size() && !ticker.stopped(); ++i) {
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      if (ticker.Tick()) break;
+      if (values[i].label.rid == values[j].label.rid) continue;
+      double s = simv.Compute(values[i].value, values[j].value);
+      if (s >= xi) out->push_back({values[i].label, values[j].label, s});
     }
   }
-  return out;
+  if (report) report->truncated = ticker.stopped();
+  return Status::OK();
+}
+
+Status NestedLoopJoin::JoinAB(const std::vector<LabeledValue>& probe,
+                              const std::vector<LabeledValue>& base,
+                              const ValueSimilarity& simv, double xi,
+                              const RunGuard& guard,
+                              std::vector<ValuePair>* out,
+                              JoinReport* report) const {
+  HERA_FAILPOINT("simjoin.join");
+  out->clear();
+  GuardTicker ticker(guard);
+  for (const LabeledValue& p : probe) {
+    if (ticker.stopped()) break;
+    for (const LabeledValue& b : base) {
+      if (ticker.Tick()) break;
+      if (p.label.rid == b.label.rid) continue;
+      double s = simv.Compute(p.value, b.value);
+      if (s >= xi) out->push_back({p.label, b.label, s});
+    }
+  }
+  if (report) report->truncated = ticker.stopped();
+  return Status::OK();
 }
 
 namespace {
@@ -87,10 +117,16 @@ NumericWindow NumericWindowFor(const ValueSimilarity& simv) {
 
 }  // namespace
 
-std::vector<ValuePair> PrefixFilterJoin::Join(
-    const std::vector<LabeledValue>& values, const ValueSimilarity& simv,
-    double xi) const {
-  std::vector<ValuePair> out;
+Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
+                              const ValueSimilarity& simv, double xi,
+                              const RunGuard& guard,
+                              std::vector<ValuePair>* out,
+                              JoinReport* report) const {
+  HERA_FAILPOINT("simjoin.join");
+  out->clear();
+  GuardTicker ticker(guard);
+  const size_t max_posting = guard.max_posting_list();
+  size_t shed_posting = 0;
 
   // ---- Partition: numeric values are swept, everything else gets the
   // token-based path over its canonical string rendering.
@@ -117,9 +153,10 @@ std::vector<ValuePair> PrefixFilterJoin::Join(
   // point can otherwise exclude exact-boundary pairs (sim == xi).
   const double t = 1.0 - xi;
   const NumericWindow window = NumericWindowFor(simv);
-  for (size_t p = 0; p < numeric_idx.size(); ++p) {
+  for (size_t p = 0; p < numeric_idx.size() && !ticker.stopped(); ++p) {
     double x = values[numeric_idx[p]].value.AsNumber();
     for (size_t r = p + 1; r < numeric_idx.size(); ++r) {
+      if (ticker.Tick()) break;
       double y = values[numeric_idx[r]].value.AsNumber();
       double gap = y - x;
       double denom = std::max(std::fabs(x), std::fabs(y));
@@ -141,7 +178,7 @@ std::vector<ValuePair> PrefixFilterJoin::Join(
       const LabeledValue& vb = values[numeric_idx[r]];
       if (va.label.rid == vb.label.rid) continue;
       double s = simv.Compute(va.value, vb.value);
-      if (s >= xi) out.push_back({va.label, vb.label, s});
+      if (s >= xi) out->push_back({va.label, vb.label, s});
     }
   }
 
@@ -178,7 +215,7 @@ std::vector<ValuePair> PrefixFilterJoin::Join(
   std::unordered_map<uint32_t, std::vector<size_t>> postings;
   std::vector<size_t> candidate_of(sets.size(), SIZE_MAX);  // Dedup marker.
 
-  for (size_t si = 0; si < sets.size(); ++si) {
+  for (size_t si = 0; si < sets.size() && !ticker.stopped(); ++si) {
     const Encoded& x = sets[si];
     const size_t len_x = x.ids.size();
     // Prefix length for Jaccard threshold filter_xi.
@@ -203,6 +240,7 @@ std::vector<ValuePair> PrefixFilterJoin::Join(
     }
 
     for (size_t cj : candidates) {
+      if (ticker.Tick()) break;
       const Encoded& y = sets[cj];
       const LabeledValue& va = values[x.idx];
       const LabeledValue& vb = values[y.idx];
@@ -213,21 +251,40 @@ std::vector<ValuePair> PrefixFilterJoin::Join(
       } else {
         s = simv.Compute(va.value, vb.value);
       }
-      if (s >= xi) out.push_back({va.label, vb.label, s});
+      if (s >= xi) out->push_back({va.label, vb.label, s});
     }
 
-    // Index x's prefix tokens for later probes.
-    for (size_t pi = 0; pi < prefix; ++pi) postings[x.ids[pi]].push_back(si);
+    // Index x's prefix tokens for later probes, honoring the guard's
+    // posting-list ceiling (frequent tokens stop accumulating probes).
+    for (size_t pi = 0; pi < prefix; ++pi) {
+      std::vector<size_t>& list = postings[x.ids[pi]];
+      if (max_posting > 0 && list.size() >= max_posting) {
+        ++shed_posting;
+        continue;
+      }
+      list.push_back(si);
+    }
   }
 
-  return out;
+  if (report) {
+    report->truncated = ticker.stopped();
+    report->shed_posting_entries = shed_posting;
+  }
+  return Status::OK();
 }
 
 
-std::vector<ValuePair> PrefixFilterJoin::JoinAB(
-    const std::vector<LabeledValue>& probe, const std::vector<LabeledValue>& base,
-    const ValueSimilarity& simv, double xi) const {
-  std::vector<ValuePair> out;
+Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
+                                const std::vector<LabeledValue>& base,
+                                const ValueSimilarity& simv, double xi,
+                                const RunGuard& guard,
+                                std::vector<ValuePair>* out,
+                                JoinReport* report) const {
+  HERA_FAILPOINT("simjoin.join");
+  out->clear();
+  GuardTicker ticker(guard);
+  const size_t max_posting = guard.max_posting_list();
+  size_t shed_posting = 0;
 
   const bool metric_handles_numbers =
       StartsWith(simv.Name(), "hybrid(") || simv.Name() == "numeric";
@@ -248,6 +305,7 @@ std::vector<ValuePair> PrefixFilterJoin::JoinAB(
   const double t = 1.0 - xi;
   const NumericWindow window = NumericWindowFor(simv);
   for (const LabeledValue& p : probe) {
+    if (ticker.stopped()) break;
     if (!p.value.is_number() || !metric_handles_numbers) continue;
     double x = p.value.AsNumber();
     // Find the first base value the window can reach: y >= x - t*|...|
@@ -276,19 +334,21 @@ std::vector<ValuePair> PrefixFilterJoin::JoinAB(
       if (!within) return false;
       if (p.label.rid != base[bi].label.rid) {
         double s = simv.Compute(p.value, base[bi].value);
-        if (s >= xi) out.push_back({p.label, base[bi].label, s});
+        if (s >= xi) out->push_back({p.label, base[bi].label, s});
       }
       return true;
     };
     // Forward: y >= x; failure is monotone for y > 0 (see Join()),
     // and unconditionally for an absolute window.
     for (size_t k = start; k < base_numeric.size(); ++k) {
+      if (ticker.Tick()) break;
       double y = base[base_numeric[k]].value.AsNumber();
       if (!try_pair(base_numeric[k]) && (window.absolute || y > 0)) break;
     }
     // Backward: y < x; by symmetry, failure is monotone while y < 0
     // for the relative window, always for the absolute one.
     for (size_t k = start; k-- > 0;) {
+      if (ticker.Tick()) break;
       double y = base[base_numeric[k]].value.AsNumber();
       if (!try_pair(base_numeric[k]) && (window.absolute || y < 0)) break;
     }
@@ -317,11 +377,18 @@ std::vector<ValuePair> PrefixFilterJoin::JoinAB(
   for (size_t i = 0; i < base.size(); ++i) {
     if (base_norm[i].empty()) continue;
     base_ids[i] = dict.Encode(base_norm[i]);
-    for (uint32_t tok : base_ids[i]) postings[tok].push_back(i);
+    for (uint32_t tok : base_ids[i]) {
+      std::vector<size_t>& list = postings[tok];
+      if (max_posting > 0 && list.size() >= max_posting) {
+        ++shed_posting;
+        continue;
+      }
+      list.push_back(i);
+    }
   }
 
   std::vector<size_t> last_probe(base.size(), SIZE_MAX);
-  for (size_t pi = 0; pi < probe.size(); ++pi) {
+  for (size_t pi = 0; pi < probe.size() && !ticker.stopped(); ++pi) {
     if (probe_norm[pi].empty()) continue;
     std::vector<uint32_t> ids = dict.Encode(probe_norm[pi]);
     if (ids.empty()) continue;
@@ -334,10 +401,11 @@ std::vector<ValuePair> PrefixFilterJoin::JoinAB(
     const double max_len =
         filter_xi > 0.0 ? static_cast<double>(len_x) / filter_xi
                         : std::numeric_limits<double>::infinity();
-    for (size_t k = 0; k < prefix; ++k) {
+    for (size_t k = 0; k < prefix && !ticker.stopped(); ++k) {
       auto it = postings.find(ids[k]);
       if (it == postings.end()) continue;
       for (size_t bi : it->second) {
+        if (ticker.Tick()) break;
         if (last_probe[bi] == pi) continue;
         last_probe[bi] = pi;
         double blen = static_cast<double>(base_ids[bi].size());
@@ -349,12 +417,16 @@ std::vector<ValuePair> PrefixFilterJoin::JoinAB(
         } else {
           s = simv.Compute(probe[pi].value, base[bi].value);
         }
-        if (s >= xi) out.push_back({probe[pi].label, base[bi].label, s});
+        if (s >= xi) out->push_back({probe[pi].label, base[bi].label, s});
       }
     }
   }
-  return out;
+
+  if (report) {
+    report->truncated = ticker.stopped();
+    report->shed_posting_entries = shed_posting;
+  }
+  return Status::OK();
 }
 
 }  // namespace hera
-

@@ -8,6 +8,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/run_guard.h"
+#include "common/status.h"
 #include "record/super_record.h"
 #include "sim/similarity.h"
 
@@ -26,24 +28,50 @@ struct ValuePair {
   double sim = 0.0;
 };
 
+/// What a guarded join shed or skipped (see common/run_guard.h).
+struct JoinReport {
+  /// The join stopped early on deadline expiry or cancellation; `out`
+  /// holds every pair found so far (each is genuinely similar — the
+  /// result is a subset, never wrong).
+  bool truncated = false;
+  /// Posting-list entries dropped by the guard's max_posting_list
+  /// ceiling; candidate recall may be reduced.
+  size_t shed_posting_entries = 0;
+};
+
 /// \brief Abstract similarity join over labeled value sets.
 ///
 /// Join() is a self-join: every pair (a, b) with a.rid != b.rid and
 /// simv(a, b) >= xi, each unordered pair reported once. JoinAB() is the
 /// two-set form used by incremental resolution: pairs (p, q) with p
 /// from `probe`, q from `base`, different rids, simv >= xi.
+///
+/// The guarded forms stop at the next check stride once `guard`
+/// reports interruption (partial output, report->truncated) and honor
+/// its posting-list ceiling; they fail only via fault injection
+/// (HERA_FAILPOINT "simjoin.join"). The 3-argument convenience forms
+/// run unguarded.
 class SimilarityJoin {
  public:
   virtual ~SimilarityJoin() = default;
 
-  virtual std::vector<ValuePair> Join(const std::vector<LabeledValue>& values,
-                                      const ValueSimilarity& simv,
-                                      double xi) const = 0;
+  /// Unguarded convenience forms.
+  std::vector<ValuePair> Join(const std::vector<LabeledValue>& values,
+                              const ValueSimilarity& simv, double xi) const;
+  std::vector<ValuePair> JoinAB(const std::vector<LabeledValue>& probe,
+                                const std::vector<LabeledValue>& base,
+                                const ValueSimilarity& simv, double xi) const;
 
-  virtual std::vector<ValuePair> JoinAB(const std::vector<LabeledValue>& probe,
-                                        const std::vector<LabeledValue>& base,
-                                        const ValueSimilarity& simv,
-                                        double xi) const = 0;
+  /// Guarded core. `out` is cleared first; `report` may be null.
+  virtual Status Join(const std::vector<LabeledValue>& values,
+                      const ValueSimilarity& simv, double xi,
+                      const RunGuard& guard, std::vector<ValuePair>* out,
+                      JoinReport* report = nullptr) const = 0;
+  virtual Status JoinAB(const std::vector<LabeledValue>& probe,
+                        const std::vector<LabeledValue>& base,
+                        const ValueSimilarity& simv, double xi,
+                        const RunGuard& guard, std::vector<ValuePair>* out,
+                        JoinReport* report = nullptr) const = 0;
 };
 
 /// \brief O(n^2) reference implementation; correctness oracle in tests
@@ -51,14 +79,19 @@ class SimilarityJoin {
 /// claim.
 class NestedLoopJoin : public SimilarityJoin {
  public:
-  std::vector<ValuePair> Join(const std::vector<LabeledValue>& values,
-                              const ValueSimilarity& simv,
-                              double xi) const override;
+  using SimilarityJoin::Join;
+  using SimilarityJoin::JoinAB;
 
-  std::vector<ValuePair> JoinAB(const std::vector<LabeledValue>& probe,
-                                const std::vector<LabeledValue>& base,
-                                const ValueSimilarity& simv,
-                                double xi) const override;
+  Status Join(const std::vector<LabeledValue>& values,
+              const ValueSimilarity& simv, double xi, const RunGuard& guard,
+              std::vector<ValuePair>* out,
+              JoinReport* report = nullptr) const override;
+
+  Status JoinAB(const std::vector<LabeledValue>& probe,
+                const std::vector<LabeledValue>& base,
+                const ValueSimilarity& simv, double xi, const RunGuard& guard,
+                std::vector<ValuePair>* out,
+                JoinReport* report = nullptr) const override;
 };
 
 /// \brief AllPairs-style join: q-gram tokens interned in ascending
@@ -73,20 +106,25 @@ class NestedLoopJoin : public SimilarityJoin {
 /// sweep, exact for the relative-difference numeric similarity.
 class PrefixFilterJoin : public SimilarityJoin {
  public:
+  using SimilarityJoin::Join;
+  using SimilarityJoin::JoinAB;
+
   explicit PrefixFilterJoin(int q = 2, double filter_slack = 0.7)
       : q_(q), filter_slack_(filter_slack) {}
 
-  std::vector<ValuePair> Join(const std::vector<LabeledValue>& values,
-                              const ValueSimilarity& simv,
-                              double xi) const override;
+  Status Join(const std::vector<LabeledValue>& values,
+              const ValueSimilarity& simv, double xi, const RunGuard& guard,
+              std::vector<ValuePair>* out,
+              JoinReport* report = nullptr) const override;
 
   /// Probe-vs-base join: the base's tokens are fully indexed, probes
   /// search with their prefix tokens plus a two-sided length filter —
   /// exact (no false negatives) for the Jaccard metric.
-  std::vector<ValuePair> JoinAB(const std::vector<LabeledValue>& probe,
-                                const std::vector<LabeledValue>& base,
-                                const ValueSimilarity& simv,
-                                double xi) const override;
+  Status JoinAB(const std::vector<LabeledValue>& probe,
+                const std::vector<LabeledValue>& base,
+                const ValueSimilarity& simv, double xi, const RunGuard& guard,
+                std::vector<ValuePair>* out,
+                JoinReport* report = nullptr) const override;
 
  private:
   int q_;

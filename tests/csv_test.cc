@@ -200,6 +200,123 @@ TEST(DatasetIoTest, BadConceptLineRejected) {
   EXPECT_FALSE(ReadDataset(path).ok());
 }
 
+// --------------------------------------------------------- hostile files
+
+TEST(CsvLineTest, ReportsUnterminatedQuote) {
+  bool unterminated = false;
+  ParseCsvLine("\"closed\",ok", &unterminated);
+  EXPECT_FALSE(unterminated);
+  ParseCsvLine("\"never closed", &unterminated);
+  EXPECT_TRUE(unterminated);
+}
+
+TEST(DatasetIoTest, UnterminatedQuoteRejectedWithLineNumber) {
+  std::string path = TempPath("open_quote.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#schema 0 S a\n0,-,\"oops\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("unterminated quote"), std::string::npos)
+      << r.status();
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, UnterminatedQuoteInSchemaAttrsRejected) {
+  std::string path = TempPath("open_quote_schema.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#schema 0 S \"a,b\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, RaggedRowReportsExpectedAndActualArity) {
+  std::string path = TempPath("ragged.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#schema 0 S a,b\n0,-,x,y,z\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expects 2"), std::string::npos)
+      << r.status();
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, DuplicateHeaderRejected) {
+  std::string path = TempPath("dup_header.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#hera-dataset v1\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, DuplicateSchemaIdRejected) {
+  std::string path = TempPath("dup_schema.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#schema 0 S a\n#schema 0 T b\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate #schema"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, MalformedSchemaLineRejected) {
+  std::string path = TempPath("malformed_schema.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#schema nonsense\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("malformed #schema"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, SchemaAfterDataRejected) {
+  std::string path = TempPath("late_schema.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#schema 0 S a\n0,-,v\n"
+                      << "#schema 1 T b\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("after data"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, DuplicateTruthRejected) {
+  std::string path = TempPath("dup_truth.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#schema 0 S a\n#truth 1\n"
+                      << "#truth 1\n0,0,v\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate #truth"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, TruthAfterDataRejected) {
+  // Records read before #truth would have no entity id; rejecting is
+  // the only labeling-consistent answer.
+  std::string path = TempPath("late_truth.hera");
+  std::ofstream(path) << "#hera-dataset v1\n#schema 0 S a\n0,-,v\n"
+                      << "#truth 1\n0,0,w\n";
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("after data"), std::string::npos)
+      << r.status();
+}
+
+TEST(DatasetIoTest, OversizedLineRejected) {
+  std::string path = TempPath("huge_line.hera");
+  {
+    std::ofstream out(path);
+    out << "#hera-dataset v1\n#schema 0 S a\n0,-,";
+    std::string big((4u << 20) + 16, 'x');
+    out << big << "\n";
+  }
+  auto r = ReadDataset(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("exceeds"), std::string::npos)
+      << r.status();
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status();
+}
+
 }  // namespace
 }  // namespace hera
 

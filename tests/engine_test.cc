@@ -75,11 +75,12 @@ TEST(EngineTest, IndexNewRecordsReturnsPairCount) {
   Dataset ds = testing_util::MakeCustomersDataset();
   ResolutionEngine engine(HeraOptions{}, Metric());
   engine.AddRecords(ds.records());
-  size_t added = engine.IndexNewRecords();
-  EXPECT_GT(added, 0u);
-  EXPECT_EQ(added, engine.stats().index_size);
+  auto added = engine.IndexNewRecords();
+  ASSERT_TRUE(added.ok());
+  EXPECT_GT(*added, 0u);
+  EXPECT_EQ(*added, engine.stats().index_size);
   // Nothing new: zero additional pairs.
-  EXPECT_EQ(engine.IndexNewRecords(), 0u);
+  EXPECT_EQ(*engine.IndexNewRecords(), 0u);
 }
 
 TEST(EngineTest, PredictorAccessibleAfterRun) {

@@ -128,7 +128,7 @@ TEST(IncrementalHeraTest, MatchesBatchOnMotivatingExample) {
     ASSERT_TRUE(id.ok());
     EXPECT_EQ(*id, r.id());
   }
-  EXPECT_EQ(inc.Resolve(), ds.size());
+  EXPECT_EQ(*inc.Resolve(), ds.size());
   EXPECT_TRUE(testing_util::SamePartition(inc.Labels(), batch->entity_of));
 }
 
@@ -166,7 +166,7 @@ TEST(IncrementalHeraTest, PendingRecordsAreSingletonsUntilResolve) {
 TEST(IncrementalHeraTest, ResolveWithNothingPendingIsNoop) {
   auto inc_or = IncrementalHera::Create(HeraOptions{}, SchemaCatalog());
   ASSERT_TRUE(inc_or.ok());
-  EXPECT_EQ((*inc_or)->Resolve(), 0u);
+  EXPECT_EQ(*(*inc_or)->Resolve(), 0u);
   EXPECT_TRUE((*inc_or)->Labels().empty());
 }
 

@@ -5,15 +5,23 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/random.h"
+#include "common/run_guard.h"
 #include "core/hera.h"
+#include "core/incremental.h"
+#include "data/csv.h"
+#include "data/publication_generator.h"
 #include "eval/metrics.h"
 #include "sim/metrics.h"
 #include "simjoin/similarity_join.h"
+#include "testing_util.h"
 
 namespace hera {
 namespace {
@@ -258,6 +266,270 @@ TEST(RobustnessTest, RandomDatasetsInvariants) {
         << "trial " << trial;
   }
 }
+
+// -------------------------------------------------- option validation
+
+TEST(GovernanceTest, InvalidOptionsRejectedUpFront) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  auto expect_invalid = [&](HeraOptions opts, const char* what) {
+    auto r = Hera(opts).Run(ds);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << what;
+    auto inc = IncrementalHera::Create(opts, ds.schemas());
+    ASSERT_FALSE(inc.ok()) << what;
+    EXPECT_EQ(inc.status().code(), StatusCode::kInvalidArgument) << what;
+  };
+  HeraOptions bad;
+  bad.xi = -0.1;
+  expect_invalid(bad, "xi < 0");
+  bad = HeraOptions{};
+  bad.xi = 1.5;
+  expect_invalid(bad, "xi > 1");
+  bad = HeraOptions{};
+  bad.delta = 2.0;
+  expect_invalid(bad, "delta > 1");
+  bad = HeraOptions{};
+  bad.vote_prior_p = 0.4;  // Must exceed 0.5 to carry any signal.
+  expect_invalid(bad, "vote_prior_p <= 0.5");
+  bad = HeraOptions{};
+  bad.vote_prior_p = 1.5;
+  expect_invalid(bad, "vote_prior_p > 1");
+  bad = HeraOptions{};
+  bad.vote_rho = 0.0;
+  expect_invalid(bad, "vote_rho == 0");
+  bad = HeraOptions{};
+  bad.max_iterations = 0;
+  expect_invalid(bad, "max_iterations == 0");
+  bad = HeraOptions{};
+  bad.metric = "no_such_metric";
+  expect_invalid(bad, "unknown metric");
+}
+
+// ------------------------------------------- deadlines and cancellation
+
+// Asserts entity_of / super_records describe one consistent partition.
+void ExpectValidLabeling(const HeraResult& result, size_t n) {
+  ASSERT_EQ(result.entity_of.size(), n);
+  std::map<uint32_t, std::set<uint32_t>> clusters;
+  for (uint32_t r = 0; r < n; ++r) {
+    EXPECT_EQ(result.entity_of[result.entity_of[r]], result.entity_of[r]);
+    clusters[result.entity_of[r]].insert(r);
+  }
+  ASSERT_EQ(clusters.size(), result.super_records.size());
+  size_t members = 0;
+  for (const auto& [rid, sr] : result.super_records) {
+    ASSERT_TRUE(clusters.count(rid)) << "super record " << rid;
+    EXPECT_EQ(clusters[rid].size(), sr.members().size());
+    members += sr.members().size();
+  }
+  EXPECT_EQ(members, n);
+}
+
+Dataset MakePublications() {
+  PublicationGeneratorConfig cfg;
+  cfg.num_records = 120;
+  cfg.num_entities = 30;
+  cfg.seed = 7;
+  return GeneratePublicationDataset(cfg);
+}
+
+TEST(GovernanceTest, ZeroDeadlineReturnsValidPartialLabeling) {
+  Dataset ds = MakePublications();
+  HeraOptions opts;
+  opts.guard.WithTimeoutMs(0.0);  // Expired the moment the run arms it.
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.outcome, RunOutcome::kTruncatedDeadline);
+  ExpectValidLabeling(*result, ds.size());
+}
+
+TEST(GovernanceTest, PreCancelledTokenTruncates) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  CancellationToken token = CancellationToken::Make();
+  token.RequestCancel();
+  HeraOptions opts;
+  opts.guard.WithCancellation(token);
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.outcome, RunOutcome::kTruncatedCancelled);
+  ExpectValidLabeling(*result, ds.size());
+}
+
+TEST(GovernanceTest, GenerousGuardMatchesUnguardedRun) {
+  // A guard whose limits cannot bind must not change the result.
+  Dataset ds = testing_util::MakeCustomersDataset();
+  auto plain = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(plain.ok());
+  HeraOptions opts;
+  opts.guard.WithTimeoutMs(1e9)
+      .WithCancellation(CancellationToken::Make())
+      .WithMaxIndexPairs(1u << 30)
+      .WithMaxPostingList(1u << 30)
+      .WithMaxCandidatesPerIteration(1u << 30);
+  auto guarded = Hera(opts).Run(ds);
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_EQ(guarded->stats.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(guarded->entity_of, plain->entity_of);
+  EXPECT_EQ(guarded->stats.merges, plain->stats.merges);
+  EXPECT_EQ(guarded->stats.index_size, plain->stats.index_size);
+}
+
+// ------------------------------------------------------ resource ceilings
+
+TEST(GovernanceTest, IndexPairCeilingDegradesGracefully) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.guard.WithMaxIndexPairs(5);
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.outcome, RunOutcome::kDegraded);
+  EXPECT_GT(result->stats.shed_index_pairs, 0u);
+  EXPECT_LE(result->stats.index_size, 5u);
+  ExpectValidLabeling(*result, ds.size());
+}
+
+TEST(GovernanceTest, PostingListCeilingDegradesGracefully) {
+  // Many records sharing one hot token blow up the per-token posting
+  // lists; the ceiling sheds them instead of going quadratic.
+  Dataset ds;
+  uint32_t s = ds.schemas().Register(Schema("S", {"a"}));
+  for (int i = 0; i < 40; ++i) {
+    ds.AddRecord(s, {Value("hot common token " + std::to_string(i))});
+  }
+  HeraOptions opts;
+  opts.guard.WithMaxPostingList(4);
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.outcome, RunOutcome::kDegraded);
+  EXPECT_GT(result->stats.shed_posting_entries, 0u);
+  ExpectValidLabeling(*result, ds.size());
+}
+
+TEST(GovernanceTest, CandidateCapDefersWithoutLosingMerges) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  auto plain = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(plain.ok());
+  HeraOptions opts;
+  opts.guard.WithMaxCandidatesPerIteration(1);
+  auto capped = Hera(opts).Run(ds);
+  ASSERT_TRUE(capped.ok()) << capped.status();
+  // Deferral, not loss: the capped run reaches the same fixpoint.
+  EXPECT_EQ(capped->stats.outcome, RunOutcome::kCompleted);
+  EXPECT_GT(capped->stats.deferred_candidate_groups, 0u);
+  EXPECT_GT(capped->stats.iterations, plain->stats.iterations);
+  EXPECT_TRUE(testing_util::SamePartition(capped->entity_of, plain->entity_of));
+}
+
+TEST(GovernanceTest, IterationCapSurfacedInOutcome) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.max_iterations = 1;  // Fixpoint confirmation needs >= 2 passes.
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.outcome, RunOutcome::kIterationCap);
+  ExpectValidLabeling(*result, ds.size());
+}
+
+TEST(GovernanceTest, RunOutcomeNamesAreStable) {
+  EXPECT_STREQ(RunOutcomeToString(RunOutcome::kCompleted), "completed");
+  EXPECT_STREQ(RunOutcomeToString(RunOutcome::kDegraded), "degraded");
+  EXPECT_STREQ(RunOutcomeToString(RunOutcome::kIterationCap), "iteration_cap");
+  EXPECT_STREQ(RunOutcomeToString(RunOutcome::kTruncatedDeadline),
+               "truncated_deadline");
+  EXPECT_STREQ(RunOutcomeToString(RunOutcome::kTruncatedCancelled),
+               "truncated_cancelled");
+}
+
+// --------------------------------------------------------- fault injection
+
+// These need the HERA_FAILPOINT sites compiled in (HERA_FAILPOINTS=ON,
+// the default); with -DHERA_FAILPOINTS=OFF nothing can trip.
+#ifndef HERA_DISABLE_FAILPOINTS
+
+TEST(GovernanceTest, FailpointSweepEverySiteSurfacesCleanError) {
+  Dataset ds = MakePublications();
+  std::string path = std::string(::testing::TempDir()) + "/failpoint_sweep.hera";
+  ASSERT_TRUE(WriteDataset(ds, path).ok());
+
+  // Unfaulted control run; candidates > 0 proves the KM verification
+  // branch (and with it the verify.km site) is on this dataset's path.
+  failpoint::DisarmAll();
+  {
+    auto loaded = ReadDataset(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    auto r = Hera(HeraOptions{}).Run(*loaded);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_GT(r->stats.candidates, 0u);
+    ASSERT_GT(r->stats.merges, 0u);
+  }
+
+  for (const std::string& site : failpoint::KnownSites()) {
+    SCOPED_TRACE(site);
+    failpoint::DisarmAll();
+    failpoint::Arm(site, Status::Internal("injected at " + site), /*skip=*/0,
+                   /*trips=*/-1);
+    bool failed = false;
+    auto loaded = ReadDataset(path);
+    if (!loaded.ok()) {
+      failed = true;
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+    } else {
+      auto r = Hera(HeraOptions{}).Run(*loaded);
+      failed = !r.ok();
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+        EXPECT_NE(r.status().message().find(site), std::string::npos)
+            << r.status();
+      }
+    }
+    EXPECT_TRUE(failed) << "site never tripped";
+    EXPECT_GE(failpoint::HitCount(site), 1u);
+  }
+
+  failpoint::DisarmAll();
+  auto loaded = ReadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(Hera(HeraOptions{}).Run(*loaded).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GovernanceTest, SkipAndTripsControlWhichHitFails) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  // The 4 merges of the motivating example: fail only the 3rd.
+  failpoint::Arm("engine.merge", Status::Internal("third merge"), /*skip=*/2,
+                 /*trips=*/1);
+  auto r1 = Hera(HeraOptions{}).Run(ds);
+  EXPECT_FALSE(r1.ok());
+  // The trip budget is spent; the same armed site now passes.
+  auto r2 = Hera(HeraOptions{}).Run(ds);
+  EXPECT_TRUE(r2.ok()) << r2.status();
+  failpoint::DisarmAll();
+}
+
+TEST(GovernanceTest, IncrementalResumesAfterInjectedFailure) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  auto batch = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(batch.ok());
+
+  auto inc_or = IncrementalHera::Create(HeraOptions{}, ds.schemas());
+  ASSERT_TRUE(inc_or.ok());
+  IncrementalHera& inc = **inc_or;
+  for (const Record& r : ds.records()) {
+    ASSERT_TRUE(inc.AddRecord(r.schema_id(), r.values()).ok());
+  }
+  failpoint::Arm("engine.merge", Status::Internal("mid-resolve crash"));
+  auto failed = inc.Resolve();
+  ASSERT_FALSE(failed.ok());
+  failpoint::DisarmAll();
+
+  // The engine survived consistent; a later Resolve picks the work up
+  // with nothing new pending and reaches the batch fixpoint.
+  auto resumed = inc.Resolve();
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(testing_util::SamePartition(inc.Labels(), batch->entity_of));
+}
+
+#endif  // HERA_DISABLE_FAILPOINTS
 
 }  // namespace
 }  // namespace hera
