@@ -37,6 +37,7 @@ int main() {
     std::printf("%-8s pruned=%zu direct=%zu candidates=%zu\n",
                 SpecFor(which).name.c_str(), run.result.stats.pruned_by_bound,
                 run.result.stats.direct_merges, run.result.stats.candidates);
+    bench::WriteBenchReport("fig10_" + SpecFor(which).name, run.result.report);
   }
   return 0;
 }

@@ -45,6 +45,7 @@ int main() {
     std::printf("%-8s build=%.1f ms total=%.1f ms\n",
                 SpecFor(which).name.c_str(), run.result.stats.index_build_ms,
                 run.result.stats.total_ms);
+    bench::WriteBenchReport("fig12_" + SpecFor(which).name, run.result.report);
   }
   return 0;
 }

@@ -1,9 +1,18 @@
 // Shared helpers for the table/figure reproduction harnesses.
+//
+// Machine-readable output: set HERA_BENCH_JSON_DIR to a directory and
+// the harnesses collect run reports and write one BENCH_<name>.json
+// per measured configuration (schema: docs/observability.md). Unset
+// (the default), collection stays off and the harness measures the
+// uninstrumented path.
 
 #ifndef HERA_BENCH_BENCH_UTIL_H_
 #define HERA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "core/hera.h"
 #include "data/benchmark_datasets.h"
@@ -11,6 +20,27 @@
 
 namespace hera {
 namespace bench {
+
+/// The HERA_BENCH_JSON_DIR directory, or nullptr (reports disabled).
+inline const char* BenchJsonDir() {
+  static const char* dir = std::getenv("HERA_BENCH_JSON_DIR");
+  return dir;
+}
+
+/// Writes `report` to $HERA_BENCH_JSON_DIR/BENCH_<name>.json; no-op
+/// when the env var is unset.
+inline void WriteBenchReport(const std::string& name,
+                             const obs::RunReport& report) {
+  const char* dir = BenchJsonDir();
+  if (dir == nullptr) return;
+  std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << report.ToJson() << "\n";
+}
 
 /// Runs HERA with (xi, delta) on a dataset and returns result+metrics.
 struct HeraRun {
@@ -22,6 +52,7 @@ inline HeraRun RunHera(const Dataset& ds, double xi, double delta) {
   HeraOptions opts;
   opts.xi = xi;
   opts.delta = delta;
+  opts.collect_report = BenchJsonDir() != nullptr;
   auto result = Hera(opts).Run(ds);
   if (!result.ok()) {
     std::fprintf(stderr, "HERA failed: %s\n",
@@ -53,6 +84,7 @@ inline HeraRun RunHeraWithPairs(const Dataset& ds,
   HeraOptions opts;
   opts.xi = xi;
   opts.delta = delta;
+  opts.collect_report = BenchJsonDir() != nullptr;
   auto result = Hera(opts).RunWithPairs(ds, pairs);
   if (!result.ok()) {
     std::fprintf(stderr, "HERA failed: %s\n",

@@ -2,13 +2,17 @@
 //
 //   hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]
 //                    [--out labels.csv] [--quiet]
+//                    [--emit-report report.json] [--log-level LEVEL]
 //   hera_cli generate <movies|publications> <output.hera>
 //                    [--records N] [--entities E] [--seed S]
 //   hera_cli stats <input.hera>
 //
 // `resolve` prints (or writes) one "record_id,entity_label" line per
 // record plus run statistics; when the input carries ground truth it
-// also reports precision/recall/F1.
+// also reports precision/recall/F1. --emit-report turns on metric
+// collection and writes the machine-readable run report (JSON; see
+// docs/observability.md). --log-level (debug|info|warning|error|off)
+// overrides the HERA_LOG_LEVEL environment variable.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +20,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/logging.h"
 #include "core/hera.h"
 #include "data/csv.h"
 #include "data/profile.h"
@@ -34,6 +39,7 @@ int Usage() {
       "usage:\n"
       "  hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]\n"
       "                   [--out labels.csv] [--quiet]\n"
+      "                   [--emit-report report.json] [--log-level LEVEL]\n"
       "  hera_cli generate <movies|publications> <output.hera>\n"
       "                   [--records N] [--entities E] [--seed S]\n"
       "  hera_cli stats <input.hera>\n");
@@ -68,6 +74,8 @@ int CmdResolve(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--delta")) opts.delta = std::atof(v);
   if (const char* v = FlagValue(argc, argv, "--metric")) opts.metric = v;
   const bool quiet = HasFlag(argc, argv, "--quiet");
+  const char* report_path = FlagValue(argc, argv, "--emit-report");
+  opts.collect_report = report_path != nullptr;
 
   auto result = Hera(opts).Run(*ds);
   if (!result.ok()) {
@@ -100,6 +108,22 @@ int CmdResolve(int argc, char** argv) {
                ds->size(), result->super_records.size(), st.index_size,
                st.iterations, st.comparisons, st.direct_merges, st.merges,
                st.total_ms);
+  if (st.outcome != RunOutcome::kCompleted) {
+    std::fprintf(stderr, "outcome=%s (run was governed; labeling is valid)\n",
+                 RunOutcomeToString(st.outcome));
+  }
+  if (report_path != nullptr) {
+    std::ofstream report_out(report_path);
+    if (!report_out) {
+      std::fprintf(stderr, "cannot write %s\n", report_path);
+      return 1;
+    }
+    report_out << result->report.ToJson() << "\n";
+    if (!quiet) {
+      std::fprintf(stderr, "%s", result->report.ToString().c_str());
+      std::fprintf(stderr, "report written to %s\n", report_path);
+    }
+  }
   if (ds->has_ground_truth()) {
     PairMetrics m = EvaluatePairs(result->entity_of, ds->entity_of());
     std::fprintf(stderr, "precision=%.3f recall=%.3f F1=%.3f ARI=%.3f\n",
@@ -187,6 +211,16 @@ int CmdStats(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (const char* v = FlagValue(argc, argv, "--log-level")) {
+    LogLevel level;
+    if (!ParseLogLevel(v, &level)) {
+      std::fprintf(stderr,
+                   "unknown --log-level %s (want debug|info|warning|error|off)\n",
+                   v);
+      return 2;
+    }
+    SetLogLevel(level);
+  }
   std::string cmd = argv[1];
   if (cmd == "resolve") return CmdResolve(argc - 2, argv + 2);
   if (cmd == "generate") return CmdGenerate(argc - 2, argv + 2);

@@ -1,6 +1,7 @@
 #include "common/failpoint.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -23,6 +24,10 @@ struct Registry {
   // Fast-path gate: number of armed sites. When zero, Check() is one
   // relaxed load and no lock is taken.
   std::atomic<int> armed_count{0};
+  // Trip observer slot (see SetTripObserver). shared_ptr so Check can
+  // invoke it outside the lock without racing a concurrent Clear.
+  const void* observer_owner = nullptr;
+  std::shared_ptr<std::function<void(const char*)>> observer;
 };
 
 Registry& GlobalRegistry() {
@@ -73,22 +78,46 @@ std::vector<std::string> KnownSites() {
           "simjoin.join", "verify.km", "engine.merge"};
 }
 
+void SetTripObserver(const void* owner,
+                     std::function<void(const char* site)> observer) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.observer_owner = owner;
+  r.observer =
+      std::make_shared<std::function<void(const char*)>>(std::move(observer));
+}
+
+void ClearTripObserver(const void* owner) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.observer_owner != owner) return;
+  r.observer_owner = nullptr;
+  r.observer.reset();
+}
+
 Status Check(const char* site) {
   Registry& r = GlobalRegistry();
   if (r.armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(r.mu);
-  auto it = r.sites.find(site);
-  if (it == r.sites.end()) return Status::OK();
-  SiteState& s = it->second;
-  ++s.hits;
-  if (!s.armed) return Status::OK();
-  if (s.skip > 0) {
-    --s.skip;
-    return Status::OK();
+  std::shared_ptr<std::function<void(const char*)>> observer;
+  Status tripped;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return Status::OK();
+    SiteState& s = it->second;
+    ++s.hits;
+    if (!s.armed) return Status::OK();
+    if (s.skip > 0) {
+      --s.skip;
+      return Status::OK();
+    }
+    if (s.trips == 0) return Status::OK();
+    if (s.trips > 0) --s.trips;
+    tripped = s.error;
+    observer = r.observer;
   }
-  if (s.trips == 0) return Status::OK();
-  if (s.trips > 0) --s.trips;
-  return s.error;
+  if (observer && *observer) (*observer)(site);
+  return tripped;
 }
 
 }  // namespace failpoint

@@ -21,6 +21,7 @@
 #define HERA_COMMON_FAILPOINT_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,18 @@ std::vector<std::string> KnownSites();
 /// The check the HERA_FAILPOINT macro calls; returns the armed error
 /// when the site trips, OK otherwise.
 Status Check(const char* site);
+
+/// Registers a process-wide observer invoked (outside the registry
+/// lock) each time an armed site trips. One slot: a later registration
+/// replaces the current one. The observability layer uses this to turn
+/// injected faults into structured trace events; `owner` identifies
+/// the registrant so a stale owner's Clear cannot drop a newer
+/// observer.
+void SetTripObserver(const void* owner,
+                     std::function<void(const char* site)> observer);
+
+/// Clears the observer iff `owner` still holds the slot.
+void ClearTripObserver(const void* owner);
 
 }  // namespace failpoint
 }  // namespace hera

@@ -1,4 +1,13 @@
-// Minimal leveled logging. Off by default; benches enable INFO.
+// Minimal leveled logging to stderr. Off below Warning by default;
+// benches enable INFO. Each line carries an ISO-8601 UTC timestamp
+// (millisecond precision), the level tag, the calling thread's id, and
+// the source location:
+//
+//   [2026-08-05T12:34:56.789Z INFO tid:140233 engine.cc:173] message
+//
+// The initial threshold comes from the HERA_LOG_LEVEL environment
+// variable (debug|info|warning|error|off, case-insensitive), read once
+// on first use; SetLogLevel overrides it at runtime.
 
 #ifndef HERA_COMMON_LOGGING_H_
 #define HERA_COMMON_LOGGING_H_
@@ -14,6 +23,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 /// Global log threshold; messages below it are discarded.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses a level name ("debug", "info", "warning"/"warn", "error",
+/// "off"; any case) into `*out`. Returns false (leaving `*out`
+/// untouched) on an unknown name. Backs both the HERA_LOG_LEVEL
+/// environment variable and the CLI --log-level flag.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
 
 namespace internal {
 

@@ -1,4 +1,7 @@
-// Monotonic wall-clock timer for benchmark harnesses.
+// Monotonic stopwatch shared by the engine's stats timings, the
+// observability layer (obs::ScopedTimer, tracer spans), and the
+// benchmark harnesses. Steady-clock based: immune to wall-clock
+// adjustments, so durations are safe to diff and accumulate.
 
 #ifndef HERA_COMMON_TIMER_H_
 #define HERA_COMMON_TIMER_H_

@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "core/verifier.h"
 #include "index/bounds.h"
+#include "obs/metrics.h"
 
 namespace hera {
 
@@ -27,6 +28,27 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
     joiner_ = std::make_unique<NestedLoopJoin>();
   }
   index_.SetCeilings(guard_.max_index_pairs(), guard_.max_posting_list());
+#ifndef HERA_DISABLE_OBS
+  if (options_.collect_report) {
+    trace_ = std::make_shared<obs::RunTrace>();
+    obs::MetricsRegistry& m = trace_->metrics();
+    // 1us .. ~4.2s in x4 steps.
+    h_verify_us_ = m.GetHistogram("verify.latency_us",
+                                  obs::Histogram::ExponentialBounds(1.0, 4.0, 12));
+    h_group_pairs_ = m.GetHistogram(
+        "candidate.group_pairs", obs::Histogram::ExponentialBounds(1.0, 4.0, 8));
+    h_km_nodes_ = m.GetHistogram("verify.simplified_nodes",
+                                 obs::Histogram::ExponentialBounds(2.0, 2.0, 8));
+    h_km_matrix_ = m.GetHistogram("verify.km_matrix_n",
+                                  obs::Histogram::ExponentialBounds(1.0, 2.0, 8));
+    h_posting_len_ = m.GetHistogram(
+        "index.posting_list_len", obs::Histogram::ExponentialBounds(1.0, 4.0, 10));
+    h_index_build_us_ = m.GetHistogram(
+        "index.build_us", obs::Histogram::ExponentialBounds(16.0, 4.0, 12));
+    h_iteration_us_ = m.GetHistogram(
+        "iteration.duration_us", obs::Histogram::ExponentialBounds(16.0, 4.0, 12));
+  }
+#endif
 }
 
 void ResolutionEngine::AddRecords(const std::vector<Record>& records) {
@@ -61,13 +83,26 @@ RunOutcome ResolutionEngine::TruncationOutcome() const {
 }
 
 void ResolutionEngine::NoteJoinReport(const JoinReport& report) {
+  if (trace_) {
+    obs::MetricsRegistry& m = trace_->metrics();
+    m.GetCounter("simjoin.candidates")->Inc(report.candidates);
+    m.GetCounter("simjoin.verified")->Inc(report.verified);
+    m.GetCounter("simjoin.emitted")->Inc(report.emitted);
+  }
   if (report.truncated) {
     stats_.join_truncated = true;
     RaiseOutcome(TruncationOutcome());
+    if (trace_) {
+      trace_->tracer().Event("join.truncated",
+                             guard_.Cancelled() ? "cancelled" : "deadline");
+    }
   }
   if (report.shed_posting_entries > 0) {
     join_shed_posting_ += report.shed_posting_entries;
     RaiseOutcome(RunOutcome::kDegraded);
+    if (trace_) {
+      trace_->tracer().Event("shed.posting", "join", report.shed_posting_entries);
+    }
   }
 }
 
@@ -76,12 +111,24 @@ void ResolutionEngine::AddPairsGuarded(std::vector<ValuePair> pairs) {
     std::sort(pairs.begin(), pairs.end(),
               [](const ValuePair& a, const ValuePair& b) { return a.sim > b.sim; });
   }
+  const size_t idx_shed_before = index_.shed_pairs();
+  const size_t idx_posting_before = index_.shed_posting_entries();
   index_.AddPairs(pairs);
   stats_.shed_index_pairs = index_.shed_pairs();
   stats_.shed_posting_entries =
       join_shed_posting_ + index_.shed_posting_entries();
   if (stats_.shed_index_pairs > 0 || stats_.shed_posting_entries > 0) {
     RaiseOutcome(RunOutcome::kDegraded);
+  }
+  if (trace_) {
+    if (index_.shed_pairs() > idx_shed_before) {
+      trace_->tracer().Event("shed.index_pairs", "ceiling",
+                             index_.shed_pairs() - idx_shed_before);
+    }
+    if (index_.shed_posting_entries() > idx_posting_before) {
+      trace_->tracer().Event("shed.posting", "index",
+                             index_.shed_posting_entries() - idx_posting_before);
+    }
   }
 }
 
@@ -95,8 +142,22 @@ std::vector<LabeledValue> ResolutionEngine::ValuesOf(const SuperRecord& sr) cons
   return values;
 }
 
+void ResolutionEngine::HarvestIndexMetrics() {
+  if (!trace_) return;
+  trace_->metrics().GetGauge("index.size")->Set(static_cast<double>(index_.size()));
+  // Snapshot the posting-length distribution (one observation per live
+  // posting list per indexing round).
+  index_.ForEachPostingLength([this](uint32_t rid, size_t len) {
+    (void)rid;
+    h_posting_len_->Observe(static_cast<double>(len));
+  });
+}
+
 StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
-  Timer timer;
+  // ScopedTimer flushes on every exit path, including injected
+  // failures, so index_build_ms now also covers aborted builds.
+  obs::ScopedTimer timer(&stats_.index_build_ms, h_index_build_us_);
+  auto span = obs::StartSpan(trace_.get(), "index.build");
   HERA_FAILPOINT("index.build");
   size_t before = index_.size();
   if (guard_.Interrupted()) {
@@ -105,9 +166,12 @@ StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
     // against a half-processed watermark).
     RaiseOutcome(TruncationOutcome());
     stats_.join_truncated = true;
+    if (trace_) {
+      trace_->tracer().Event("join.truncated",
+                             guard_.Cancelled() ? "cancelled" : "deadline");
+    }
     indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
     stats_.index_size = index_.size();
-    stats_.index_build_ms += timer.ElapsedMillis();
     return size_t{0};
   }
   std::vector<LabeledValue> fresh, existing;
@@ -118,34 +182,41 @@ StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
   }
   std::vector<ValuePair> joined;
   JoinReport report;
-  HERA_RETURN_NOT_OK(
-      joiner_->Join(fresh, *simv_, options_.xi, guard_, &joined, &report));
+  {
+    auto join_span = obs::StartSpan(trace_.get(), "join.self");
+    HERA_RETURN_NOT_OK(
+        joiner_->Join(fresh, *simv_, options_.xi, guard_, &joined, &report));
+  }
   NoteJoinReport(report);
   AddPairsGuarded(std::move(joined));
   if (!existing.empty() && !guard_.Interrupted()) {
+    auto join_span = obs::StartSpan(trace_.get(), "join.ab");
     HERA_RETURN_NOT_OK(joiner_->JoinAB(fresh, existing, *simv_, options_.xi,
                                        guard_, &joined, &report));
+    join_span.End();
     NoteJoinReport(report);
     AddPairsGuarded(std::move(joined));
   }
   indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
   stats_.index_size = index_.size();
-  stats_.index_build_ms += timer.ElapsedMillis();
+  HarvestIndexMetrics();
   return index_.size() - before;
 }
 
 Status ResolutionEngine::IndexPrecomputed(const std::vector<ValuePair>& pairs) {
-  Timer timer;
+  obs::ScopedTimer timer(&stats_.index_build_ms, h_index_build_us_);
+  auto span = obs::StartSpan(trace_.get(), "index.build");
   HERA_FAILPOINT("index.build");
   AddPairsGuarded(pairs);
   indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
   stats_.index_size = index_.size();
-  stats_.index_build_ms += timer.ElapsedMillis();
+  HarvestIndexMetrics();
   return Status::OK();
 }
 
 Status ResolutionEngine::IterateToFixpoint() {
-  Timer total_timer;
+  obs::ScopedTimer total_timer(&stats_.total_ms);
+  auto resolve_span = obs::StartSpan(trace_.get(), "resolve");
   InstanceBasedVerifier verifier(
       options_.enable_schema_voting ? &predictor_ : nullptr);
 
@@ -167,6 +238,10 @@ Status ResolutionEngine::IterateToFixpoint() {
     // the current partial result.
     if (guard_.Interrupted()) {
       RaiseOutcome(TruncationOutcome());
+      if (trace_) {
+        trace_->tracer().Event("truncated",
+                               guard_.Cancelled() ? "cancelled" : "deadline");
+      }
       break;
     }
     if (stats_.iterations >= options_.max_iterations) {
@@ -175,10 +250,19 @@ Status ResolutionEngine::IterateToFixpoint() {
                         << " before reaching a fixpoint; labeling is valid "
                            "but further merges may have been possible";
       RaiseOutcome(RunOutcome::kIterationCap);
+      if (trace_) {
+        trace_->tracer().Event("iteration_cap", "", options_.max_iterations);
+      }
       break;
     }
     merged_something = false;
     ++stats_.iterations;
+    const HeraStats pass_before = stats_;
+    Timer pass_timer;
+    auto pass_span = obs::StartSpan(trace_.get(), "iteration");
+    if (trace_) {
+      trace_->tracer().SetIteration(static_cast<int64_t>(stats_.iterations));
+    }
 
     // Snapshot the (rid1, rid2) groups. Following the paper's
     // iteration semantics (Fig 8), each record participates in at most
@@ -211,6 +295,9 @@ Status ResolutionEngine::IterateToFixpoint() {
     if (cap > 0 && groups.size() > cap) {
       deferred.assign(groups.begin() + cap, groups.end());
       stats_.deferred_candidate_groups += deferred.size();
+      if (trace_) {
+        trace_->tracer().Event("defer.candidates", "ceiling", deferred.size());
+      }
       groups.resize(cap);
     }
 
@@ -227,6 +314,9 @@ Status ResolutionEngine::IterateToFixpoint() {
 
       std::vector<IndexedPair> pairs = index_.PairsFor(i, j);
       if (pairs.empty()) continue;  // Deleted by an earlier merge.
+      if (h_group_pairs_ != nullptr) {
+        h_group_pairs_->Observe(static_cast<double>(pairs.size()));
+      }
 
       // Candidate generation: bound the similarity (Algorithm 1).
       BoundResult bounds =
@@ -259,7 +349,20 @@ Status ResolutionEngine::IterateToFixpoint() {
         HERA_FAILPOINT("verify.km");
         ++stats_.candidates;
         ++stats_.comparisons;
-        VerifyResult vr = verifier.Verify(it_i->second, it_j->second, pairs);
+        VerifyResult vr;
+        if (h_verify_us_ != nullptr) {
+          obs::ScopedTimer verify_timer(nullptr, h_verify_us_);
+          vr = verifier.Verify(it_i->second, it_j->second, pairs);
+          verify_timer.Stop();
+          if (vr.simplified_nodes > 0) {
+            h_km_nodes_->Observe(static_cast<double>(vr.simplified_nodes));
+          }
+          if (vr.km_size > 0) {
+            h_km_matrix_->Observe(static_cast<double>(vr.km_size));
+          }
+        } else {
+          vr = verifier.Verify(it_i->second, it_j->second, pairs);
+        }
         if (vr.simplified_nodes > 0) {
           simplified_nodes_sum_ += static_cast<double>(vr.simplified_nodes);
           ++simplified_nodes_count_;
@@ -290,6 +393,31 @@ Status ResolutionEngine::IterateToFixpoint() {
       ++stats_.merges;
       merged_something = true;
     }
+
+    pass_span.End();
+    if (trace_) {
+      obs::RunTrace::IterationRow row;
+      row.iteration = stats_.iterations;
+      row.groups = groups.size();
+      row.pruned = stats_.pruned_by_bound - pass_before.pruned_by_bound;
+      row.direct = stats_.direct_merges - pass_before.direct_merges;
+      row.verified = stats_.candidates - pass_before.candidates;
+      row.merges = stats_.merges - pass_before.merges;
+      row.deferred =
+          stats_.deferred_candidate_groups - pass_before.deferred_candidate_groups;
+      row.ms = pass_timer.ElapsedMillis();
+      trace_->AddIteration(row);
+      h_iteration_us_->Observe(row.ms * 1000.0);
+    }
+  }
+
+  if (trace_) {
+    trace_->tracer().SetIteration(-1);
+    // PairsFor calls are cumulative across rounds; bring the counter up
+    // to date rather than double counting.
+    obs::Counter* probes = trace_->metrics().GetCounter("index.probes");
+    uint64_t seen = index_.probe_count();
+    if (seen > probes->value()) probes->Inc(seen - probes->value());
   }
 
   stats_.avg_simplified_nodes =
@@ -297,7 +425,6 @@ Status ResolutionEngine::IterateToFixpoint() {
           ? 0.0
           : simplified_nodes_sum_ / static_cast<double>(simplified_nodes_count_);
   stats_.decided_schema_matchings = predictor_.DecidedMatchings().size();
-  stats_.total_ms += total_timer.ElapsedMillis();
   return Status::OK();
 }
 

@@ -25,6 +25,7 @@
 #include "common/union_find.h"
 #include "core/options.h"
 #include "index/value_pair_index.h"
+#include "obs/trace.h"
 #include "record/record.h"
 #include "record/super_record.h"
 #include "schema/majority_vote.h"
@@ -89,6 +90,12 @@ class ResolutionEngine {
   const SchemaMatchingPredictor& predictor() const { return predictor_; }
   const RunGuard& guard() const { return guard_; }
 
+  /// The run's observability context, or nullptr when
+  /// options.collect_report is off (or HERA_OBS was compiled out).
+  /// Lives as long as the engine; spans all incremental rounds.
+  obs::RunTrace* trace() { return trace_.get(); }
+  const obs::RunTrace* trace() const { return trace_.get(); }
+
  private:
   /// All (label, value) pairs of one super record.
   std::vector<LabeledValue> ValuesOf(const SuperRecord& sr) const;
@@ -106,6 +113,10 @@ class ResolutionEngine {
   /// strongest-first when a ceiling is set so the weakest pairs are
   /// the ones shed, then refreshes shed counters and outcome.
   void AddPairsGuarded(std::vector<ValuePair> pairs);
+
+  /// Snapshots index size/posting-length metrics into the trace
+  /// (no-op when tracing is off).
+  void HarvestIndexMetrics();
 
   HeraOptions options_;
   ValueSimilarityPtr simv_;
@@ -127,6 +138,18 @@ class ResolutionEngine {
 
   double simplified_nodes_sum_ = 0.0;
   size_t simplified_nodes_count_ = 0;
+
+  /// Observability (null when disabled). The histogram/counter
+  /// pointers are registered once in the constructor so hot-path
+  /// updates skip the registry lock.
+  std::shared_ptr<obs::RunTrace> trace_;
+  obs::Histogram* h_verify_us_ = nullptr;      ///< Per-group verify latency.
+  obs::Histogram* h_group_pairs_ = nullptr;    ///< Index entries per group.
+  obs::Histogram* h_km_nodes_ = nullptr;       ///< |X'|+|Y'| fed to KM.
+  obs::Histogram* h_km_matrix_ = nullptr;      ///< KM matrix side length.
+  obs::Histogram* h_posting_len_ = nullptr;    ///< Index posting lengths.
+  obs::Histogram* h_index_build_us_ = nullptr; ///< Per-round build time.
+  obs::Histogram* h_iteration_us_ = nullptr;   ///< Per-pass duration.
 };
 
 }  // namespace hera

@@ -22,6 +22,19 @@ StatusOr<ValueSimilarityPtr> ResolveMetric(const HeraOptions& options) {
   return simv;
 }
 
+/// Fills `result` from the finished engine (labels, stats, super
+/// records, and — when collection was on — the run report).
+void FinishResult(ResolutionEngine* engine, HeraResult* result) {
+  result->entity_of = engine->Labels();
+  result->stats = engine->stats();
+  if (engine->trace() != nullptr) {
+    result->report =
+        obs::BuildRunReport(*engine->trace(), engine->stats(),
+                            RunOutcomeToString(engine->stats().outcome));
+  }
+  result->super_records = engine->TakeSuperRecords();
+}
+
 }  // namespace
 
 StatusOr<HeraResult> Hera::Run(const Dataset& dataset) const {
@@ -35,9 +48,7 @@ StatusOr<HeraResult> Hera::Run(const Dataset& dataset) const {
   HERA_RETURN_NOT_OK(engine.IterateToFixpoint());
 
   HeraResult result;
-  result.entity_of = engine.Labels();
-  result.stats = engine.stats();
-  result.super_records = engine.TakeSuperRecords();
+  FinishResult(&engine, &result);
   return result;
 }
 
@@ -53,9 +64,7 @@ StatusOr<HeraResult> Hera::RunWithPairs(
   HERA_RETURN_NOT_OK(engine.IterateToFixpoint());
 
   HeraResult result;
-  result.entity_of = engine.Labels();
-  result.stats = engine.stats();
-  result.super_records = engine.TakeSuperRecords();
+  FinishResult(&engine, &result);
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include "common/statusor.h"
 #include "core/options.h"
+#include "obs/report.h"
 #include "record/dataset.h"
 #include "record/super_record.h"
 #include "simjoin/similarity_join.h"
@@ -36,6 +37,12 @@ struct HeraResult {
   /// `stats.outcome`: completed, or how the run was truncated/degraded
   /// by the options' RunGuard (docs/operational_limits.md).
   HeraStats stats;
+
+  /// Machine-readable run record: phase timings, per-iteration counter
+  /// rows, metric snapshot, governance events. Only filled when
+  /// options.collect_report was set (report.empty() otherwise); see
+  /// docs/observability.md for the JSON schema.
+  obs::RunReport report;
 };
 
 /// \brief The iterative compare-and-merge entity resolver.

@@ -49,6 +49,13 @@ StatusOr<size_t> IncrementalHera::Resolve() {
     engine_->AddRecords(pending_);
     pending_.clear();
   }
+  obs::RunTrace* trace = engine_->trace();
+  auto round_span = obs::StartSpan(trace, "incremental.round");
+  if (trace != nullptr) {
+    trace->metrics().GetCounter("incremental.rounds")->Inc();
+    trace->metrics().GetCounter("incremental.records")->Inc(processed);
+    trace->tracer().Event("incremental.round", "", processed);
+  }
   // Everything below may fail via fault injection; resume_needed_ makes
   // the next Resolve retry from the engine's (consistent) state even
   // with nothing new pending.
@@ -58,6 +65,13 @@ StatusOr<size_t> IncrementalHera::Resolve() {
   HERA_RETURN_NOT_OK(engine_->IterateToFixpoint());
   resume_needed_ = false;
   return processed;
+}
+
+obs::RunReport IncrementalHera::Report() const {
+  const obs::RunTrace* trace = engine_->trace();
+  if (trace == nullptr) return obs::RunReport{};
+  return obs::BuildRunReport(*trace, engine_->stats(),
+                             RunOutcomeToString(engine_->stats().outcome));
 }
 
 std::vector<uint32_t> IncrementalHera::Labels() {

@@ -28,6 +28,7 @@
 #include "common/statusor.h"
 #include "core/engine.h"
 #include "core/options.h"
+#include "obs/report.h"
 #include "record/dataset.h"
 
 namespace hera {
@@ -65,6 +66,11 @@ class IncrementalHera {
   const SchemaCatalog& schemas() const { return schemas_; }
   size_t NumRecords() const { return next_id_; }
   size_t NumPending() const { return pending_.size(); }
+
+  /// Snapshot of the observability state accumulated over every round
+  /// so far. Empty unless options.collect_report was set; can be
+  /// called between Resolve rounds.
+  obs::RunReport Report() const;
 
  private:
   IncrementalHera(const HeraOptions& options, SchemaCatalog schemas,

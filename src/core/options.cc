@@ -43,4 +43,16 @@ const char* RunOutcomeToString(RunOutcome outcome) {
   return "unknown";
 }
 
+bool RunOutcomeFromString(const std::string& name, RunOutcome* out) {
+  for (RunOutcome o :
+       {RunOutcome::kCompleted, RunOutcome::kDegraded, RunOutcome::kIterationCap,
+        RunOutcome::kTruncatedDeadline, RunOutcome::kTruncatedCancelled}) {
+    if (name == RunOutcomeToString(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace hera

@@ -59,6 +59,13 @@ struct HeraOptions {
   /// The default guard imposes nothing (and costs nothing). See
   /// docs/operational_limits.md.
   RunGuard guard;
+
+  /// Collect a structured RunReport (per-phase spans, per-iteration
+  /// counters, histograms, governance events) on HeraResult::report.
+  /// Off by default: the disabled path is a handful of null-pointer
+  /// checks, so Fig 12-style timings stay honest. Ignored when the
+  /// library is built with -DHERA_OBS=OFF. See docs/observability.md.
+  bool collect_report = false;
 };
 
 /// Checks option ranges: xi, delta in [0, 1]; vote_prior_p in
@@ -81,6 +88,11 @@ enum class RunOutcome {
 
 /// Stable name for an outcome ("completed", "truncated_deadline"...).
 const char* RunOutcomeToString(RunOutcome outcome);
+
+/// Inverse of RunOutcomeToString. Returns false (and leaves `out`
+/// untouched) on an unrecognized name. Every name RunOutcomeToString
+/// emits round-trips.
+bool RunOutcomeFromString(const std::string& name, RunOutcome* out);
 
 /// \brief Counters and timings filled in by one HERA run; these are the
 /// quantities reported in the paper's Table II and Figures 10/12.

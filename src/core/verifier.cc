@@ -74,6 +74,7 @@ VerifyResult InstanceBasedVerifier::Verify(
   }
   MatchingResult solved = SolveFieldMatching(edges);
   result.simplified_nodes = solved.simplified_nodes;
+  result.km_size = solved.km_size;
   for (const WeightedEdge& e : solved.matching) {
     result.matching.push_back({e.left, e.right, e.weight});
     total += e.weight;

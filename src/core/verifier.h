@@ -26,6 +26,9 @@ struct VerifyResult {
   /// |X'| + |Y'| of the simplified bipartite graph solved by KM
   /// (0 when everything was forced/mapped); aggregated into m̄.
   size_t simplified_nodes = 0;
+  /// KM cost-matrix side length for this verification (0 when KM was
+  /// skipped entirely); histogrammed as verify.km_matrix_n.
+  size_t km_size = 0;
   /// Schema-matching predictions implied by `matching`: the attribute
   /// origins of each matched field pair's best value pair.
   std::vector<std::pair<AttrRef, AttrRef>> predictions;

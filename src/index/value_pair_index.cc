@@ -60,6 +60,7 @@ void ValuePairIndex::Erase(uint64_t pid) {
 }
 
 std::vector<IndexedPair> ValuePairIndex::PairsFor(uint32_t i, uint32_t j) const {
+  ++probe_count_;
   if (i > j) std::swap(i, j);
   std::vector<IndexedPair> out;
   Key lo{i, j, -2.0, 0};  // Similarities are in [0,1]; -2 precedes all.
@@ -123,6 +124,13 @@ void ValuePairIndex::ApplyMerge(
   }
   // The absorbed rid no longer owns any pairs.
   touching_.erase(new_rid == rid_i ? rid_j : rid_i);
+}
+
+void ValuePairIndex::ForEachPostingLength(
+    const std::function<void(uint32_t rid, size_t len)>& fn) const {
+  for (const auto& [rid, pids] : touching_) {
+    if (!pids.empty()) fn(rid, pids.size());
+  }
 }
 
 std::vector<IndexedPair> ValuePairIndex::Dump() const {

@@ -83,6 +83,15 @@ class ValuePairIndex {
   void ApplyMerge(uint32_t rid_i, uint32_t rid_j, uint32_t new_rid,
                   const std::vector<std::pair<ValueLabel, ValueLabel>>& remap);
 
+  /// Visits every live record's posting-list length (pairs touching
+  /// it); feeds the observability layer's posting-length histogram.
+  void ForEachPostingLength(
+      const std::function<void(uint32_t rid, size_t len)>& fn) const;
+
+  /// PairsFor lookups served since construction (probe traffic; never
+  /// reset by Build).
+  size_t probe_count() const { return probe_count_; }
+
   /// All pairs in index order (for tests / debugging).
   std::vector<IndexedPair> Dump() const;
 
@@ -124,6 +133,7 @@ class ValuePairIndex {
   size_t max_per_record_ = 0;
   size_t shed_pairs_ = 0;
   size_t shed_posting_entries_ = 0;
+  mutable size_t probe_count_ = 0;
 };
 
 }  // namespace hera

@@ -137,6 +137,7 @@ MatchingResult SolveFieldMatching(const std::vector<WeightedEdge>& raw_edges) {
 
   // Dummy-padded square weight matrix (missing edges weight 0).
   const size_t n = std::max(left_of.size(), right_of.size());
+  result.km_size = n;
   std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
   for (const WeightedEdge& e : remaining) {
     w[lid[e.left]][rid[e.right]] = e.weight;

@@ -31,6 +31,10 @@ struct MatchingResult {
   size_t simplified_nodes = 0;
   /// Edges removed by simplification (degree-1/degree-1 "mapped edges").
   size_t mapped_edges = 0;
+  /// Side length n of the dummy-padded square matrix KM actually
+  /// solved (0 when simplification resolved everything and KM was
+  /// skipped); the observability layer histograms this.
+  size_t km_size = 0;
 };
 
 /// \brief Solves the field matching problem on `edges`.

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer for the observability exporters.
+//
+// Emits one compact JSON document with automatic comma placement.
+// Doubles are NaN/inf-safe: non-finite values serialize as null, so a
+// report is always parseable regardless of what the run computed.
+// This is a writer only — HERA never parses JSON.
+
+#ifndef HERA_OBS_JSON_H_
+#define HERA_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hera {
+namespace obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes excluded).
+std::string JsonEscape(std::string_view s);
+
+/// \brief Stack-based JSON document builder.
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("n").Int(3).Key("xs").BeginArray()
+///       .Number(1.5).Null().EndArray().EndObject();
+///   w.str();  // {"n":3,"xs":[1.5,null]}
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; the next call must write its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  /// Finite doubles print with up to 17 significant digits (shortest
+  /// round-trip form via %.17g then trimmed); NaN/inf become null.
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document so far. Valid JSON once every scope is closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Writes the separator a value needs in the current scope.
+  void BeforeValue();
+
+  enum class Scope : uint8_t { kObjectFirst, kObject, kArrayFirst, kArray };
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace hera
+
+#endif  // HERA_OBS_JSON_H_

@@ -1,0 +1,82 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hera {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end() &&
+         "histogram bounds must be strictly ascending");
+}
+
+void Histogram::Observe(double v) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // std::atomic<double>::fetch_add needs C++20 floating-point atomics;
+  // stay portable with a CAS loop (contention here is negligible).
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t n) {
+  assert(start > 0.0 && factor > 1.0);
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = start;
+  for (size_t i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+void MetricsRegistry::ForEachCounter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, *c);
+}
+
+void MetricsRegistry::ForEachGauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, g] : gauges_) fn(name, *g);
+}
+
+void MetricsRegistry::ForEachHistogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) fn(name, *h);
+}
+
+}  // namespace obs
+}  // namespace hera

@@ -1,0 +1,143 @@
+// Thread-safe metrics primitives: counters, gauges, and fixed-bucket
+// histograms, owned by a MetricsRegistry keyed by name.
+//
+// Registration (Get*) takes a lock and returns a pointer that stays
+// valid for the registry's lifetime; updates (Inc/Set/Observe) are
+// lock-free, so hot paths cache the pointer once and update freely
+// from any thread. Names use dotted lower_snake segments
+// ("verify.latency_us"); exporters rewrite them per target format.
+//
+// These primitives only exist while a run collects a report
+// (HeraOptions::collect_report); see docs/observability.md.
+
+#ifndef HERA_OBS_METRICS_H_
+#define HERA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace hera {
+namespace obs {
+
+/// \brief Monotonic counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram (Prometheus-style cumulative export).
+///
+/// Buckets are defined by ascending upper bounds; an implicit +inf
+/// bucket catches the tail. Observation finds the first bound >= v
+/// (bucket counts here are *per-bucket*, not cumulative — the
+/// exporters cumulate where a format requires it).
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending; may be empty (then every
+  /// observation lands in the +inf bucket).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  /// bounds().size() + 1 buckets; bucket i covers
+  /// (bounds[i-1], bounds[i]], the last covers (bounds.back(), +inf).
+  const std::vector<double>& bounds() const { return bounds_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// n bounds start, start*factor, start*factor^2, ... — the default
+  /// shape for latency and size distributions.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Thread-safe name -> metric map. Metrics live as long as the
+/// registry; re-registering a name returns the existing instance
+/// (histogram bounds from the first registration win).
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Snapshot iteration in name order (for exporters). The callbacks
+  /// must not re-enter the registry.
+  void ForEachCounter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void ForEachGauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void ForEachHistogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief RAII timing: on destruction (or Stop()), adds the elapsed
+/// milliseconds to `*acc_ms` and observes the elapsed *microseconds*
+/// into `hist_us`. Either sink may be null. Keeps the cumulative-ms
+/// fields of HeraStats and the obs histograms in lockstep from a
+/// single clock read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* acc_ms, Histogram* hist_us = nullptr)
+      : acc_ms_(acc_ms), hist_us_(hist_us) {}
+  ~ScopedTimer() { Stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Flushes the elapsed time into the sinks; idempotent.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    double us = timer_.ElapsedMicros();
+    if (acc_ms_ != nullptr) *acc_ms_ += us / 1000.0;
+    if (hist_us_ != nullptr) hist_us_->Observe(us);
+  }
+
+ private:
+  Timer timer_;
+  double* acc_ms_;
+  Histogram* hist_us_;
+  bool stopped_ = false;
+};
+
+}  // namespace obs
+}  // namespace hera
+
+#endif  // HERA_OBS_METRICS_H_

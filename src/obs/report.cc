@@ -1,0 +1,281 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace hera {
+namespace obs {
+
+namespace {
+
+/// "verify.latency_us" -> "hera_verify_latency_us" (Prometheus charset).
+std::string PromName(const std::string& name) {
+  std::string out = "hera_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf");
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+void WriteStatsFields(JsonWriter& w, const HeraStats& s,
+                      const char* outcome_name) {
+  w.Key("outcome").String(outcome_name);
+  w.Key("index_size").UInt(s.index_size);
+  w.Key("iterations").UInt(s.iterations);
+  w.Key("comparisons").UInt(s.comparisons);
+  w.Key("candidates").UInt(s.candidates);
+  w.Key("direct_merges").UInt(s.direct_merges);
+  w.Key("pruned_by_bound").UInt(s.pruned_by_bound);
+  w.Key("merges").UInt(s.merges);
+  w.Key("decided_schema_matchings").UInt(s.decided_schema_matchings);
+  w.Key("avg_simplified_nodes").Number(s.avg_simplified_nodes);
+  w.Key("index_build_ms").Number(s.index_build_ms);
+  w.Key("total_ms").Number(s.total_ms);
+  w.Key("shed_index_pairs").UInt(s.shed_index_pairs);
+  w.Key("shed_posting_entries").UInt(s.shed_posting_entries);
+  w.Key("deferred_candidate_groups").UInt(s.deferred_candidate_groups);
+  w.Key("join_truncated").Bool(s.join_truncated);
+}
+
+}  // namespace
+
+RunReport BuildRunReport(const RunTrace& trace, const HeraStats& stats,
+                         const char* outcome_name) {
+  RunReport r;
+  r.collected = true;
+  r.outcome = outcome_name;
+  r.stats = stats;
+  for (const auto& [name, stat] : trace.tracer().PhaseStats()) {
+    r.phases.push_back({name, stat.count, stat.total_ms, stat.max_ms});
+  }
+  r.spans = trace.tracer().spans();
+  r.iterations = trace.iterations();
+  trace.metrics().ForEachCounter(
+      [&](const std::string& name, const Counter& c) {
+        r.counters[name] = c.value();
+      });
+  trace.metrics().ForEachGauge([&](const std::string& name, const Gauge& g) {
+    r.gauges[name] = g.value();
+  });
+  trace.metrics().ForEachHistogram(
+      [&](const std::string& name, const Histogram& h) {
+        RunReport::HistogramData d;
+        d.name = name;
+        d.bounds = h.bounds();
+        d.counts.reserve(h.num_buckets());
+        for (size_t i = 0; i < h.num_buckets(); ++i) {
+          d.counts.push_back(h.bucket_count(i));
+        }
+        d.count = h.count();
+        d.sum = h.sum();
+        r.histograms.push_back(std::move(d));
+      });
+  r.events = trace.tracer().events();
+  r.dropped_events = trace.tracer().dropped_events();
+  return r;
+}
+
+std::string HeraStatsToJson(const HeraStats& stats, const char* outcome_name) {
+  JsonWriter w;
+  w.BeginObject();
+  WriteStatsFields(w, stats, outcome_name);
+  w.EndObject();
+  return w.str();
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(kReportSchemaVersion);
+  w.Key("collected").Bool(collected);
+  w.Key("outcome").String(outcome);
+  w.Key("stats").BeginObject();
+  WriteStatsFields(w, stats, outcome.empty() ? "unknown" : outcome.c_str());
+  w.EndObject();
+
+  w.Key("phases").BeginArray();
+  for (const Phase& p : phases) {
+    w.BeginObject()
+        .Key("name").String(p.name)
+        .Key("count").UInt(p.count)
+        .Key("total_ms").Number(p.total_ms)
+        .Key("max_ms").Number(p.max_ms)
+        .EndObject();
+  }
+  w.EndArray();
+
+  w.Key("spans").BeginArray();
+  for (const SpanRecord& s : spans) {
+    w.BeginObject()
+        .Key("name").String(s.name)
+        .Key("depth").Int(s.depth)
+        .Key("start_ms").Number(s.start_ms)
+        .Key("dur_ms").Number(s.dur_ms)
+        .Key("iteration").Int(s.iteration)
+        .EndObject();
+  }
+  w.EndArray();
+
+  w.Key("iterations").BeginArray();
+  for (const RunTrace::IterationRow& row : iterations) {
+    w.BeginObject()
+        .Key("iteration").UInt(row.iteration)
+        .Key("groups").UInt(row.groups)
+        .Key("pruned").UInt(row.pruned)
+        .Key("direct").UInt(row.direct)
+        .Key("verified").UInt(row.verified)
+        .Key("merges").UInt(row.merges)
+        .Key("deferred").UInt(row.deferred)
+        .Key("ms").Number(row.ms)
+        .EndObject();
+  }
+  w.EndArray();
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, v] : counters) w.Key(name).UInt(v);
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, v] : gauges) w.Key(name).Number(v);
+  w.EndObject();
+
+  w.Key("histograms").BeginArray();
+  for (const HistogramData& h : histograms) {
+    w.BeginObject().Key("name").String(h.name);
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      w.BeginObject();
+      if (i < h.bounds.size()) {
+        w.Key("le").Number(h.bounds[i]);
+      } else {
+        w.Key("le").String("+Inf");
+      }
+      w.Key("count").UInt(h.counts[i]).EndObject();
+    }
+    w.EndArray();
+    w.Key("count").UInt(h.count).Key("sum").Number(h.sum).EndObject();
+  }
+  w.EndArray();
+
+  w.Key("events").BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject()
+        .Key("t_ms").Number(e.t_ms)
+        .Key("iteration").Int(e.iteration)
+        .Key("kind").String(e.kind)
+        .Key("detail").String(e.detail)
+        .Key("value").UInt(e.value)
+        .EndObject();
+  }
+  w.EndArray();
+  w.Key("dropped_events").UInt(dropped_events);
+  w.EndObject();
+  return w.str();
+}
+
+std::string RunReport::ToPrometheusText() const {
+  std::string out;
+  auto line = [&out](const std::string& s) {
+    out += s;
+    out += '\n';
+  };
+  for (const auto& [name, v] : counters) {
+    std::string p = PromName(name);
+    line("# TYPE " + p + " counter");
+    line(p + " " + std::to_string(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    std::string p = PromName(name);
+    line("# TYPE " + p + " gauge");
+    line(p + " " + FormatDouble(v));
+  }
+  // Phase timings export as one summary-ish pair of series per phase.
+  for (const Phase& ph : phases) {
+    std::string p = PromName("phase." + ph.name + ".ms");
+    line("# TYPE " + p + " counter");
+    line(p + " " + FormatDouble(ph.total_ms));
+    std::string c = PromName("phase." + ph.name + ".count");
+    line("# TYPE " + c + " counter");
+    line(c + " " + std::to_string(ph.count));
+  }
+  for (const HistogramData& h : histograms) {
+    std::string p = PromName(h.name);
+    line("# TYPE " + p + " histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      std::string le =
+          i < h.bounds.size() ? FormatDouble(h.bounds[i]) : std::string("+Inf");
+      line(p + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative));
+    }
+    line(p + "_sum " + FormatDouble(h.sum));
+    line(p + "_count " + std::to_string(h.count));
+  }
+  return out;
+}
+
+std::string RunReport::ToString() const {
+  std::string out;
+  char buf[256];
+  auto append = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  append("run outcome: %s\n", outcome.empty() ? "unknown" : outcome.c_str());
+  append("stats: index=%zu iterations=%zu comparisons=%zu direct=%zu "
+         "pruned=%zu merges=%zu build=%.1fms resolve=%.1fms\n",
+         stats.index_size, stats.iterations, stats.comparisons,
+         stats.direct_merges, stats.pruned_by_bound, stats.merges,
+         stats.index_build_ms, stats.total_ms);
+  if (!phases.empty()) {
+    out += "phases:\n";
+    for (const Phase& p : phases) {
+      append("  %-24s count=%-6llu total=%9.2fms max=%8.2fms\n",
+             p.name.c_str(), static_cast<unsigned long long>(p.count),
+             p.total_ms, p.max_ms);
+    }
+  }
+  if (!iterations.empty()) {
+    out += "iterations (groups/pruned/direct/verified/merges/deferred/ms):\n";
+    for (const RunTrace::IterationRow& r : iterations) {
+      append("  #%-4llu %6llu %6llu %6llu %6llu %6llu %6llu %8.2f\n",
+             static_cast<unsigned long long>(r.iteration),
+             static_cast<unsigned long long>(r.groups),
+             static_cast<unsigned long long>(r.pruned),
+             static_cast<unsigned long long>(r.direct),
+             static_cast<unsigned long long>(r.verified),
+             static_cast<unsigned long long>(r.merges),
+             static_cast<unsigned long long>(r.deferred), r.ms);
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:\n";
+    for (const HistogramData& h : histograms) {
+      append("  %-24s count=%llu sum=%g\n", h.name.c_str(),
+             static_cast<unsigned long long>(h.count), h.sum);
+    }
+  }
+  if (!events.empty()) {
+    append("events (%zu):\n", events.size());
+    for (const TraceEvent& e : events) {
+      append("  %9.2fms iter=%-4lld %-20s %s value=%llu\n", e.t_ms,
+             static_cast<long long>(e.iteration), e.kind.c_str(),
+             e.detail.c_str(), static_cast<unsigned long long>(e.value));
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hera

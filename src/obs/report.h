@@ -1,0 +1,98 @@
+// RunReport: the machine-readable record of one HERA run.
+//
+// Built from a RunTrace + HeraStats at run end and attached to
+// HeraResult, the report carries per-phase timings, per-iteration
+// counter rows, the metric snapshot (counters/gauges/histograms), and
+// the structured governance/fault events. Three exporters share it:
+//
+//   ToJson()            one stable schema (schema_version gates
+//                       consumers; see docs/observability.md)
+//   ToPrometheusText()  Prometheus text exposition format
+//   ToString()          human-readable summary
+//
+// An empty() report (collection was off) exports valid but minimal
+// output.
+
+#ifndef HERA_OBS_REPORT_H_
+#define HERA_OBS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "obs/trace.h"
+
+namespace hera {
+namespace obs {
+
+/// Version of the JSON schema ToJson emits. Bump on any
+/// backwards-incompatible field change.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// \brief Aggregated, export-ready run record.
+struct RunReport {
+  /// False until BuildRunReport fills the report.
+  bool collected = false;
+
+  /// RunOutcomeToString of the run's outcome ("completed", ...).
+  std::string outcome;
+
+  /// The flat counters/timings of the run (Table II quantities).
+  HeraStats stats;
+
+  /// Per-name span aggregates, name-sorted.
+  struct Phase {
+    std::string name;
+    uint64_t count = 0;
+    double total_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  std::vector<Phase> phases;
+
+  /// Individual spans (bounded; see Tracer::kMaxSpanRecords).
+  std::vector<SpanRecord> spans;
+
+  /// Per compare-and-merge pass counter deltas.
+  std::vector<RunTrace::IterationRow> iterations;
+
+  /// Metric snapshot at report time.
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramData {
+    std::string name;
+    std::vector<double> bounds;    ///< Upper bounds; +inf bucket implied.
+    std::vector<uint64_t> counts;  ///< Per-bucket (bounds.size() + 1).
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<HistogramData> histograms;
+
+  /// Governance/fault events in arrival order (bounded; dropped_events
+  /// counts the overflow).
+  std::vector<TraceEvent> events;
+  uint64_t dropped_events = 0;
+
+  bool empty() const { return !collected; }
+
+  std::string ToJson() const;
+  std::string ToPrometheusText() const;
+  std::string ToString() const;
+};
+
+/// Snapshots `trace` into an export-ready report. `outcome_name` is
+/// RunOutcomeToString(stats.outcome) — passed in so this layer stays
+/// independent of the core library's symbols.
+RunReport BuildRunReport(const RunTrace& trace, const HeraStats& stats,
+                         const char* outcome_name);
+
+/// Serializes just the HeraStats block (the "stats" object of the
+/// report schema) — shared by RunReport::ToJson and callers that want
+/// stats without a trace. NaN/inf fields serialize as null.
+std::string HeraStatsToJson(const HeraStats& stats, const char* outcome_name);
+
+}  // namespace obs
+}  // namespace hera
+
+#endif  // HERA_OBS_REPORT_H_

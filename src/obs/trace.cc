@@ -1,0 +1,101 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace hera {
+namespace obs {
+
+Tracer::Span::Span(Tracer* tracer, const char* name)
+    : tracer_(tracer), name_(name) {
+  if (tracer_ == nullptr) return;
+  start_ms_ = tracer_->ElapsedMs();
+  depth_ = tracer_->open_depth_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& o) noexcept {
+  if (this != &o) {
+    End();
+    tracer_ = std::exchange(o.tracer_, nullptr);
+    name_ = o.name_;
+    start_ms_ = o.start_ms_;
+    depth_ = o.depth_;
+  }
+  return *this;
+}
+
+void Tracer::Span::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = std::exchange(tracer_, nullptr);
+  t->open_depth_.fetch_sub(1, std::memory_order_relaxed);
+  t->CloseSpan(name_, start_ms_, depth_);
+}
+
+void Tracer::CloseSpan(const char* name, double start_ms, int depth) {
+  double dur = ElapsedMs() - start_ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseStat& stat = phase_stats_[name];
+  ++stat.count;
+  stat.total_ms += dur;
+  stat.max_ms = std::max(stat.max_ms, dur);
+  if (spans_.size() < kMaxSpanRecords) {
+    spans_.push_back({name, depth, start_ms, dur, iteration()});
+  }
+}
+
+void Tracer::Event(std::string kind, std::string detail, uint64_t value) {
+  double t = ElapsedMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back({t, iteration(), std::move(kind), std::move(detail), value});
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::map<std::string, PhaseStat> Tracer::PhaseStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phase_stats_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_events_;
+}
+
+RunTrace::RunTrace() {
+  // Injected faults become visible trace events instead of opaque
+  // early returns. Process-wide single slot: with several concurrently
+  // traced runs only the most recent one sees failpoint events.
+  failpoint::SetTripObserver(this, [this](const char* site) {
+    tracer_.Event("failpoint", site);
+    metrics_.GetCounter("failpoint.trips")->Inc();
+  });
+}
+
+RunTrace::~RunTrace() { failpoint::ClearTripObserver(this); }
+
+void RunTrace::AddIteration(const IterationRow& row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  iterations_.push_back(row);
+}
+
+std::vector<RunTrace::IterationRow> RunTrace::iterations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return iterations_;
+}
+
+}  // namespace obs
+}  // namespace hera

@@ -36,15 +36,22 @@ Status NestedLoopJoin::Join(const std::vector<LabeledValue>& values,
   HERA_FAILPOINT("simjoin.join");
   out->clear();
   GuardTicker ticker(guard);
+  size_t verified = 0;
   for (size_t i = 0; i < values.size() && !ticker.stopped(); ++i) {
     for (size_t j = i + 1; j < values.size(); ++j) {
       if (ticker.Tick()) break;
       if (values[i].label.rid == values[j].label.rid) continue;
+      ++verified;
       double s = simv.Compute(values[i].value, values[j].value);
       if (s >= xi) out->push_back({values[i].label, values[j].label, s});
     }
   }
-  if (report) report->truncated = ticker.stopped();
+  if (report) {
+    report->truncated = ticker.stopped();
+    report->candidates = verified;
+    report->verified = verified;
+    report->emitted = out->size();
+  }
   return Status::OK();
 }
 
@@ -57,16 +64,23 @@ Status NestedLoopJoin::JoinAB(const std::vector<LabeledValue>& probe,
   HERA_FAILPOINT("simjoin.join");
   out->clear();
   GuardTicker ticker(guard);
+  size_t verified = 0;
   for (const LabeledValue& p : probe) {
     if (ticker.stopped()) break;
     for (const LabeledValue& b : base) {
       if (ticker.Tick()) break;
       if (p.label.rid == b.label.rid) continue;
+      ++verified;
       double s = simv.Compute(p.value, b.value);
       if (s >= xi) out->push_back({p.label, b.label, s});
     }
   }
-  if (report) report->truncated = ticker.stopped();
+  if (report) {
+    report->truncated = ticker.stopped();
+    report->candidates = verified;
+    report->verified = verified;
+    report->emitted = out->size();
+  }
   return Status::OK();
 }
 
@@ -127,6 +141,7 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   GuardTicker ticker(guard);
   const size_t max_posting = guard.max_posting_list();
   size_t shed_posting = 0;
+  size_t n_candidates = 0, n_verified = 0;
 
   // ---- Partition: numeric values are swept, everything else gets the
   // token-based path over its canonical string rendering.
@@ -177,6 +192,8 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
       const LabeledValue& va = values[numeric_idx[p]];
       const LabeledValue& vb = values[numeric_idx[r]];
       if (va.label.rid == vb.label.rid) continue;
+      ++n_candidates;
+      ++n_verified;
       double s = simv.Compute(va.value, vb.value);
       if (s >= xi) out->push_back({va.label, vb.label, s});
     }
@@ -239,12 +256,14 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
       }
     }
 
+    n_candidates += candidates.size();
     for (size_t cj : candidates) {
       if (ticker.Tick()) break;
       const Encoded& y = sets[cj];
       const LabeledValue& va = values[x.idx];
       const LabeledValue& vb = values[y.idx];
       if (va.label.rid == vb.label.rid) continue;
+      ++n_verified;
       double s;
       if (exact_jaccard) {
         s = JaccardOfIds(x.ids, y.ids);
@@ -269,6 +288,9 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   if (report) {
     report->truncated = ticker.stopped();
     report->shed_posting_entries = shed_posting;
+    report->candidates = n_candidates;
+    report->verified = n_verified;
+    report->emitted = out->size();
   }
   return Status::OK();
 }
@@ -285,6 +307,7 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
   GuardTicker ticker(guard);
   const size_t max_posting = guard.max_posting_list();
   size_t shed_posting = 0;
+  size_t n_candidates = 0, n_verified = 0;
 
   const bool metric_handles_numbers =
       StartsWith(simv.Name(), "hybrid(") || simv.Name() == "numeric";
@@ -333,6 +356,8 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
       }
       if (!within) return false;
       if (p.label.rid != base[bi].label.rid) {
+        ++n_candidates;
+        ++n_verified;
         double s = simv.Compute(p.value, base[bi].value);
         if (s >= xi) out->push_back({p.label, base[bi].label, s});
       }
@@ -411,6 +436,8 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
         double blen = static_cast<double>(base_ids[bi].size());
         if (blen < min_len || blen > max_len) continue;
         if (probe[pi].label.rid == base[bi].label.rid) continue;
+        ++n_candidates;
+        ++n_verified;
         double s;
         if (exact_jaccard) {
           s = JaccardOfIds(ids, base_ids[bi]);
@@ -425,6 +452,9 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
   if (report) {
     report->truncated = ticker.stopped();
     report->shed_posting_entries = shed_posting;
+    report->candidates = n_candidates;
+    report->verified = n_verified;
+    report->emitted = out->size();
   }
   return Status::OK();
 }

@@ -28,7 +28,11 @@ struct ValuePair {
   double sim = 0.0;
 };
 
-/// What a guarded join shed or skipped (see common/run_guard.h).
+/// What a guarded join did, shed, or skipped (see common/run_guard.h).
+/// The candidate/verified counters expose the filter-vs-verify split
+/// of the join's work for the observability layer: `candidates` is
+/// what survived the cheap filters (length/prefix/window), `verified`
+/// is how many of those the actual metric scored.
 struct JoinReport {
   /// The join stopped early on deadline expiry or cancellation; `out`
   /// holds every pair found so far (each is genuinely similar — the
@@ -37,6 +41,14 @@ struct JoinReport {
   /// Posting-list entries dropped by the guard's max_posting_list
   /// ceiling; candidate recall may be reduced.
   size_t shed_posting_entries = 0;
+  /// Value pairs surfaced by candidate generation (for the nested-loop
+  /// join every cross-record pair is a candidate).
+  size_t candidates = 0;
+  /// Candidates scored by the similarity metric (== candidates unless
+  /// truncated mid-verification).
+  size_t verified = 0;
+  /// Pairs that met xi and were emitted into `out`.
+  size_t emitted = 0;
 };
 
 /// \brief Abstract similarity join over labeled value sets.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
 #include <thread>
 
 #include "common/logging.h"
@@ -51,6 +52,41 @@ TEST(LoggingTest, CapturesStderrOutput) {
   EXPECT_NE(got.find("INFO"), std::string::npos);
   EXPECT_NE(got.find("hello 7"), std::string::npos);
   EXPECT_NE(got.find("logging_timer_test"), std::string::npos);  // Basename.
+}
+
+TEST(LoggingTest, LinesCarryTimestampAndThreadId) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  HERA_LOG(Info) << "stamped";
+  std::string got = ::testing::internal::GetCapturedStderr();
+  // ISO-8601 UTC with millisecond precision: ....-..-..T..:..:...sssZ
+  std::regex ts(R"(\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z )");
+  EXPECT_TRUE(std::regex_search(got, ts)) << got;
+  EXPECT_NE(got.find(" tid:"), std::string::npos) << got;
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));  // Case-insensitive.
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownNames) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // Untouched on failure.
 }
 
 TEST(LoggingTest, BelowThresholdProducesNoOutput) {
