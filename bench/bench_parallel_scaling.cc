@@ -1,0 +1,132 @@
+// Parallel scaling: wall time vs worker threads (1/2/4/8) for the
+// similarity join and full resolution, plus TokenCache effectiveness.
+//
+// Shape expectations: join and verification time fall as threads rise
+// (the speedup column approaches the physical core count; on a
+// single-core machine all rows are flat — the point of the harness is
+// the *identical results* column, which must read "yes" everywhere).
+// The TokenCache section shows a near-zero hit rate on the first join
+// and a near-100% rate on the second, identical-output join.
+//
+// HERA_BENCH_RECORDS overrides the dataset size (default 2000).
+// With HERA_BENCH_JSON_DIR set, the run report of the widest
+// configuration is written as BENCH_parallel_scaling.json.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/movie_generator.h"
+#include "sim/metrics.h"
+#include "simjoin/similarity_join.h"
+#include "text/token_cache.h"
+
+using namespace hera;
+
+namespace {
+
+size_t BenchRecords() {
+  const char* v = std::getenv("HERA_BENCH_RECORDS");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 2000;
+}
+
+std::vector<LabeledValue> ValuesOf(const Dataset& ds) {
+  std::vector<LabeledValue> values;
+  for (const Record& r : ds.records()) {
+    SuperRecord sr = SuperRecord::FromRecord(r);
+    for (uint32_t f = 0; f < sr.num_fields(); ++f) {
+      for (uint32_t v = 0; v < sr.field(f).size(); ++v) {
+        values.push_back(
+            {ValueLabel{sr.rid(), f, v}, sr.field(f).value(v).value});
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+int main() {
+  const size_t thread_counts[] = {1, 2, 4, 8};
+
+  MovieGeneratorConfig config;
+  config.num_records = BenchRecords();
+  config.num_entities = config.num_records / 8;
+  config.seed = 42;
+  Dataset ds = GenerateMovieDataset(config);
+
+  std::printf("parallel scaling on movies (%zu records, %zu entities)\n",
+              ds.size(), ds.NumEntities());
+  bench::PrintRule();
+  std::printf("%-8s %10s %12s %10s %9s %10s\n", "threads", "join_ms",
+              "resolve_ms", "total_ms", "speedup", "identical");
+
+  std::vector<uint32_t> baseline_labels;
+  std::vector<std::pair<uint32_t, uint32_t>> baseline_merges;
+  double baseline_ms = 0.0;
+  obs::RunReport widest_report;
+
+  for (size_t threads : thread_counts) {
+    HeraOptions opts;
+    opts.num_threads = threads;
+    opts.collect_report = bench::BenchJsonDir() != nullptr;
+    // Best of 3 runs to damp noise.
+    double best_join = 1e18, best_resolve = 1e18, best_total = 1e18;
+    bool identical = true;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto result = Hera(opts).Run(ds);
+      if (!result.ok()) {
+        std::fprintf(stderr, "HERA failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const HeraStats& st = result->stats;
+      best_join = std::min(best_join, st.index_build_ms);
+      best_resolve = std::min(best_resolve, st.total_ms);
+      best_total = std::min(best_total, st.index_build_ms + st.total_ms);
+      if (threads == 1 && rep == 0) {
+        baseline_labels = result->entity_of;
+        baseline_merges = st.merge_sequence;
+      }
+      identical = identical && result->entity_of == baseline_labels &&
+                  st.merge_sequence == baseline_merges;
+      if (threads == thread_counts[3]) widest_report = result->report;
+    }
+    if (threads == 1) baseline_ms = best_total;
+    std::printf("%-8zu %10.1f %12.1f %10.1f %8.2fx %10s\n", threads, best_join,
+                best_resolve, best_total, baseline_ms / best_total,
+                identical ? "yes" : "NO");
+  }
+  bench::PrintRule();
+
+  // TokenCache effectiveness: the second join over the same live value
+  // set (what every round after the first sees) is served from the
+  // cache. Output must not change.
+  std::vector<LabeledValue> values = ValuesOf(ds);
+  auto metric = MakeSimilarity(HeraOptions{}.metric);
+  PrefixFilterJoin join;
+  auto cache = std::make_shared<TokenCache>(join.q());
+  join.SetTokenCache(cache);
+  std::vector<ValuePair> first, second;
+  Timer t1;
+  if (!join.Join(values, *metric, 0.5, RunGuard(), &first).ok()) return 1;
+  double cold_ms = t1.ElapsedMillis();
+  TokenCache::Stats cold = cache->stats();
+  Timer t2;
+  if (!join.Join(values, *metric, 0.5, RunGuard(), &second).ok()) return 1;
+  double warm_ms = t2.ElapsedMillis();
+  TokenCache::Stats warm = cache->stats();
+  uint64_t round2_hits = warm.hits - cold.hits;
+  uint64_t round2_total = round2_hits + (warm.misses - cold.misses);
+  std::printf("token cache: %zu entries interned\n", warm.entries);
+  std::printf("  round 1 (cold): %6.1f ms, hit rate %5.1f%%\n", cold_ms,
+              100.0 * cold.hits / (cold.hits + cold.misses));
+  std::printf("  round 2 (warm): %6.1f ms, hit rate %5.1f%%, identical %s\n",
+              warm_ms,
+              round2_total > 0 ? 100.0 * round2_hits / round2_total : 0.0,
+              first.size() == second.size() ? "yes" : "NO");
+
+  bench::WriteBenchReport("parallel_scaling", widest_report);
+  return 0;
+}

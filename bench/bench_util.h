@@ -27,6 +27,18 @@ inline const char* BenchJsonDir() {
   return dir;
 }
 
+/// Worker threads from HERA_THREADS (0 = serial, the default).
+/// Parallelism never changes results, so every harness honors it; the
+/// run report's parallel.num_threads gauge records the value used.
+inline size_t BenchThreads() {
+  static const size_t threads = [] {
+    const char* v = std::getenv("HERA_THREADS");
+    return v != nullptr ? static_cast<size_t>(std::strtoull(v, nullptr, 10))
+                        : size_t{0};
+  }();
+  return threads;
+}
+
 /// Writes `report` to $HERA_BENCH_JSON_DIR/BENCH_<name>.json; no-op
 /// when the env var is unset.
 inline void WriteBenchReport(const std::string& name,
@@ -52,6 +64,7 @@ inline HeraRun RunHera(const Dataset& ds, double xi, double delta) {
   HeraOptions opts;
   opts.xi = xi;
   opts.delta = delta;
+  opts.num_threads = BenchThreads();
   opts.collect_report = BenchJsonDir() != nullptr;
   auto result = Hera(opts).Run(ds);
   if (!result.ok()) {
@@ -69,6 +82,7 @@ inline HeraRun RunHera(const Dataset& ds, double xi, double delta) {
 inline std::vector<ValuePair> JoinOnce(const Dataset& ds, double xi) {
   HeraOptions opts;
   opts.xi = xi;
+  opts.num_threads = BenchThreads();
   auto pairs = ComputeSimilarValuePairs(ds, opts);
   if (!pairs.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
@@ -84,6 +98,7 @@ inline HeraRun RunHeraWithPairs(const Dataset& ds,
   HeraOptions opts;
   opts.xi = xi;
   opts.delta = delta;
+  opts.num_threads = BenchThreads();
   opts.collect_report = BenchJsonDir() != nullptr;
   auto result = Hera(opts).RunWithPairs(ds, pairs);
   if (!result.ok()) {

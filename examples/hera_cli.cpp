@@ -1,7 +1,7 @@
 // hera_cli: run HERA over a dataset file from the command line.
 //
 //   hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]
-//                    [--out labels.csv] [--quiet]
+//                    [--threads N] [--out labels.csv] [--quiet]
 //                    [--emit-report report.json] [--log-level LEVEL]
 //   hera_cli generate <movies|publications> <output.hera>
 //                    [--records N] [--entities E] [--seed S]
@@ -12,7 +12,10 @@
 // also reports precision/recall/F1. --emit-report turns on metric
 // collection and writes the machine-readable run report (JSON; see
 // docs/observability.md). --log-level (debug|info|warning|error|off)
-// overrides the HERA_LOG_LEVEL environment variable.
+// overrides the HERA_LOG_LEVEL environment variable. --threads (or the
+// HERA_THREADS environment variable; the flag wins) sets
+// HeraOptions::num_threads — results are identical at any setting (see
+// docs/performance.md); the run report records the value used.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +41,7 @@ int Usage() {
       stderr,
       "usage:\n"
       "  hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]\n"
-      "                   [--out labels.csv] [--quiet]\n"
+      "                   [--threads N] [--out labels.csv] [--quiet]\n"
       "                   [--emit-report report.json] [--log-level LEVEL]\n"
       "  hera_cli generate <movies|publications> <output.hera>\n"
       "                   [--records N] [--entities E] [--seed S]\n"
@@ -73,6 +76,12 @@ int CmdResolve(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--xi")) opts.xi = std::atof(v);
   if (const char* v = FlagValue(argc, argv, "--delta")) opts.delta = std::atof(v);
   if (const char* v = FlagValue(argc, argv, "--metric")) opts.metric = v;
+  if (const char* v = std::getenv("HERA_THREADS")) {
+    opts.num_threads = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--threads")) {
+    opts.num_threads = std::strtoull(v, nullptr, 10);
+  }
   const bool quiet = HasFlag(argc, argv, "--quiet");
   const char* report_path = FlagValue(argc, argv, "--emit-report");
   opts.collect_report = report_path != nullptr;

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <set>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "core/verifier.h"
 #include "index/bounds.h"
 #include "obs/metrics.h"
+#include "parallel/parallel_for.h"
 
 namespace hera {
 
@@ -23,9 +25,16 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
       predictor_(options.vote_prior_p, options.vote_rho) {
   assert(simv_ != nullptr);
   if (options_.use_prefix_filter_join) {
-    joiner_ = std::make_unique<PrefixFilterJoin>();
+    auto pf = std::make_unique<PrefixFilterJoin>();
+    token_cache_ = std::make_shared<TokenCache>(pf->q());
+    pf->SetTokenCache(token_cache_);
+    joiner_ = std::move(pf);
   } else {
     joiner_ = std::make_unique<NestedLoopJoin>();
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    joiner_->SetExecutor(pool_.get());
   }
   index_.SetCeilings(guard_.max_index_pairs(), guard_.max_posting_list());
 #ifndef HERA_DISABLE_OBS
@@ -47,6 +56,12 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
         "index.build_us", obs::Histogram::ExponentialBounds(16.0, 4.0, 12));
     h_iteration_us_ = m.GetHistogram(
         "iteration.duration_us", obs::Histogram::ExponentialBounds(16.0, 4.0, 12));
+    h_worker_busy_us_ = m.GetHistogram(
+        "parallel.worker_busy_us", obs::Histogram::ExponentialBounds(16.0, 4.0, 12));
+    // Gauges land in the RunReport, so the thread count a run used is
+    // recorded alongside its timings.
+    m.GetGauge("parallel.num_threads")
+        ->Set(static_cast<double>(pool_ != nullptr ? pool_->size() : 1));
   }
 #endif
 }
@@ -88,6 +103,9 @@ void ResolutionEngine::NoteJoinReport(const JoinReport& report) {
     m.GetCounter("simjoin.candidates")->Inc(report.candidates);
     m.GetCounter("simjoin.verified")->Inc(report.verified);
     m.GetCounter("simjoin.emitted")->Inc(report.emitted);
+    if (h_worker_busy_us_ != nullptr) {
+      for (double us : report.worker_busy_us) h_worker_busy_us_->Observe(us);
+    }
   }
   if (report.truncated) {
     stats_.join_truncated = true;
@@ -140,6 +158,17 @@ std::vector<LabeledValue> ResolutionEngine::ValuesOf(const SuperRecord& sr) cons
     }
   }
   return values;
+}
+
+void ResolutionEngine::SyncTokenCacheMetrics() {
+  if (!trace_ || !token_cache_) return;
+  // Cache totals are cumulative; bring the counters up to date rather
+  // than double counting across rounds.
+  TokenCache::Stats s = token_cache_->stats();
+  obs::Counter* interned = trace_->metrics().GetCounter("tokens.interned");
+  if (s.misses > interned->value()) interned->Inc(s.misses - interned->value());
+  obs::Counter* hits = trace_->metrics().GetCounter("tokens.cache_hits");
+  if (s.hits > hits->value()) hits->Inc(s.hits - hits->value());
 }
 
 void ResolutionEngine::HarvestIndexMetrics() {
@@ -200,6 +229,7 @@ StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
   indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
   stats_.index_size = index_.size();
   HarvestIndexMetrics();
+  SyncTokenCacheMetrics();
   return index_.size() - before;
 }
 
@@ -303,7 +333,102 @@ Status ResolutionEngine::IterateToFixpoint() {
 
     std::unordered_map<uint32_t, bool> merged_this_pass;
 
-    for (auto [g1, g2] : groups) {
+    // Phase A (speculative, parallel): with a pool installed, every
+    // group's pair lookup, bound computation, and KM verification runs
+    // across the workers against the pass-start state. Groups whose
+    // state a merge later invalidates simply discard their plan and
+    // recompute serially in Phase B, so the merge sequence stays
+    // byte-identical to a serial run (see docs/performance.md).
+    struct GroupPlan {
+      uint32_t i = 0, j = 0;  // Pass-start roots, i < j.
+      bool same_root = false;
+      bool loaded = false;    // pairs (and bounds, if any) computed.
+      bool verified = false;  // vr holds a speculative KM result.
+      std::vector<IndexedPair> pairs;
+      BoundResult bounds;
+      VerifyResult vr;
+      double verify_us = 0.0;
+    };
+    std::vector<GroupPlan> plans;
+    if (pool_ != nullptr && pool_->size() > 1 && groups.size() > 1) {
+      // Roots are resolved serially: Find path-compresses.
+      plans.resize(groups.size());
+      for (size_t k = 0; k < groups.size(); ++k) {
+        uint32_t i = uf_.Find(groups[k].first);
+        uint32_t j = uf_.Find(groups[k].second);
+        if (i > j) std::swap(i, j);
+        plans[k].i = i;
+        plans[k].j = j;
+        plans[k].same_root = i == j;
+      }
+      std::atomic<bool> stop{false};
+      ParallelRunStats pstats = ParallelChunks(
+          pool_.get(), groups.size(),
+          DefaultGrain(groups.size(), pool_->size()),
+          [&](size_t /*chunk*/, size_t begin, size_t end, size_t /*worker*/) {
+            for (size_t k = begin; k < end; ++k) {
+              if (stop.load(std::memory_order_relaxed)) return;
+              GroupPlan& plan = plans[k];
+              if (plan.same_root) continue;
+              auto it_i = active_.find(plan.i);
+              auto it_j = active_.find(plan.j);
+              if (it_i == active_.end() || it_j == active_.end()) continue;
+              plan.pairs = index_.PairsFor(plan.i, plan.j);
+              if (plan.pairs.empty()) {
+                plan.loaded = true;
+                continue;
+              }
+              plan.bounds = ComputeBounds(plan.pairs, it_i->second.num_fields(),
+                                          it_j->second.num_fields(),
+                                          options_.tight_bounds);
+              plan.loaded = true;
+              if (plan.bounds.upper < options_.delta) continue;
+              if (plan.bounds.upper == plan.bounds.lower) continue;
+              if (guard_.Interrupted()) {
+                stop.store(true, std::memory_order_relaxed);
+                return;
+              }
+              Timer verify_timer;
+              plan.vr = verifier.Verify(it_i->second, it_j->second, plan.pairs);
+              plan.verify_us = verify_timer.ElapsedMicros();
+              plan.verified = true;
+            }
+          });
+      if (h_worker_busy_us_ != nullptr) {
+        for (double us : pstats.busy_us) h_worker_busy_us_->Observe(us);
+      }
+    }
+
+    // Speculative KM results are valid only while the predictor's
+    // decided-matchings set still equals its pass-start snapshot:
+    // Verify() consults IsDecided, and votes recorded earlier in this
+    // pass can flip it mid-pass (exactly as in a serial run). The
+    // num_predictions() delta is the cheap gate; the set compare runs
+    // only when votes actually arrived since the last check.
+    const bool voting = options_.enable_schema_voting;
+    std::vector<std::pair<AttrRef, AttrRef>> decided_at_start;
+    if (!plans.empty() && voting) {
+      decided_at_start = predictor_.DecidedMatchings();
+    }
+    size_t preds_checked = predictor_.num_predictions();
+    bool spec_valid = true;
+    auto speculation_valid = [&]() {
+      if (!voting) return true;
+      if (!spec_valid) return false;
+      size_t now = predictor_.num_predictions();
+      if (now != preds_checked) {
+        preds_checked = now;
+        spec_valid = predictor_.DecidedMatchings() == decided_at_start;
+      }
+      return spec_valid;
+    };
+
+    // Phase B (serial): replay the paper's loop in canonical group
+    // order, adopting each speculative plan when its inputs are still
+    // pass-start fresh and recomputing inline otherwise. Merges, votes,
+    // stats, and failpoints happen only here.
+    for (size_t gk = 0; gk < groups.size(); ++gk) {
+      auto [g1, g2] = groups[gk];
       if (merged_this_pass[g1] || merged_this_pass[g2]) continue;
       uint32_t i = uf_.Find(g1), j = uf_.Find(g2);
       if (i == j) continue;  // Already merged (earlier pass).
@@ -312,16 +437,30 @@ Status ResolutionEngine::IterateToFixpoint() {
       auto it_j = active_.find(j);
       assert(it_i != active_.end() && it_j != active_.end());
 
-      std::vector<IndexedPair> pairs = index_.PairsFor(i, j);
+      // A plan is adoptable only if the group's state is untouched
+      // since pass start: same roots, and neither root in a merge this
+      // pass (a stale deferred key can re-root without tripping the
+      // merged_this_pass check on g1/g2 above).
+      GroupPlan* plan = plans.empty() ? nullptr : &plans[gk];
+      const bool fresh = plan != nullptr && plan->loaded && plan->i == i &&
+                         plan->j == j && !merged_this_pass[i] &&
+                         !merged_this_pass[j];
+      std::vector<IndexedPair> local_pairs;
+      if (!fresh) local_pairs = index_.PairsFor(i, j);
+      const std::vector<IndexedPair>& pairs = fresh ? plan->pairs : local_pairs;
       if (pairs.empty()) continue;  // Deleted by an earlier merge.
       if (h_group_pairs_ != nullptr) {
         h_group_pairs_->Observe(static_cast<double>(pairs.size()));
       }
 
       // Candidate generation: bound the similarity (Algorithm 1).
-      BoundResult bounds =
-          ComputeBounds(pairs, it_i->second.num_fields(),
-                        it_j->second.num_fields(), options_.tight_bounds);
+      BoundResult local_bounds;
+      if (!fresh) {
+        local_bounds =
+            ComputeBounds(pairs, it_i->second.num_fields(),
+                          it_j->second.num_fields(), options_.tight_bounds);
+      }
+      const BoundResult& bounds = fresh ? plan->bounds : local_bounds;
       std::vector<FieldMatch> matching;
       if (bounds.upper < options_.delta) {
         ++stats_.pruned_by_bound;
@@ -350,7 +489,19 @@ Status ResolutionEngine::IterateToFixpoint() {
         ++stats_.candidates;
         ++stats_.comparisons;
         VerifyResult vr;
-        if (h_verify_us_ != nullptr) {
+        if (fresh && plan->verified && speculation_valid()) {
+          // Adopt the speculative KM result computed in Phase A.
+          vr = std::move(plan->vr);
+          if (h_verify_us_ != nullptr) {
+            h_verify_us_->Observe(plan->verify_us);
+            if (vr.simplified_nodes > 0) {
+              h_km_nodes_->Observe(static_cast<double>(vr.simplified_nodes));
+            }
+            if (vr.km_size > 0) {
+              h_km_matrix_->Observe(static_cast<double>(vr.km_size));
+            }
+          }
+        } else if (h_verify_us_ != nullptr) {
           obs::ScopedTimer verify_timer(nullptr, h_verify_us_);
           vr = verifier.Verify(it_i->second, it_j->second, pairs);
           verify_timer.Stop();
@@ -391,6 +542,7 @@ Status ResolutionEngine::IterateToFixpoint() {
       merged_this_pass[i] = merged_this_pass[j] = true;
       dirty.insert(new_rid);
       ++stats_.merges;
+      stats_.merge_sequence.emplace_back(i, j);
       merged_something = true;
     }
 

@@ -26,11 +26,13 @@
 #include "core/options.h"
 #include "index/value_pair_index.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "record/record.h"
 #include "record/super_record.h"
 #include "schema/majority_vote.h"
 #include "sim/similarity.h"
 #include "simjoin/similarity_join.h"
+#include "text/token_cache.h"
 
 namespace hera {
 
@@ -118,10 +120,22 @@ class ResolutionEngine {
   /// (no-op when tracing is off).
   void HarvestIndexMetrics();
 
+  /// Brings the tokens.interned / tokens.cache_hits counters up to the
+  /// token cache's cumulative totals (no-op without trace or cache).
+  void SyncTokenCacheMetrics();
+
   HeraOptions options_;
   ValueSimilarityPtr simv_;
   std::unique_ptr<SimilarityJoin> joiner_;
   RunGuard guard_;
+
+  /// Worker pool for the parallel phases (null when num_threads <= 1);
+  /// shared with the joiner. All engine state mutation stays on the
+  /// controller thread — workers only read.
+  std::unique_ptr<ThreadPool> pool_;
+  /// Interned q-gram sets shared across join calls and incremental
+  /// rounds (only installed for the prefix-filter joiner).
+  std::shared_ptr<TokenCache> token_cache_;
 
   UnionFind uf_;
   std::map<uint32_t, SuperRecord> active_;
@@ -150,6 +164,7 @@ class ResolutionEngine {
   obs::Histogram* h_posting_len_ = nullptr;    ///< Index posting lengths.
   obs::Histogram* h_index_build_us_ = nullptr; ///< Per-round build time.
   obs::Histogram* h_iteration_us_ = nullptr;   ///< Per-pass duration.
+  obs::Histogram* h_worker_busy_us_ = nullptr; ///< Per-worker busy time.
 };
 
 }  // namespace hera

@@ -83,12 +83,18 @@ StatusOr<std::vector<ValuePair>> ComputeSimilarValuePairs(
     }
   }
   std::vector<ValuePair> pairs;
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
   if (options.use_prefix_filter_join) {
-    HERA_RETURN_NOT_OK(
-        PrefixFilterJoin().Join(values, *simv, options.xi, RunGuard(), &pairs));
+    PrefixFilterJoin join;
+    join.SetExecutor(pool.get());
+    HERA_RETURN_NOT_OK(join.Join(values, *simv, options.xi, RunGuard(), &pairs));
   } else {
-    HERA_RETURN_NOT_OK(
-        NestedLoopJoin().Join(values, *simv, options.xi, RunGuard(), &pairs));
+    NestedLoopJoin join;
+    join.SetExecutor(pool.get());
+    HERA_RETURN_NOT_OK(join.Join(values, *simv, options.xi, RunGuard(), &pairs));
   }
   return pairs;
 }

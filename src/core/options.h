@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/run_guard.h"
 #include "common/status.h"
@@ -54,6 +56,15 @@ struct HeraOptions {
 
   /// Safety cap on compare-and-merge iterations.
   size_t max_iterations = 1000;
+
+  /// Worker threads for the data-parallel phases: similarity-join
+  /// probing, tokenization, and KM verification. 0 or 1 runs fully
+  /// serial (the default; no pool is created and nothing changes).
+  /// Results are deterministic for any value: completed runs produce
+  /// byte-identical pair lists, merge sequences, and clusters at every
+  /// thread count (see docs/performance.md). Merge application and
+  /// vote updates always stay on the controller thread.
+  size_t num_threads = 0;
 
   /// Run governance: deadline, cancellation token, resource ceilings.
   /// The default guard imposes nothing (and costs nothing). See
@@ -130,6 +141,12 @@ struct HeraStats {
   /// True when the similarity join stopped early (deadline/cancel) and
   /// the index is missing pairs the full join would have found.
   bool join_truncated = false;
+
+  /// Every merge in application order, as (surviving rid, absorbed
+  /// rid); accumulates across incremental rounds. The determinism
+  /// guarantee is stated over this sequence: for completed runs it is
+  /// identical at every num_threads setting.
+  std::vector<std::pair<uint32_t, uint32_t>> merge_sequence;
 };
 
 }  // namespace hera

@@ -60,7 +60,7 @@ void ValuePairIndex::Erase(uint64_t pid) {
 }
 
 std::vector<IndexedPair> ValuePairIndex::PairsFor(uint32_t i, uint32_t j) const {
-  ++probe_count_;
+  probe_count_.fetch_add(1, std::memory_order_relaxed);
   if (i > j) std::swap(i, j);
   std::vector<IndexedPair> out;
   Key lo{i, j, -2.0, 0};  // Similarities are in [0,1]; -2 precedes all.

@@ -11,6 +11,7 @@
 #ifndef HERA_INDEX_VALUE_PAIR_INDEX_H_
 #define HERA_INDEX_VALUE_PAIR_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -35,6 +36,23 @@ struct IndexedPair {
 class ValuePairIndex {
  public:
   ValuePairIndex() = default;
+
+  // The atomic probe counter deletes the implicit moves; the index is
+  // only ever moved between runs, never concurrently with probes.
+  ValuePairIndex(ValuePairIndex&& other) noexcept { *this = std::move(other); }
+  ValuePairIndex& operator=(ValuePairIndex&& other) noexcept {
+    pairs_ = std::move(other.pairs_);
+    by_pid_ = std::move(other.by_pid_);
+    touching_ = std::move(other.touching_);
+    next_pid_ = other.next_pid_;
+    max_pairs_ = other.max_pairs_;
+    max_per_record_ = other.max_per_record_;
+    shed_pairs_ = other.shed_pairs_;
+    shed_posting_entries_ = other.shed_posting_entries_;
+    probe_count_.store(other.probe_count_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Installs resource ceilings (0 = unlimited): `max_pairs` caps the
   /// total pair count, `max_per_record` caps one record's posting list
@@ -90,7 +108,9 @@ class ValuePairIndex {
 
   /// PairsFor lookups served since construction (probe traffic; never
   /// reset by Build).
-  size_t probe_count() const { return probe_count_; }
+  size_t probe_count() const {
+    return probe_count_.load(std::memory_order_relaxed);
+  }
 
   /// All pairs in index order (for tests / debugging).
   std::vector<IndexedPair> Dump() const;
@@ -133,7 +153,10 @@ class ValuePairIndex {
   size_t max_per_record_ = 0;
   size_t shed_pairs_ = 0;
   size_t shed_posting_entries_ = 0;
-  mutable size_t probe_count_ = 0;
+  /// Atomic because PairsFor is probed concurrently by the engine's
+  /// parallel verification phase (everything else on the index stays
+  /// controller-thread only).
+  mutable std::atomic<uint64_t> probe_count_{0};
 };
 
 }  // namespace hera

@@ -1,0 +1,54 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+namespace hera {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Run(const std::function<void(size_t)>& job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &job;
+  remaining_ = threads_.size();
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace hera

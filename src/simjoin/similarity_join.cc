@@ -1,13 +1,17 @@
 #include "simjoin/similarity_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "parallel/parallel_for.h"
 #include "text/normalize.h"
 #include "text/qgram.h"
 
@@ -29,62 +33,46 @@ std::vector<ValuePair> SimilarityJoin::JoinAB(
   return out;
 }
 
-Status NestedLoopJoin::Join(const std::vector<LabeledValue>& values,
-                            const ValueSimilarity& simv, double xi,
-                            const RunGuard& guard, std::vector<ValuePair>* out,
-                            JoinReport* report) const {
-  HERA_FAILPOINT("simjoin.join");
-  out->clear();
-  GuardTicker ticker(guard);
-  size_t verified = 0;
-  for (size_t i = 0; i < values.size() && !ticker.stopped(); ++i) {
-    for (size_t j = i + 1; j < values.size(); ++j) {
-      if (ticker.Tick()) break;
-      if (values[i].label.rid == values[j].label.rid) continue;
-      ++verified;
-      double s = simv.Compute(values[i].value, values[j].value);
-      if (s >= xi) out->push_back({values[i].label, values[j].label, s});
-    }
-  }
-  if (report) {
-    report->truncated = ticker.stopped();
-    report->candidates = verified;
-    report->verified = verified;
-    report->emitted = out->size();
-  }
-  return Status::OK();
-}
-
-Status NestedLoopJoin::JoinAB(const std::vector<LabeledValue>& probe,
-                              const std::vector<LabeledValue>& base,
-                              const ValueSimilarity& simv, double xi,
-                              const RunGuard& guard,
-                              std::vector<ValuePair>* out,
-                              JoinReport* report) const {
-  HERA_FAILPOINT("simjoin.join");
-  out->clear();
-  GuardTicker ticker(guard);
-  size_t verified = 0;
-  for (const LabeledValue& p : probe) {
-    if (ticker.stopped()) break;
-    for (const LabeledValue& b : base) {
-      if (ticker.Tick()) break;
-      if (p.label.rid == b.label.rid) continue;
-      ++verified;
-      double s = simv.Compute(p.value, b.value);
-      if (s >= xi) out->push_back({p.label, b.label, s});
-    }
-  }
-  if (report) {
-    report->truncated = ticker.stopped();
-    report->candidates = verified;
-    report->verified = verified;
-    report->emitted = out->size();
-  }
-  return Status::OK();
-}
-
 namespace {
+
+/// One chunk's output: pairs found plus filter/verify counters. Chunks
+/// are concatenated in chunk index order (MergeChunks), which is what
+/// makes parallel output byte-identical to serial for completed runs.
+struct ChunkOut {
+  std::vector<ValuePair> pairs;
+  size_t candidates = 0;
+  size_t verified = 0;
+};
+
+void MergeChunks(std::vector<ChunkOut>& chunks, std::vector<ValuePair>* out,
+                 size_t* candidates, size_t* verified) {
+  size_t total = 0;
+  for (const ChunkOut& c : chunks) total += c.pairs.size();
+  out->reserve(out->size() + total);
+  for (ChunkOut& c : chunks) {
+    std::move(c.pairs.begin(), c.pairs.end(), std::back_inserter(*out));
+    *candidates += c.candidates;
+    *verified += c.verified;
+  }
+}
+
+/// Folds one parallel phase's stats into the join report (element-wise
+/// busy-time sum; threads_used is the widest phase).
+void AccumulateBusy(const ParallelRunStats& stats, JoinReport* report) {
+  if (!report) return;
+  report->threads_used = std::max(report->threads_used, stats.workers);
+  if (stats.workers <= 1) return;
+  if (report->worker_busy_us.size() < stats.busy_us.size()) {
+    report->worker_busy_us.resize(stats.busy_us.size(), 0.0);
+  }
+  for (size_t w = 0; w < stats.busy_us.size(); ++w) {
+    report->worker_busy_us[w] += stats.busy_us[w];
+  }
+}
+
+size_t NumChunks(size_t n, size_t grain) {
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
 
 /// True when `simv` is q-gram Jaccard, so the prefix filter is exact
 /// and verification can run on the encoded token sets directly.
@@ -129,7 +117,104 @@ NumericWindow NumericWindowFor(const ValueSimilarity& simv) {
   return w;
 }
 
+/// Prefix length for the AllPairs filter at threshold filter_xi.
+size_t PrefixLen(size_t len, double filter_xi) {
+  size_t keep =
+      static_cast<size_t>(std::ceil(static_cast<double>(len) * filter_xi));
+  size_t prefix = len - (keep > 0 ? keep : 1) + 1;
+  return std::min(prefix, len);
+}
+
 }  // namespace
+
+Status NestedLoopJoin::Join(const std::vector<LabeledValue>& values,
+                            const ValueSimilarity& simv, double xi,
+                            const RunGuard& guard, std::vector<ValuePair>* out,
+                            JoinReport* report) const {
+  HERA_FAILPOINT("simjoin.join");
+  out->clear();
+  ThreadPool* pool = executor();
+  const size_t n = values.size();
+  const size_t grain = DefaultGrain(n, pool ? pool->size() : 1);
+  std::vector<ChunkOut> chunks(NumChunks(n, grain));
+  std::atomic<bool> stop{false};
+  ParallelRunStats stats = ParallelChunks(
+      pool, n, grain,
+      [&](size_t chunk, size_t begin, size_t end, size_t /*worker*/) {
+        ChunkOut& co = chunks[chunk];
+        GuardTicker ticker(guard);
+        for (size_t i = begin;
+             i < end && !stop.load(std::memory_order_relaxed); ++i) {
+          for (size_t j = i + 1; j < n; ++j) {
+            if (ticker.Tick()) {
+              stop.store(true, std::memory_order_relaxed);
+              break;
+            }
+            if (values[i].label.rid == values[j].label.rid) continue;
+            ++co.candidates;
+            ++co.verified;
+            double s = simv.Compute(values[i].value, values[j].value);
+            if (s >= xi) co.pairs.push_back({values[i].label, values[j].label, s});
+          }
+        }
+      });
+  size_t n_candidates = 0, n_verified = 0;
+  MergeChunks(chunks, out, &n_candidates, &n_verified);
+  if (report) {
+    report->truncated = stop.load(std::memory_order_relaxed);
+    report->candidates = n_candidates;
+    report->verified = n_verified;
+    report->emitted = out->size();
+    AccumulateBusy(stats, report);
+  }
+  return Status::OK();
+}
+
+Status NestedLoopJoin::JoinAB(const std::vector<LabeledValue>& probe,
+                              const std::vector<LabeledValue>& base,
+                              const ValueSimilarity& simv, double xi,
+                              const RunGuard& guard,
+                              std::vector<ValuePair>* out,
+                              JoinReport* report) const {
+  HERA_FAILPOINT("simjoin.join");
+  out->clear();
+  ThreadPool* pool = executor();
+  const size_t n = probe.size();
+  const size_t grain = DefaultGrain(n, pool ? pool->size() : 1);
+  std::vector<ChunkOut> chunks(NumChunks(n, grain));
+  std::atomic<bool> stop{false};
+  ParallelRunStats stats = ParallelChunks(
+      pool, n, grain,
+      [&](size_t chunk, size_t begin, size_t end, size_t /*worker*/) {
+        ChunkOut& co = chunks[chunk];
+        GuardTicker ticker(guard);
+        for (size_t pi = begin;
+             pi < end && !stop.load(std::memory_order_relaxed); ++pi) {
+          const LabeledValue& p = probe[pi];
+          for (const LabeledValue& b : base) {
+            if (ticker.Tick()) {
+              stop.store(true, std::memory_order_relaxed);
+              break;
+            }
+            if (p.label.rid == b.label.rid) continue;
+            ++co.candidates;
+            ++co.verified;
+            double s = simv.Compute(p.value, b.value);
+            if (s >= xi) co.pairs.push_back({p.label, b.label, s});
+          }
+        }
+      });
+  size_t n_candidates = 0, n_verified = 0;
+  MergeChunks(chunks, out, &n_candidates, &n_verified);
+  if (report) {
+    report->truncated = stop.load(std::memory_order_relaxed);
+    report->candidates = n_candidates;
+    report->verified = n_verified;
+    report->emitted = out->size();
+    AccumulateBusy(stats, report);
+  }
+  return Status::OK();
+}
 
 Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
                               const ValueSimilarity& simv, double xi,
@@ -138,7 +223,9 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
                               JoinReport* report) const {
   HERA_FAILPOINT("simjoin.join");
   out->clear();
-  GuardTicker ticker(guard);
+  ThreadPool* pool = executor();
+  const size_t nworkers = (pool && pool->size() > 1) ? pool->size() : 1;
+  std::atomic<bool> stop{false};
   const size_t max_posting = guard.max_posting_list();
   size_t shed_posting = 0;
   size_t n_candidates = 0, n_verified = 0;
@@ -159,7 +246,9 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
 
   // ---- Numeric sweep: sort by value; sim >= xi iff
   // (y - x) <= (1 - xi) * max(|x|, |y|), which for y > 0 fails
-  // monotonically as y grows, allowing early break.
+  // monotonically as y grows, allowing early break. Each chunk of
+  // sorted probe positions scans forward independently (read-only), so
+  // the sweep parallelizes without coordination.
   std::sort(numeric_idx.begin(), numeric_idx.end(), [&](size_t a, size_t b) {
     return values[a].value.AsNumber() < values[b].value.AsNumber();
   });
@@ -168,35 +257,52 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   // point can otherwise exclude exact-boundary pairs (sim == xi).
   const double t = 1.0 - xi;
   const NumericWindow window = NumericWindowFor(simv);
-  for (size_t p = 0; p < numeric_idx.size() && !ticker.stopped(); ++p) {
-    double x = values[numeric_idx[p]].value.AsNumber();
-    for (size_t r = p + 1; r < numeric_idx.size(); ++r) {
-      if (ticker.Tick()) break;
-      double y = values[numeric_idx[r]].value.AsNumber();
-      double gap = y - x;
-      double denom = std::max(std::fabs(x), std::fabs(y));
-      bool within;
-      if (window.absolute) {
-        within = gap <= t * window.tol + 1e-9;
-      } else {
-        within = denom == 0.0
-                     ? gap == 0.0
-                     : gap <= t * denom + 1e-9 * std::max(1.0, denom);
-      }
-      if (!within) {
-        // Relative window: failure is monotone only once y > 0.
-        // Absolute window: failure is monotone unconditionally.
-        if (window.absolute || y > 0) break;
-        continue;
-      }
-      const LabeledValue& va = values[numeric_idx[p]];
-      const LabeledValue& vb = values[numeric_idx[r]];
-      if (va.label.rid == vb.label.rid) continue;
-      ++n_candidates;
-      ++n_verified;
-      double s = simv.Compute(va.value, vb.value);
-      if (s >= xi) out->push_back({va.label, vb.label, s});
-    }
+  {
+    const size_t n = numeric_idx.size();
+    const size_t grain = DefaultGrain(n, nworkers);
+    std::vector<ChunkOut> chunks(NumChunks(n, grain));
+    ParallelRunStats stats = ParallelChunks(
+        pool, n, grain,
+        [&](size_t chunk, size_t begin, size_t end, size_t /*worker*/) {
+          ChunkOut& co = chunks[chunk];
+          GuardTicker ticker(guard);
+          for (size_t p = begin;
+               p < end && !stop.load(std::memory_order_relaxed); ++p) {
+            double x = values[numeric_idx[p]].value.AsNumber();
+            for (size_t r = p + 1; r < n; ++r) {
+              if (ticker.Tick()) {
+                stop.store(true, std::memory_order_relaxed);
+                break;
+              }
+              double y = values[numeric_idx[r]].value.AsNumber();
+              double gap = y - x;
+              double denom = std::max(std::fabs(x), std::fabs(y));
+              bool within;
+              if (window.absolute) {
+                within = gap <= t * window.tol + 1e-9;
+              } else {
+                within = denom == 0.0
+                             ? gap == 0.0
+                             : gap <= t * denom + 1e-9 * std::max(1.0, denom);
+              }
+              if (!within) {
+                // Relative window: failure is monotone only once y > 0.
+                // Absolute window: failure is monotone unconditionally.
+                if (window.absolute || y > 0) break;
+                continue;
+              }
+              const LabeledValue& va = values[numeric_idx[p]];
+              const LabeledValue& vb = values[numeric_idx[r]];
+              if (va.label.rid == vb.label.rid) continue;
+              ++co.candidates;
+              ++co.verified;
+              double s = simv.Compute(va.value, vb.value);
+              if (s >= xi) co.pairs.push_back({va.label, vb.label, s});
+            }
+          }
+        });
+    MergeChunks(chunks, out, &n_candidates, &n_verified);
+    AccumulateBusy(stats, report);
   }
 
   // ---- String path: AllPairs with length + prefix filters.
@@ -205,12 +311,45 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   // at a slackened threshold so near-threshold true pairs survive.
   const double filter_xi = exact_jaccard ? xi : xi * filter_slack_;
 
-  QgramDictionary dict(q_);
+  // Phase 1 (parallel): normalization + gram extraction, the
+  // embarrassingly parallel part of tokenization. Grams come from the
+  // shared TokenCache when one is installed (rounds >= 2 of an
+  // incremental run hit it almost every time), else are extracted
+  // fresh. Workers write disjoint slots.
+  TokenCache* cache = (cache_ && cache_->q() == q_) ? cache_.get() : nullptr;
   std::vector<std::string> normalized(values.size());
-  for (size_t i : string_idx) {
-    normalized[i] = Normalize(values[i].value.ToString());
-    dict.Add(normalized[i]);
+  std::vector<TokenCache::GramsPtr> shared_grams;
+  std::vector<std::vector<std::string>> owned_grams;
+  if (cache) {
+    shared_grams.resize(values.size());
+  } else {
+    owned_grams.resize(values.size());
   }
+  {
+    const size_t n = string_idx.size();
+    ParallelRunStats stats = ParallelChunks(
+        pool, n, DefaultGrain(n, nworkers),
+        [&](size_t /*chunk*/, size_t begin, size_t end, size_t /*worker*/) {
+          for (size_t k = begin; k < end; ++k) {
+            size_t i = string_idx[k];
+            normalized[i] = Normalize(values[i].value.ToString());
+            if (cache) {
+              shared_grams[i] = cache->Grams(normalized[i]);
+            } else {
+              owned_grams[i] = QgramSet(normalized[i], q_);
+            }
+          }
+        });
+    AccumulateBusy(stats, report);
+  }
+  auto grams_of = [&](size_t i) -> const std::vector<std::string>& {
+    return cache ? *shared_grams[i] : owned_grams[i];
+  };
+
+  // Phase 2 (serial): dictionary build + encoding both mutate the
+  // dictionary, so they stay on the controller thread.
+  QgramDictionary dict(q_);
+  for (size_t i : string_idx) dict.AddGrams(grams_of(i));
   dict.Freeze();
 
   struct Encoded {
@@ -220,7 +359,7 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   std::vector<Encoded> sets;
   sets.reserve(string_idx.size());
   for (size_t i : string_idx) {
-    std::vector<uint32_t> ids = dict.Encode(normalized[i]);
+    std::vector<uint32_t> ids = dict.EncodeGrams(grams_of(i));
     if (ids.empty()) continue;  // Nothing to match on.
     sets.push_back({i, std::move(ids)});
   }
@@ -228,55 +367,18 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
     return a.ids.size() < b.ids.size();
   });
 
-  // token id -> positions (into `sets`) whose prefix contains it.
+  // Phase 3 (serial): full posting lists, built in ascending set
+  // order. The posting ceiling is applied in that same order, so each
+  // list's contents are exactly what the serial incremental index held
+  // — and because entries are ascending, a probe that stops scanning
+  // at its own position (cj >= si below) sees exactly the lists as
+  // they stood when the serial loop reached it.
+  std::vector<size_t> prefix_len(sets.size());
   std::unordered_map<uint32_t, std::vector<size_t>> postings;
-  std::vector<size_t> candidate_of(sets.size(), SIZE_MAX);  // Dedup marker.
-
-  for (size_t si = 0; si < sets.size() && !ticker.stopped(); ++si) {
-    const Encoded& x = sets[si];
-    const size_t len_x = x.ids.size();
-    // Prefix length for Jaccard threshold filter_xi.
-    size_t keep = static_cast<size_t>(
-        std::ceil(static_cast<double>(len_x) * filter_xi));
-    size_t prefix = len_x - (keep > 0 ? keep : 1) + 1;
-    prefix = std::min(prefix, len_x);
-
-    // Probe: candidates are earlier (shorter-or-equal) sets sharing a
-    // prefix token and passing the length filter |y| >= filter_xi*|x|.
-    const double min_len = filter_xi * static_cast<double>(len_x);
-    std::vector<size_t> candidates;
-    for (size_t pi = 0; pi < prefix; ++pi) {
-      auto it = postings.find(x.ids[pi]);
-      if (it == postings.end()) continue;
-      for (size_t cj : it->second) {
-        if (candidate_of[cj] == si) continue;  // Already a candidate.
-        if (static_cast<double>(sets[cj].ids.size()) < min_len) continue;
-        candidate_of[cj] = si;
-        candidates.push_back(cj);
-      }
-    }
-
-    n_candidates += candidates.size();
-    for (size_t cj : candidates) {
-      if (ticker.Tick()) break;
-      const Encoded& y = sets[cj];
-      const LabeledValue& va = values[x.idx];
-      const LabeledValue& vb = values[y.idx];
-      if (va.label.rid == vb.label.rid) continue;
-      ++n_verified;
-      double s;
-      if (exact_jaccard) {
-        s = JaccardOfIds(x.ids, y.ids);
-      } else {
-        s = simv.Compute(va.value, vb.value);
-      }
-      if (s >= xi) out->push_back({va.label, vb.label, s});
-    }
-
-    // Index x's prefix tokens for later probes, honoring the guard's
-    // posting-list ceiling (frequent tokens stop accumulating probes).
-    for (size_t pi = 0; pi < prefix; ++pi) {
-      std::vector<size_t>& list = postings[x.ids[pi]];
+  for (size_t si = 0; si < sets.size(); ++si) {
+    prefix_len[si] = PrefixLen(sets[si].ids.size(), filter_xi);
+    for (size_t pi = 0; pi < prefix_len[si]; ++pi) {
+      std::vector<size_t>& list = postings[sets[si].ids[pi]];
       if (max_posting > 0 && list.size() >= max_posting) {
         ++shed_posting;
         continue;
@@ -285,8 +387,70 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
     }
   }
 
+  // Phase 4 (parallel): probing. Candidates for set si are earlier
+  // (shorter-or-equal) sets sharing a prefix token and passing the
+  // length filter |y| >= filter_xi * |x|. Dedup markers and candidate
+  // buffers are per-worker and reused across chunks; marker values are
+  // probe indices, which are globally unique, so no resets are needed.
+  {
+    const size_t n = sets.size();
+    const size_t grain = DefaultGrain(n, nworkers);
+    std::vector<ChunkOut> chunks(NumChunks(n, grain));
+    std::vector<std::vector<size_t>> markers(nworkers,
+                                             std::vector<size_t>(n, SIZE_MAX));
+    std::vector<std::vector<size_t>> cand_bufs(nworkers);
+    ParallelRunStats stats = ParallelChunks(
+        pool, n, grain,
+        [&](size_t chunk, size_t begin, size_t end, size_t worker) {
+          ChunkOut& co = chunks[chunk];
+          std::vector<size_t>& candidate_of = markers[worker];
+          std::vector<size_t>& candidates = cand_bufs[worker];
+          GuardTicker ticker(guard);
+          for (size_t si = begin;
+               si < end && !stop.load(std::memory_order_relaxed); ++si) {
+            const Encoded& x = sets[si];
+            const double min_len =
+                filter_xi * static_cast<double>(x.ids.size());
+            candidates.clear();
+            for (size_t pi = 0; pi < prefix_len[si]; ++pi) {
+              auto it = postings.find(x.ids[pi]);
+              if (it == postings.end()) continue;
+              for (size_t cj : it->second) {
+                if (cj >= si) break;  // Ascending: the rest joined later.
+                if (candidate_of[cj] == si) continue;  // Already a candidate.
+                if (static_cast<double>(sets[cj].ids.size()) < min_len) continue;
+                candidate_of[cj] = si;
+                candidates.push_back(cj);
+              }
+            }
+
+            co.candidates += candidates.size();
+            for (size_t cj : candidates) {
+              if (ticker.Tick()) {
+                stop.store(true, std::memory_order_relaxed);
+                break;
+              }
+              const Encoded& y = sets[cj];
+              const LabeledValue& va = values[x.idx];
+              const LabeledValue& vb = values[y.idx];
+              if (va.label.rid == vb.label.rid) continue;
+              ++co.verified;
+              double s;
+              if (exact_jaccard) {
+                s = JaccardOfIds(x.ids, y.ids);
+              } else {
+                s = simv.Compute(va.value, vb.value);
+              }
+              if (s >= xi) co.pairs.push_back({va.label, vb.label, s});
+            }
+          }
+        });
+    MergeChunks(chunks, out, &n_candidates, &n_verified);
+    AccumulateBusy(stats, report);
+  }
+
   if (report) {
-    report->truncated = ticker.stopped();
+    report->truncated = stop.load(std::memory_order_relaxed);
     report->shed_posting_entries = shed_posting;
     report->candidates = n_candidates;
     report->verified = n_verified;
@@ -304,7 +468,9 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
                                 JoinReport* report) const {
   HERA_FAILPOINT("simjoin.join");
   out->clear();
-  GuardTicker ticker(guard);
+  ThreadPool* pool = executor();
+  const size_t nworkers = (pool && pool->size() > 1) ? pool->size() : 1;
+  std::atomic<bool> stop{false};
   const size_t max_posting = guard.max_posting_list();
   size_t shed_posting = 0;
   size_t n_candidates = 0, n_verified = 0;
@@ -315,7 +481,8 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
   const double filter_xi = exact_jaccard ? xi : xi * filter_slack_;
 
   // ---- Numeric path: base sorted by value, probes scan the window
-  // where (gap <= (1 - xi) * max(|x|, |y|)) can hold.
+  // where (gap <= (1 - xi) * max(|x|, |y|)) can hold. Probes chunk
+  // across workers; the sorted base is read-only.
   std::vector<size_t> base_numeric;
   for (size_t i = 0; i < base.size(); ++i) {
     if (base[i].value.is_number() && metric_handles_numbers) {
@@ -327,81 +494,143 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
   });
   const double t = 1.0 - xi;
   const NumericWindow window = NumericWindowFor(simv);
-  for (const LabeledValue& p : probe) {
-    if (ticker.stopped()) break;
-    if (!p.value.is_number() || !metric_handles_numbers) continue;
-    double x = p.value.AsNumber();
-    // Find the first base value the window can reach: y >= x - t*|...|
-    // is not monotone across signs, so start from the first y with
-    // y >= x - t * max(|x|, |y|) conservatively via a linear lower
-    // bound y >= (x >= 0 ? x * (1 - t) - ... ). Keep it simple and
-    // sound: start at the first y >= x and also scan backwards while
-    // the symmetric condition can hold.
-    auto cmp = [&](size_t idx, double v) { return base[idx].value.AsNumber() < v; };
-    size_t start = static_cast<size_t>(
-        std::lower_bound(base_numeric.begin(), base_numeric.end(), x, cmp) -
-        base_numeric.begin());
-    auto try_pair = [&](size_t bi) -> bool {  // Returns "within window".
-      double y = base[bi].value.AsNumber();
-      double gap = std::fabs(y - x);
-      double denom = std::max(std::fabs(x), std::fabs(y));
-      // Epsilon-relaxed pruning window; the metric makes the final call.
-      bool within;
-      if (window.absolute) {
-        within = gap <= t * window.tol + 1e-9;
-      } else {
-        within = denom == 0.0
-                     ? gap == 0.0
-                     : gap <= t * denom + 1e-9 * std::max(1.0, denom);
-      }
-      if (!within) return false;
-      if (p.label.rid != base[bi].label.rid) {
-        ++n_candidates;
-        ++n_verified;
-        double s = simv.Compute(p.value, base[bi].value);
-        if (s >= xi) out->push_back({p.label, base[bi].label, s});
-      }
-      return true;
-    };
-    // Forward: y >= x; failure is monotone for y > 0 (see Join()),
-    // and unconditionally for an absolute window.
-    for (size_t k = start; k < base_numeric.size(); ++k) {
-      if (ticker.Tick()) break;
-      double y = base[base_numeric[k]].value.AsNumber();
-      if (!try_pair(base_numeric[k]) && (window.absolute || y > 0)) break;
-    }
-    // Backward: y < x; by symmetry, failure is monotone while y < 0
-    // for the relative window, always for the absolute one.
-    for (size_t k = start; k-- > 0;) {
-      if (ticker.Tick()) break;
-      double y = base[base_numeric[k]].value.AsNumber();
-      if (!try_pair(base_numeric[k]) && (window.absolute || y < 0)) break;
-    }
+  {
+    const size_t n = probe.size();
+    const size_t grain = DefaultGrain(n, nworkers);
+    std::vector<ChunkOut> chunks(NumChunks(n, grain));
+    ParallelRunStats stats = ParallelChunks(
+        pool, n, grain,
+        [&](size_t chunk, size_t begin, size_t end, size_t /*worker*/) {
+          ChunkOut& co = chunks[chunk];
+          GuardTicker ticker(guard);
+          for (size_t pi = begin;
+               pi < end && !stop.load(std::memory_order_relaxed); ++pi) {
+            const LabeledValue& p = probe[pi];
+            if (!p.value.is_number() || !metric_handles_numbers) continue;
+            double x = p.value.AsNumber();
+            // Start at the first y >= x and also scan backwards while
+            // the symmetric condition can hold.
+            auto cmp = [&](size_t idx, double v) {
+              return base[idx].value.AsNumber() < v;
+            };
+            size_t start = static_cast<size_t>(
+                std::lower_bound(base_numeric.begin(), base_numeric.end(), x,
+                                 cmp) -
+                base_numeric.begin());
+            auto try_pair = [&](size_t bi) -> bool {  // "Within window".
+              double y = base[bi].value.AsNumber();
+              double gap = std::fabs(y - x);
+              double denom = std::max(std::fabs(x), std::fabs(y));
+              // Epsilon-relaxed pruning window; the metric makes the
+              // final call.
+              bool within;
+              if (window.absolute) {
+                within = gap <= t * window.tol + 1e-9;
+              } else {
+                within = denom == 0.0
+                             ? gap == 0.0
+                             : gap <= t * denom + 1e-9 * std::max(1.0, denom);
+              }
+              if (!within) return false;
+              if (p.label.rid != base[bi].label.rid) {
+                ++co.candidates;
+                ++co.verified;
+                double s = simv.Compute(p.value, base[bi].value);
+                if (s >= xi) co.pairs.push_back({p.label, base[bi].label, s});
+              }
+              return true;
+            };
+            // Forward: y >= x; failure is monotone for y > 0 (see
+            // Join()), and unconditionally for an absolute window.
+            for (size_t k = start; k < base_numeric.size(); ++k) {
+              if (ticker.Tick()) {
+                stop.store(true, std::memory_order_relaxed);
+                break;
+              }
+              double y = base[base_numeric[k]].value.AsNumber();
+              if (!try_pair(base_numeric[k]) && (window.absolute || y > 0))
+                break;
+            }
+            // Backward: y < x; by symmetry, failure is monotone while
+            // y < 0 for the relative window, always for the absolute.
+            for (size_t k = start; k-- > 0;) {
+              if (ticker.Tick()) {
+                stop.store(true, std::memory_order_relaxed);
+                break;
+              }
+              double y = base[base_numeric[k]].value.AsNumber();
+              if (!try_pair(base_numeric[k]) && (window.absolute || y < 0))
+                break;
+            }
+          }
+        });
+    MergeChunks(chunks, out, &n_candidates, &n_verified);
+    AccumulateBusy(stats, report);
   }
 
   // ---- String path: full inverted index over the base tokens, probes
   // search with their prefix tokens; two-sided length filter.
-  QgramDictionary dict(q_);
+
+  // Phase 1 (parallel): normalization + gram extraction for base and
+  // probe sides (TokenCache-served when installed).
+  TokenCache* cache = (cache_ && cache_->q() == q_) ? cache_.get() : nullptr;
   std::vector<std::string> base_norm(base.size()), probe_norm(probe.size());
+  std::vector<TokenCache::GramsPtr> base_shared, probe_shared;
+  std::vector<std::vector<std::string>> base_owned, probe_owned;
+  if (cache) {
+    base_shared.resize(base.size());
+    probe_shared.resize(probe.size());
+  } else {
+    base_owned.resize(base.size());
+    probe_owned.resize(probe.size());
+  }
+  {
+    const size_t n = base.size() + probe.size();
+    ParallelRunStats stats = ParallelChunks(
+        pool, n, DefaultGrain(n, nworkers),
+        [&](size_t /*chunk*/, size_t begin, size_t end, size_t /*worker*/) {
+          for (size_t k = begin; k < end; ++k) {
+            const bool is_base = k < base.size();
+            const size_t i = is_base ? k : k - base.size();
+            const LabeledValue& v = is_base ? base[i] : probe[i];
+            if (v.value.is_null()) continue;
+            if (v.value.is_number() && metric_handles_numbers) continue;
+            std::string norm = Normalize(v.value.ToString());
+            if (cache) {
+              (is_base ? base_shared : probe_shared)[i] = cache->Grams(norm);
+            } else {
+              (is_base ? base_owned : probe_owned)[i] = QgramSet(norm, q_);
+            }
+            (is_base ? base_norm : probe_norm)[i] = std::move(norm);
+          }
+        });
+    AccumulateBusy(stats, report);
+  }
+  auto base_grams = [&](size_t i) -> const std::vector<std::string>& {
+    return cache ? *base_shared[i] : base_owned[i];
+  };
+  auto probe_grams = [&](size_t i) -> const std::vector<std::string>& {
+    return cache ? *probe_shared[i] : probe_owned[i];
+  };
+
+  // Phase 2 (serial): dictionary build; mutates the dictionary.
+  QgramDictionary dict(q_);
   for (size_t i = 0; i < base.size(); ++i) {
-    if (base[i].value.is_null()) continue;
-    if (base[i].value.is_number() && metric_handles_numbers) continue;
-    base_norm[i] = Normalize(base[i].value.ToString());
-    dict.Add(base_norm[i]);
+    if (!base_norm[i].empty()) dict.AddGrams(base_grams(i));
   }
   for (size_t i = 0; i < probe.size(); ++i) {
-    if (probe[i].value.is_null()) continue;
-    if (probe[i].value.is_number() && metric_handles_numbers) continue;
-    probe_norm[i] = Normalize(probe[i].value.ToString());
-    dict.Add(probe_norm[i]);
+    if (!probe_norm[i].empty()) dict.AddGrams(probe_grams(i));
   }
   dict.Freeze();
 
+  // Phase 3 (serial): encode the base and build its inverted index,
+  // honoring the posting ceiling in ascending base order (identical
+  // shed decisions to the serial build).
   std::unordered_map<uint32_t, std::vector<size_t>> postings;  // token -> base idx
   std::vector<std::vector<uint32_t>> base_ids(base.size());
   for (size_t i = 0; i < base.size(); ++i) {
     if (base_norm[i].empty()) continue;
-    base_ids[i] = dict.Encode(base_norm[i]);
+    base_ids[i] = dict.EncodeGrams(base_grams(i));
     for (uint32_t tok : base_ids[i]) {
       std::vector<size_t>& list = postings[tok];
       if (max_posting > 0 && list.size() >= max_posting) {
@@ -412,45 +641,72 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
     }
   }
 
-  std::vector<size_t> last_probe(base.size(), SIZE_MAX);
-  for (size_t pi = 0; pi < probe.size() && !ticker.stopped(); ++pi) {
-    if (probe_norm[pi].empty()) continue;
-    std::vector<uint32_t> ids = dict.Encode(probe_norm[pi]);
-    if (ids.empty()) continue;
-    const size_t len_x = ids.size();
-    size_t keep = static_cast<size_t>(
-        std::ceil(static_cast<double>(len_x) * filter_xi));
-    size_t prefix = len_x - (keep > 0 ? keep : 1) + 1;
-    prefix = std::min(prefix, len_x);
-    const double min_len = filter_xi * static_cast<double>(len_x);
-    const double max_len =
-        filter_xi > 0.0 ? static_cast<double>(len_x) / filter_xi
-                        : std::numeric_limits<double>::infinity();
-    for (size_t k = 0; k < prefix && !ticker.stopped(); ++k) {
-      auto it = postings.find(ids[k]);
-      if (it == postings.end()) continue;
-      for (size_t bi : it->second) {
-        if (ticker.Tick()) break;
-        if (last_probe[bi] == pi) continue;
-        last_probe[bi] = pi;
-        double blen = static_cast<double>(base_ids[bi].size());
-        if (blen < min_len || blen > max_len) continue;
-        if (probe[pi].label.rid == base[bi].label.rid) continue;
-        ++n_candidates;
-        ++n_verified;
-        double s;
-        if (exact_jaccard) {
-          s = JaccardOfIds(ids, base_ids[bi]);
-        } else {
-          s = simv.Compute(probe[pi].value, base[bi].value);
-        }
-        if (s >= xi) out->push_back({probe[pi].label, base[bi].label, s});
-      }
-    }
+  // Probe token ids are pre-encoded here (encoding can intern unknown
+  // grams, so it cannot run concurrently) instead of per-probe inside
+  // the scan loop, which also drops the per-iteration vector copy the
+  // old in-loop encode paid.
+  std::vector<std::vector<uint32_t>> probe_ids(probe.size());
+  for (size_t i = 0; i < probe.size(); ++i) {
+    if (!probe_norm[i].empty()) probe_ids[i] = dict.EncodeGrams(probe_grams(i));
+  }
+
+  // Phase 4 (parallel): probing; per-worker last-probe markers (probe
+  // indices are globally unique, so markers never need resetting).
+  {
+    const size_t n = probe.size();
+    const size_t grain = DefaultGrain(n, nworkers);
+    std::vector<ChunkOut> chunks(NumChunks(n, grain));
+    std::vector<std::vector<size_t>> markers(
+        nworkers, std::vector<size_t>(base.size(), SIZE_MAX));
+    ParallelRunStats stats = ParallelChunks(
+        pool, n, grain,
+        [&](size_t chunk, size_t begin, size_t end, size_t worker) {
+          ChunkOut& co = chunks[chunk];
+          std::vector<size_t>& last_probe = markers[worker];
+          GuardTicker ticker(guard);
+          for (size_t pi = begin;
+               pi < end && !stop.load(std::memory_order_relaxed); ++pi) {
+            const std::vector<uint32_t>& ids = probe_ids[pi];
+            if (ids.empty()) continue;
+            const size_t len_x = ids.size();
+            const size_t prefix = PrefixLen(len_x, filter_xi);
+            const double min_len = filter_xi * static_cast<double>(len_x);
+            const double max_len =
+                filter_xi > 0.0 ? static_cast<double>(len_x) / filter_xi
+                                : std::numeric_limits<double>::infinity();
+            for (size_t k = 0;
+                 k < prefix && !stop.load(std::memory_order_relaxed); ++k) {
+              auto it = postings.find(ids[k]);
+              if (it == postings.end()) continue;
+              for (size_t bi : it->second) {
+                if (ticker.Tick()) {
+                  stop.store(true, std::memory_order_relaxed);
+                  break;
+                }
+                if (last_probe[bi] == pi) continue;
+                last_probe[bi] = pi;
+                double blen = static_cast<double>(base_ids[bi].size());
+                if (blen < min_len || blen > max_len) continue;
+                if (probe[pi].label.rid == base[bi].label.rid) continue;
+                ++co.candidates;
+                ++co.verified;
+                double s;
+                if (exact_jaccard) {
+                  s = JaccardOfIds(ids, base_ids[bi]);
+                } else {
+                  s = simv.Compute(probe[pi].value, base[bi].value);
+                }
+                if (s >= xi) co.pairs.push_back({probe[pi].label, base[bi].label, s});
+              }
+            }
+          }
+        });
+    MergeChunks(chunks, out, &n_candidates, &n_verified);
+    AccumulateBusy(stats, report);
   }
 
   if (report) {
-    report->truncated = ticker.stopped();
+    report->truncated = stop.load(std::memory_order_relaxed);
     report->shed_posting_entries = shed_posting;
     report->candidates = n_candidates;
     report->verified = n_verified;

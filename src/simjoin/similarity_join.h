@@ -10,8 +10,10 @@
 
 #include "common/run_guard.h"
 #include "common/status.h"
+#include "parallel/thread_pool.h"
 #include "record/super_record.h"
 #include "sim/similarity.h"
+#include "text/token_cache.h"
 
 namespace hera {
 
@@ -49,6 +51,12 @@ struct JoinReport {
   size_t verified = 0;
   /// Pairs that met xi and were emitted into `out`.
   size_t emitted = 0;
+  /// Worker threads the join's parallel phases ran on (1 = serial).
+  size_t threads_used = 1;
+  /// Per-worker busy microseconds summed across the join's parallel
+  /// phases; empty when the join ran serially. Feeds the
+  /// parallel.worker_busy_us histogram.
+  std::vector<double> worker_busy_us;
 };
 
 /// \brief Abstract similarity join over labeled value sets.
@@ -63,9 +71,23 @@ struct JoinReport {
 /// its posting-list ceiling; they fail only via fault injection
 /// (HERA_FAILPOINT "simjoin.join"). The 3-argument convenience forms
 /// run unguarded.
+///
+/// Parallelism: SetExecutor installs a worker pool; the probe stream
+/// is then partitioned into chunks claimed via an atomic cursor, each
+/// chunk writing a thread-local buffer, and the buffers concatenated
+/// in chunk order — so for runs that complete (no deadline truncation)
+/// the output pair list is byte-identical to the serial path for any
+/// worker count (see docs/performance.md). A null pool (default) or a
+/// single-worker pool is the serial path.
 class SimilarityJoin {
  public:
   virtual ~SimilarityJoin() = default;
+
+  /// Installs the worker pool used by the guarded joins; the caller
+  /// retains ownership and the pool must outlive every join call.
+  /// nullptr (the default) restores the serial path.
+  void SetExecutor(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* executor() const { return pool_; }
 
   /// Unguarded convenience forms.
   std::vector<ValuePair> Join(const std::vector<LabeledValue>& values,
@@ -84,6 +106,9 @@ class SimilarityJoin {
                         const ValueSimilarity& simv, double xi,
                         const RunGuard& guard, std::vector<ValuePair>* out,
                         JoinReport* report = nullptr) const = 0;
+
+ private:
+  ThreadPool* pool_ = nullptr;
 };
 
 /// \brief O(n^2) reference implementation; correctness oracle in tests
@@ -124,6 +149,19 @@ class PrefixFilterJoin : public SimilarityJoin {
   explicit PrefixFilterJoin(int q = 2, double filter_slack = 0.7)
       : q_(q), filter_slack_(filter_slack) {}
 
+  /// Shares an interned-gram cache across joins (and rounds): value
+  /// tokenization is served from it instead of re-extracting q-grams.
+  /// A cache built for a different gram length is ignored. Caching
+  /// never changes results — only the tokenization cost.
+  void SetTokenCache(std::shared_ptr<TokenCache> cache) {
+    cache_ = std::move(cache);
+  }
+  const TokenCache* token_cache() const { return cache_.get(); }
+
+  /// Gram length of the filter's tokenization (a compatible TokenCache
+  /// must be built with the same q).
+  int q() const { return q_; }
+
   Status Join(const std::vector<LabeledValue>& values,
               const ValueSimilarity& simv, double xi, const RunGuard& guard,
               std::vector<ValuePair>* out,
@@ -141,6 +179,7 @@ class PrefixFilterJoin : public SimilarityJoin {
  private:
   int q_;
   double filter_slack_;
+  std::shared_ptr<TokenCache> cache_;
 };
 
 }  // namespace hera

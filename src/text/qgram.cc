@@ -54,6 +54,11 @@ void QgramDictionary::Add(std::string_view s) {
   for (auto& g : QgramSet(s, q_)) ++counts_[g];
 }
 
+void QgramDictionary::AddGrams(const std::vector<std::string>& grams) {
+  assert(!frozen_);
+  for (const std::string& g : grams) ++counts_[g];
+}
+
 void QgramDictionary::Freeze() {
   assert(!frozen_);
   std::vector<std::pair<uint64_t, const std::string*>> by_freq;
@@ -79,6 +84,22 @@ std::vector<uint32_t> QgramDictionary::Encode(std::string_view s) {
     auto it = id_of_.find(g);
     if (it == id_of_.end()) {
       it = id_of_.emplace(std::move(g), next_id_++).first;
+    }
+    ids.push_back(it->second);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint32_t> QgramDictionary::EncodeGrams(
+    const std::vector<std::string>& grams) {
+  assert(frozen_);
+  std::vector<uint32_t> ids;
+  ids.reserve(grams.size());
+  for (const std::string& g : grams) {
+    auto it = id_of_.find(g);
+    if (it == id_of_.end()) {
+      it = id_of_.emplace(g, next_id_++).first;
     }
     ids.push_back(it->second);
   }

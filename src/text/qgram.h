@@ -43,6 +43,11 @@ class QgramDictionary {
   /// Counts the grams of one string (pass 1).
   void Add(std::string_view s);
 
+  /// Counts an already-extracted gram set (pass 1); `grams` must be the
+  /// QgramSet of one string (sorted, deduplicated). Lets callers that
+  /// intern gram sets (text/token_cache.h) skip re-extraction.
+  void AddGrams(const std::vector<std::string>& grams);
+
   /// Assigns ids: rarest gram gets the smallest id. Must be called once
   /// after all Add() calls and before Encode().
   void Freeze();
@@ -51,6 +56,10 @@ class QgramDictionary {
   /// ascending frequency). Unknown grams are assigned fresh ids on the
   /// fly (treated as globally rare).
   std::vector<uint32_t> Encode(std::string_view s);
+
+  /// Encode() over an already-extracted gram set (same unknown-gram
+  /// handling); the counterpart of AddGrams.
+  std::vector<uint32_t> EncodeGrams(const std::vector<std::string>& grams);
 
   int q() const { return q_; }
   size_t vocab_size() const { return id_of_.size(); }
