@@ -11,9 +11,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 
+#include "common/file_util.h"
 #include "core/hera.h"
 #include "data/benchmark_datasets.h"
 #include "eval/metrics.h"
@@ -39,19 +39,19 @@ inline size_t BenchThreads() {
   return threads;
 }
 
-/// Writes `report` to $HERA_BENCH_JSON_DIR/BENCH_<name>.json; no-op
+/// Writes `report` to $HERA_BENCH_JSON_DIR/BENCH_<name>.json
+/// (atomically, so a killed harness never leaves a torn report); no-op
 /// when the env var is unset.
 inline void WriteBenchReport(const std::string& name,
                              const obs::RunReport& report) {
   const char* dir = BenchJsonDir();
   if (dir == nullptr) return;
   std::string path = std::string(dir) + "/BENCH_" + name + ".json";
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+  Status st = AtomicWriteFile(path, report.ToJson() + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
   }
-  out << report.ToJson() << "\n";
 }
 
 /// Runs HERA with (xi, delta) on a dataset and returns result+metrics.

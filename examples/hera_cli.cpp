@@ -3,6 +3,8 @@
 //   hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]
 //                    [--threads N] [--out labels.csv] [--quiet]
 //                    [--emit-report report.json] [--log-level LEVEL]
+//                    [--checkpoint-dir DIR] [--checkpoint-every K]
+//                    [--resume] [--deadline-ms MS]
 //   hera_cli generate <movies|publications> <output.hera>
 //                    [--records N] [--entities E] [--seed S]
 //   hera_cli stats <input.hera>
@@ -16,13 +18,23 @@
 // HERA_THREADS environment variable; the flag wins) sets
 // HeraOptions::num_threads — results are identical at any setting (see
 // docs/performance.md); the run report records the value used.
+//
+// Durability: --checkpoint-dir makes the run resumable after a kill or
+// a --deadline-ms truncation (snapshots + WAL, docs/file_format.md);
+// --resume continues from the directory's newest checkpoint (falling
+// back to a fresh run when it holds none).
+//
+// Exit codes: 0 the run completed; 2 the run ended governed (degraded,
+// iteration cap, or truncated — the labeling is valid and, with a
+// checkpoint directory, resumable); 3 error (unreadable input, corrupt
+// checkpoint, write failure); 64 usage error.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 
+#include "common/file_util.h"
 #include "common/logging.h"
 #include "core/hera.h"
 #include "data/csv.h"
@@ -43,10 +55,12 @@ int Usage() {
       "  hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]\n"
       "                   [--threads N] [--out labels.csv] [--quiet]\n"
       "                   [--emit-report report.json] [--log-level LEVEL]\n"
+      "                   [--checkpoint-dir DIR] [--checkpoint-every K]\n"
+      "                   [--resume] [--deadline-ms MS]\n"
       "  hera_cli generate <movies|publications> <output.hera>\n"
       "                   [--records N] [--entities E] [--seed S]\n"
       "  hera_cli stats <input.hera>\n");
-  return 2;
+  return 64;
 }
 
 /// Returns the value following `flag`, or nullptr.
@@ -70,7 +84,7 @@ int CmdResolve(int argc, char** argv) {
   if (!ds.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n", argv[0],
                  ds.status().ToString().c_str());
-    return 1;
+    return 3;
   }
   HeraOptions opts;
   if (const char* v = FlagValue(argc, argv, "--xi")) opts.xi = std::atof(v);
@@ -82,26 +96,49 @@ int CmdResolve(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--threads")) {
     opts.num_threads = std::strtoull(v, nullptr, 10);
   }
+  if (const char* v = FlagValue(argc, argv, "--checkpoint-dir")) {
+    opts.checkpoint_dir = v;
+  }
+  if (const char* v = FlagValue(argc, argv, "--checkpoint-every")) {
+    opts.checkpoint_every = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--deadline-ms")) {
+    opts.guard.WithTimeoutMs(std::atof(v));
+  }
+  const bool resume = HasFlag(argc, argv, "--resume");
+  if (resume && opts.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return Usage();
+  }
   const bool quiet = HasFlag(argc, argv, "--quiet");
   const char* report_path = FlagValue(argc, argv, "--emit-report");
   opts.collect_report = report_path != nullptr;
 
-  auto result = Hera(opts).Run(*ds);
+  StatusOr<HeraResult> result =
+      resume ? Hera(opts).Resume(*ds) : Hera(opts).Run(*ds);
+  if (resume && !result.ok() &&
+      result.status().code() == StatusCode::kNotFound) {
+    std::fprintf(stderr, "no checkpoint in %s; starting a fresh run\n",
+                 opts.checkpoint_dir.c_str());
+    result = Hera(opts).Run(*ds);
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
+    return 3;
   }
 
   const char* out_path = FlagValue(argc, argv, "--out");
   if (out_path != nullptr) {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", out_path);
-      return 1;
-    }
-    out << "record_id,entity_label\n";
+    std::string csv = "record_id,entity_label\n";
     for (uint32_t r = 0; r < ds->size(); ++r) {
-      out << r << "," << result->entity_of[r] << "\n";
+      csv += std::to_string(r) + "," + std::to_string(result->entity_of[r]) +
+             "\n";
+    }
+    Status wst = AtomicWriteFile(out_path, csv);
+    if (!wst.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_path,
+                   wst.ToString().c_str());
+      return 3;
     }
   } else if (!quiet) {
     std::printf("record_id,entity_label\n");
@@ -117,17 +154,25 @@ int CmdResolve(int argc, char** argv) {
                ds->size(), result->super_records.size(), st.index_size,
                st.iterations, st.comparisons, st.direct_merges, st.merges,
                st.total_ms);
+  int exit_code = 0;
   if (st.outcome != RunOutcome::kCompleted) {
     std::fprintf(stderr, "outcome=%s (run was governed; labeling is valid)\n",
                  RunOutcomeToString(st.outcome));
+    if (!opts.checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "resume hint: rerun with --checkpoint-dir %s --resume to "
+                   "continue this run\n",
+                   opts.checkpoint_dir.c_str());
+    }
+    exit_code = 2;
   }
   if (report_path != nullptr) {
-    std::ofstream report_out(report_path);
-    if (!report_out) {
-      std::fprintf(stderr, "cannot write %s\n", report_path);
-      return 1;
+    Status wst = AtomicWriteFile(report_path, result->report.ToJson() + "\n");
+    if (!wst.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", report_path,
+                   wst.ToString().c_str());
+      return 3;
     }
-    report_out << result->report.ToJson() << "\n";
     if (!quiet) {
       std::fprintf(stderr, "%s", result->report.ToString().c_str());
       std::fprintf(stderr, "report written to %s\n", report_path);
@@ -139,7 +184,7 @@ int CmdResolve(int argc, char** argv) {
                  m.precision, m.recall, m.f1,
                  AdjustedRandIndex(result->entity_of, ds->entity_of()));
   }
-  return 0;
+  return exit_code;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -159,7 +204,7 @@ int CmdGenerate(int argc, char** argv) {
   }
   if (entities == 0 || records < entities) {
     std::fprintf(stderr, "need records >= entities >= 1\n");
-    return 1;
+    return Usage();
   }
   Dataset ds;
   if (domain == "movies") {
@@ -180,7 +225,7 @@ int CmdGenerate(int argc, char** argv) {
   Status st = WriteDataset(ds, out_path);
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
+    return 3;
   }
   std::printf("wrote %zu records / %zu entities / %zu schemas to %s\n",
               ds.size(), ds.NumEntities(), ds.schemas().size(),
@@ -194,7 +239,7 @@ int CmdStats(int argc, char** argv) {
   if (!ds.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n", argv[0],
                  ds.status().ToString().c_str());
-    return 1;
+    return 3;
   }
   std::printf("records:             %zu\n", ds->size());
   std::printf("schemas:             %zu\n", ds->schemas().size());
@@ -226,7 +271,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown --log-level %s (want debug|info|warning|error|off)\n",
                    v);
-      return 2;
+      return 64;
     }
     SetLogLevel(level);
   }

@@ -74,8 +74,9 @@ size_t HitCount(const std::string& site) {
 }
 
 std::vector<std::string> KnownSites() {
-  return {"csv.read",  "csv.record",    "index.build",
-          "simjoin.join", "verify.km", "engine.merge"};
+  return {"csv.read",     "csv.record", "index.build",
+          "simjoin.join", "verify.km",  "engine.merge",
+          "persist.snapshot", "persist.wal.append", "persist.recover"};
 }
 
 void SetTripObserver(const void* owner,

@@ -1,0 +1,99 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hera {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// fsyncs the directory containing `path` so the rename itself is
+/// durable. Best-effort: some filesystems reject O_DIRECTORY fsync.
+void SyncParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  std::string dir = parent.empty() ? "." : parent.string();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view content) {
+  std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("cannot create", tmp);
+
+  const char* data = content.data();
+  size_t left = content.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("cannot write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    data += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = ErrnoStatus("cannot fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    Status st = ErrnoStatus("cannot close", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = ErrnoStatus("cannot rename to", path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (!std::filesystem::exists(path)) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("cannot read " + path);
+  return buf.str();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace hera

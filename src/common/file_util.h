@@ -1,0 +1,36 @@
+// Filesystem helpers shared by the persistence layer and the
+// report/bench exporters.
+//
+// AtomicWriteFile is the single write-a-file-durably primitive: the
+// content goes to a temporary sibling, is fsync'd, and is renamed over
+// the destination, so a crash at any instant leaves either the old
+// file or the new one — never a torn mixture. Every artifact a crashed
+// run may need to read back (checkpoints, run reports, bench JSON)
+// goes through it.
+
+#ifndef HERA_COMMON_FILE_UTIL_H_
+#define HERA_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace hera {
+
+/// Writes `content` to `path` atomically: write `<path>.tmp.<pid>`,
+/// fsync it, rename over `path`, fsync the parent directory. On error
+/// the temporary is removed and `path` is untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+/// Reads the whole file into a string. NotFound when the file does not
+/// exist, IOError on any other failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Creates `path` (and missing parents) as a directory; ok if it
+/// already exists.
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace hera
+
+#endif  // HERA_COMMON_FILE_UTIL_H_

@@ -84,6 +84,12 @@ void ResolutionEngine::AddRecords(const std::vector<Record>& records) {
 void ResolutionEngine::ArmGuard() {
   guard_.Arm();
   stats_.outcome = RunOutcome::kCompleted;
+  // A restored run carries its shed counters across the resume; the
+  // degradation they represent is permanent (the shed pairs are gone),
+  // so the fresh outcome must keep reflecting it.
+  if (stats_.shed_index_pairs > 0 || stats_.shed_posting_entries > 0) {
+    RaiseOutcome(RunOutcome::kDegraded);
+  }
 }
 
 void ResolutionEngine::RaiseOutcome(RunOutcome outcome) {
@@ -201,6 +207,10 @@ StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
     }
     indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
     stats_.index_size = index_.size();
+    loop_needs_reset_ = true;
+    if (ckpt_ != nullptr) {
+      HERA_RETURN_NOT_OK(ckpt_->WriteSnapshot(ExportState()));
+    }
     return size_t{0};
   }
   std::vector<LabeledValue> fresh, existing;
@@ -230,6 +240,12 @@ StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
   stats_.index_size = index_.size();
   HarvestIndexMetrics();
   SyncTokenCacheMetrics();
+  // New pairs invalidate any carried loop state: the next fixpoint loop
+  // must rescan every group.
+  loop_needs_reset_ = true;
+  if (ckpt_ != nullptr) {
+    HERA_RETURN_NOT_OK(ckpt_->WriteSnapshot(ExportState()));
+  }
   return index_.size() - before;
 }
 
@@ -241,6 +257,10 @@ Status ResolutionEngine::IndexPrecomputed(const std::vector<ValuePair>& pairs) {
   indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
   stats_.index_size = index_.size();
   HarvestIndexMetrics();
+  loop_needs_reset_ = true;
+  if (ckpt_ != nullptr) {
+    HERA_RETURN_NOT_OK(ckpt_->WriteSnapshot(ExportState()));
+  }
   return Status::OK();
 }
 
@@ -250,19 +270,25 @@ Status ResolutionEngine::IterateToFixpoint() {
   InstanceBasedVerifier verifier(
       options_.enable_schema_voting ? &predictor_ : nullptr);
 
-  bool merged_something = true;
   // Dirty tracking: after the first pass, a group whose two records
   // were both untouched by merges cannot decide differently than it
   // already did (its pairs and the field counts are unchanged), so
   // only groups touching a recently merged record are re-examined.
-  bool first_pass = true;
-  std::unordered_set<uint32_t> dirty;
-  // Groups pushed past the candidate ceiling: an explicit carry-over
-  // queue, so every deferred group is examined (and consumed) by some
-  // later pass even when it would no longer qualify as dirty.
-  std::vector<std::pair<uint32_t, uint32_t>> deferred;
+  // The first-pass flag, dirty set, and deferral queue (groups pushed
+  // past the candidate ceiling, owed an examination regardless of
+  // dirtiness) are members so a truncated loop can be checkpointed and
+  // resumed exactly where it stopped; see their declaration.
+  if (loop_needs_reset_) {
+    loop_first_pass_ = true;
+    loop_dirty_.clear();
+    loop_deferred_.clear();
+    loop_needs_reset_ = false;
+  }
+  // Set when the loop stops before the fixpoint (guard or iteration
+  // cap): the carried loop state stays live for a resumed run.
+  bool truncated_break = false;
 
-  while (merged_something || !deferred.empty()) {
+  while (loop_first_pass_ || !loop_dirty_.empty() || !loop_deferred_.empty()) {
     // Safe points: state is always a valid labeling between passes, so
     // deadline expiry / cancellation stops here and the caller gets
     // the current partial result.
@@ -272,6 +298,7 @@ Status ResolutionEngine::IterateToFixpoint() {
         trace_->tracer().Event("truncated",
                                guard_.Cancelled() ? "cancelled" : "deadline");
       }
+      truncated_break = true;
       break;
     }
     if (stats_.iterations >= options_.max_iterations) {
@@ -283,11 +310,22 @@ Status ResolutionEngine::IterateToFixpoint() {
       if (trace_) {
         trace_->tracer().Event("iteration_cap", "", options_.max_iterations);
       }
+      truncated_break = true;
       break;
     }
-    merged_something = false;
+    // An iteration boundary is the durable unit: snapshot when due,
+    // then log the pass about to run as one WAL entry at its end.
+    if (ckpt_ != nullptr && ckpt_->SnapshotDue(stats_.iterations)) {
+      HERA_RETURN_NOT_OK(ckpt_->WriteSnapshot(ExportState()));
+    }
+    // Until this pass completes (including its WAL append), the carried
+    // loop state is mid-mutation; a failure here forces a full rescan.
+    loop_needs_reset_ = true;
     ++stats_.iterations;
     const HeraStats pass_before = stats_;
+    const double simplified_sum_before = simplified_nodes_sum_;
+    const size_t simplified_count_before = simplified_nodes_count_;
+    persist::WalEntry wal_entry;
     Timer pass_timer;
     auto pass_span = obs::StartSpan(trace_.get(), "iteration");
     if (trace_) {
@@ -305,28 +343,29 @@ Status ResolutionEngine::IterateToFixpoint() {
     index_.ForEachGroup([&](uint32_t r1, uint32_t r2,
                             const std::vector<IndexedPair>& pairs) {
       (void)pairs;
-      if (first_pass || dirty.count(r1) || dirty.count(r2)) {
+      if (loop_first_pass_ || loop_dirty_.count(r1) || loop_dirty_.count(r2)) {
         if (listed.emplace(r1, r2).second) groups.emplace_back(r1, r2);
       }
     });
     // Re-queue the carried deferrals (their rids may no longer be
     // dirty; they are owed an examination regardless).
-    for (const auto& g : deferred) {
+    for (const auto& g : loop_deferred_) {
       if (listed.insert(g).second) groups.push_back(g);
     }
-    deferred.clear();
-    first_pass = false;
-    dirty.clear();
+    loop_deferred_.clear();
+    loop_first_pass_ = false;
+    loop_dirty_.clear();
 
     // Candidate ceiling: examine at most the cap this pass and carry
     // the tail into the next one (deferral, not loss). Progress is
     // guaranteed: a no-merge pass consumes `cap` queued groups.
     const size_t cap = guard_.max_candidates_per_iteration();
     if (cap > 0 && groups.size() > cap) {
-      deferred.assign(groups.begin() + cap, groups.end());
-      stats_.deferred_candidate_groups += deferred.size();
+      loop_deferred_.assign(groups.begin() + cap, groups.end());
+      stats_.deferred_candidate_groups += loop_deferred_.size();
       if (trace_) {
-        trace_->tracer().Event("defer.candidates", "ceiling", deferred.size());
+        trace_->tracer().Event("defer.candidates", "ceiling",
+                               loop_deferred_.size());
       }
       groups.resize(cap);
     }
@@ -462,6 +501,11 @@ Status ResolutionEngine::IterateToFixpoint() {
       }
       const BoundResult& bounds = fresh ? plan->bounds : local_bounds;
       std::vector<FieldMatch> matching;
+      // Predictions recorded by this group, captured for the WAL so
+      // replay can re-vote them without re-verifying. Predictions are
+      // only ever recorded on paths that end in a merge, so logging
+      // them per merge loses nothing.
+      std::vector<std::pair<AttrRef, AttrRef>> wal_preds;
       if (bounds.upper < options_.delta) {
         ++stats_.pruned_by_bound;
         continue;
@@ -478,9 +522,12 @@ Status ResolutionEngine::IterateToFixpoint() {
             // carry the same — in fact stronger — evidence as verified
             // candidates, so they vote too. (Extension of Algorithm 2,
             // which only feeds verified candidates into the vote.)
-            predictor_.AddPrediction(
-                it_i->second.field(p.a.fid).value(p.a.vid).origin,
-                it_j->second.field(p.b.fid).value(p.b.vid).origin);
+            const AttrRef& origin_a =
+                it_i->second.field(p.a.fid).value(p.a.vid).origin;
+            const AttrRef& origin_b =
+                it_j->second.field(p.b.fid).value(p.b.vid).origin;
+            predictor_.AddPrediction(origin_a, origin_b);
+            if (ckpt_ != nullptr) wal_preds.emplace_back(origin_a, origin_b);
           }
         }
       } else {
@@ -524,6 +571,7 @@ Status ResolutionEngine::IterateToFixpoint() {
           for (const auto& [attr_a, attr_b] : vr.predictions) {
             predictor_.AddPrediction(attr_a, attr_b);
           }
+          if (ckpt_ != nullptr) wal_preds = std::move(vr.predictions);
         }
       }
 
@@ -531,6 +579,14 @@ Status ResolutionEngine::IterateToFixpoint() {
       // failpoint sits before the first mutation, so an injected
       // failure leaves the engine fully consistent.
       HERA_FAILPOINT("engine.merge");
+      if (ckpt_ != nullptr) {
+        persist::WalMerge wm;
+        wm.i = i;
+        wm.j = j;
+        wm.matching = matching;
+        wm.predictions = std::move(wal_preds);
+        wal_entry.merges.push_back(std::move(wm));
+      }
       uint32_t new_rid = uf_.Union(i, j);
       assert(new_rid == i);
       std::vector<std::pair<ValueLabel, ValueLabel>> remap;
@@ -540,10 +596,9 @@ Status ResolutionEngine::IterateToFixpoint() {
       active_.erase(j);
       active_[new_rid] = std::move(merged);
       merged_this_pass[i] = merged_this_pass[j] = true;
-      dirty.insert(new_rid);
+      loop_dirty_.insert(new_rid);
       ++stats_.merges;
       stats_.merge_sequence.emplace_back(i, j);
-      merged_something = true;
     }
 
     pass_span.End();
@@ -561,7 +616,31 @@ Status ResolutionEngine::IterateToFixpoint() {
       trace_->AddIteration(row);
       h_iteration_us_->Observe(row.ms * 1000.0);
     }
+    if (ckpt_ != nullptr) {
+      wal_entry.iteration = stats_.iterations;
+      wal_entry.pruned = stats_.pruned_by_bound - pass_before.pruned_by_bound;
+      wal_entry.direct = stats_.direct_merges - pass_before.direct_merges;
+      wal_entry.candidates = stats_.candidates - pass_before.candidates;
+      wal_entry.comparisons = stats_.comparisons - pass_before.comparisons;
+      wal_entry.deferred_groups = stats_.deferred_candidate_groups -
+                                  pass_before.deferred_candidate_groups;
+      wal_entry.simplified_sum = simplified_nodes_sum_ - simplified_sum_before;
+      wal_entry.simplified_count =
+          simplified_nodes_count_ - simplified_count_before;
+      wal_entry.deferred_after = loop_deferred_;
+      HERA_RETURN_NOT_OK(ckpt_->AppendWal(std::move(wal_entry)));
+    }
+    // Pass (and its WAL record) complete: the loop state is a valid
+    // iteration boundary again.
+    loop_needs_reset_ = false;
   }
+
+  // A clean fixpoint exit invalidates the loop state on purpose: a
+  // later direct IterateToFixpoint call rescans everything (the
+  // historical contract incremental rounds rely on). Truncated exits
+  // keep it live so a resumed run continues exactly where this one
+  // stopped.
+  if (!truncated_break) loop_needs_reset_ = true;
 
   if (trace_) {
     trace_->tracer().SetIteration(-1);
@@ -577,6 +656,12 @@ Status ResolutionEngine::IterateToFixpoint() {
           ? 0.0
           : simplified_nodes_sum_ / static_cast<double>(simplified_nodes_count_);
   stats_.decided_schema_matchings = predictor_.DecidedMatchings().size();
+
+  // Final snapshot: every exit (fixpoint, cap, guard truncation) leaves
+  // the directory resumable from exactly this state.
+  if (ckpt_ != nullptr) {
+    HERA_RETURN_NOT_OK(ckpt_->WriteSnapshot(ExportState()));
+  }
   return Status::OK();
 }
 
@@ -584,6 +669,123 @@ std::vector<uint32_t> ResolutionEngine::Labels() {
   std::vector<uint32_t> labels(uf_.Size());
   for (uint32_t r = 0; r < labels.size(); ++r) labels[r] = uf_.Find(r);
   return labels;
+}
+
+persist::EngineState ResolutionEngine::ExportState() {
+  persist::EngineState s;
+  s.num_records = uf_.Size();
+  s.labels = Labels();
+  s.super_records.reserve(active_.size());
+  for (const auto& [rid, sr] : active_) {
+    (void)rid;
+    s.super_records.push_back(sr);
+  }
+  s.index_pairs = index_.Dump();
+  s.index_next_pid = index_.next_pid();
+  s.index_probe_count = index_.probe_count();
+  s.index_shed_pairs = index_.shed_pairs();
+  s.index_shed_posting = index_.shed_posting_entries();
+  s.votes = predictor_.ExportVotes();
+  s.num_predictions = predictor_.num_predictions();
+  s.stats = stats_;
+  s.indexed_watermark = indexed_watermark_;
+  s.join_shed_posting = join_shed_posting_;
+  s.simplified_nodes_sum = simplified_nodes_sum_;
+  s.simplified_nodes_count = simplified_nodes_count_;
+  if (!loop_needs_reset_) {
+    s.loop_first_pass = loop_first_pass_;
+    s.loop_dirty.assign(loop_dirty_.begin(), loop_dirty_.end());
+    std::sort(s.loop_dirty.begin(), s.loop_dirty.end());
+    s.loop_deferred = loop_deferred_;
+  }
+  // Else: the carried loop state is stale (fixpoint reached, or new
+  // records were indexed); export a fresh rescan-everything loop, which
+  // is exactly what the next IterateToFixpoint would start with.
+  return s;
+}
+
+void ResolutionEngine::RestoreState(const persist::EngineState& state) {
+  UnionFind restored(state.num_records);
+  for (uint32_t r = 0; r < state.labels.size(); ++r) {
+    restored.Union(state.labels[r], r);
+  }
+  uf_ = std::move(restored);
+  active_.clear();
+  for (const SuperRecord& sr : state.super_records) {
+    active_.emplace(sr.rid(), sr);
+  }
+  index_.RestoreState(state.index_pairs, state.index_next_pid,
+                      static_cast<size_t>(state.index_shed_pairs),
+                      static_cast<size_t>(state.index_shed_posting),
+                      state.index_probe_count);
+  predictor_.RestoreVotes(state.votes,
+                          static_cast<size_t>(state.num_predictions));
+  stats_ = state.stats;
+  indexed_watermark_ = state.indexed_watermark;
+  join_shed_posting_ = static_cast<size_t>(state.join_shed_posting);
+  simplified_nodes_sum_ = state.simplified_nodes_sum;
+  simplified_nodes_count_ = static_cast<size_t>(state.simplified_nodes_count);
+  loop_first_pass_ = state.loop_first_pass;
+  loop_dirty_.clear();
+  loop_dirty_.insert(state.loop_dirty.begin(), state.loop_dirty.end());
+  loop_deferred_ = state.loop_deferred;
+  loop_needs_reset_ = false;
+}
+
+Status ResolutionEngine::ReplayWalEntry(const persist::WalEntry& entry) {
+  if (entry.iteration != stats_.iterations + 1) {
+    return Status::Internal(
+        "WAL entry out of sequence: expected iteration " +
+        std::to_string(stats_.iterations + 1) + ", got " +
+        std::to_string(entry.iteration));
+  }
+  ++stats_.iterations;
+  loop_first_pass_ = false;
+  loop_dirty_.clear();
+  for (const persist::WalMerge& m : entry.merges) {
+    auto it_i = active_.find(m.i);
+    auto it_j = active_.find(m.j);
+    if (it_i == active_.end() || it_j == active_.end()) {
+      return Status::Internal("WAL replay: merge of " + std::to_string(m.i) +
+                              " and " + std::to_string(m.j) +
+                              " references a dead record; state mismatch");
+    }
+    uint32_t new_rid = uf_.Union(m.i, m.j);
+    if (new_rid != m.i) {
+      return Status::Internal("WAL replay: union of " + std::to_string(m.i) +
+                              " and " + std::to_string(m.j) +
+                              " kept rid " + std::to_string(new_rid) +
+                              "; state mismatch");
+    }
+    std::vector<std::pair<ValueLabel, ValueLabel>> remap;
+    SuperRecord merged = SuperRecord::Merge(it_i->second, it_j->second,
+                                            m.matching, new_rid, &remap);
+    index_.ApplyMerge(m.i, m.j, new_rid, remap);
+    active_.erase(m.j);
+    active_[new_rid] = std::move(merged);
+    for (const auto& [attr_a, attr_b] : m.predictions) {
+      predictor_.AddPrediction(attr_a, attr_b);
+    }
+    loop_dirty_.insert(new_rid);
+    ++stats_.merges;
+    stats_.merge_sequence.emplace_back(m.i, m.j);
+  }
+  stats_.pruned_by_bound += static_cast<size_t>(entry.pruned);
+  stats_.direct_merges += static_cast<size_t>(entry.direct);
+  stats_.candidates += static_cast<size_t>(entry.candidates);
+  stats_.comparisons += static_cast<size_t>(entry.comparisons);
+  stats_.deferred_candidate_groups +=
+      static_cast<size_t>(entry.deferred_groups);
+  simplified_nodes_sum_ += entry.simplified_sum;
+  simplified_nodes_count_ += static_cast<size_t>(entry.simplified_count);
+  stats_.avg_simplified_nodes =
+      simplified_nodes_count_ == 0
+          ? 0.0
+          : simplified_nodes_sum_ / static_cast<double>(simplified_nodes_count_);
+  stats_.decided_schema_matchings = predictor_.DecidedMatchings().size();
+  loop_deferred_ = entry.deferred_after;
+  loop_needs_reset_ = false;
+  return Status::OK();
 }
 
 }  // namespace hera

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/run_guard.h"
@@ -27,6 +29,7 @@
 #include "index/value_pair_index.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "persist/checkpoint.h"
 #include "record/record.h"
 #include "record/super_record.h"
 #include "schema/majority_vote.h"
@@ -98,6 +101,28 @@ class ResolutionEngine {
   obs::RunTrace* trace() { return trace_.get(); }
   const obs::RunTrace* trace() const { return trace_.get(); }
 
+  /// Installs a checkpoint manager (borrowed; the caller keeps it alive
+  /// for the engine's lifetime, nullptr detaches). With one installed,
+  /// the engine snapshots after indexing, every checkpoint_every
+  /// iterations, and at every IterateToFixpoint exit, and appends one
+  /// WAL entry per completed pass.
+  void SetCheckpointManager(persist::CheckpointManager* ckpt) { ckpt_ = ckpt; }
+
+  /// Serializes the complete engine state at the current iteration
+  /// boundary. Non-const only because union-find lookups path-compress.
+  persist::EngineState ExportState();
+
+  /// Replaces the engine state with a decoded snapshot. The options the
+  /// engine was constructed with must fingerprint-match the snapshot's
+  /// (the checkpoint layer enforces this).
+  void RestoreState(const persist::EngineState& state);
+
+  /// Re-applies one logged pass on top of the restored state — merges,
+  /// votes, and counters exactly as the original pass, with no
+  /// re-verification (so consumed failpoints cannot re-trip). Entries
+  /// must be replayed in sequence order.
+  Status ReplayWalEntry(const persist::WalEntry& entry);
+
  private:
   /// All (label, value) pairs of one super record.
   std::vector<LabeledValue> ValuesOf(const SuperRecord& sr) const;
@@ -152,6 +177,20 @@ class ResolutionEngine {
 
   double simplified_nodes_sum_ = 0.0;
   size_t simplified_nodes_count_ = 0;
+
+  /// Durable checkpointing (borrowed; null = disabled).
+  persist::CheckpointManager* ckpt_ = nullptr;
+
+  /// Fixpoint-loop state, hoisted out of IterateToFixpoint so a guard
+  /// truncation can be checkpointed and resumed mid-fixpoint. While
+  /// `loop_needs_reset_` is set the three fields are stale and the next
+  /// IterateToFixpoint starts a fresh rescan-everything loop; a guard
+  /// or iteration-cap break leaves it clear, meaning the fields carry
+  /// exactly the work an uninterrupted run would do next.
+  bool loop_needs_reset_ = true;
+  bool loop_first_pass_ = true;
+  std::unordered_set<uint32_t> loop_dirty_;
+  std::vector<std::pair<uint32_t, uint32_t>> loop_deferred_;
 
   /// Observability (null when disabled). The histogram/counter
   /// pointers are registered once in the constructor so hot-path

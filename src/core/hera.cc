@@ -1,6 +1,7 @@
 #include "core/hera.h"
 
 #include "core/engine.h"
+#include "persist/checkpoint.h"
 #include "sim/metrics.h"
 
 namespace hera {
@@ -35,6 +36,18 @@ void FinishResult(ResolutionEngine* engine, HeraResult* result) {
   result->super_records = engine->TakeSuperRecords();
 }
 
+/// Checkpoint identity for a batch run over `dataset`.
+persist::CheckpointManager::Config BatchCheckpointConfig(
+    const HeraOptions& options, const Dataset& dataset) {
+  persist::CheckpointManager::Config config;
+  config.dir = options.checkpoint_dir;
+  config.checkpoint_every = options.checkpoint_every;
+  config.kind = persist::RunKind::kBatch;
+  config.options_fp = persist::FingerprintOptions(options);
+  config.corpus_fp = persist::FingerprintDataset(dataset);
+  return config;
+}
+
 }  // namespace
 
 StatusOr<HeraResult> Hera::Run(const Dataset& dataset) const {
@@ -42,6 +55,13 @@ StatusOr<HeraResult> Hera::Run(const Dataset& dataset) const {
   HERA_ASSIGN_OR_RETURN(ValueSimilarityPtr simv, ResolveMetric(options_));
 
   ResolutionEngine engine(options_, std::move(simv));
+  std::unique_ptr<persist::CheckpointManager> ckpt;
+  if (!options_.checkpoint_dir.empty()) {
+    HERA_ASSIGN_OR_RETURN(
+        ckpt, persist::CheckpointManager::Open(
+                  BatchCheckpointConfig(options_, dataset), engine.trace()));
+    engine.SetCheckpointManager(ckpt.get());
+  }
   engine.AddRecords(dataset.records());
   engine.ArmGuard();
   HERA_RETURN_NOT_OK(engine.IndexNewRecords().status());
@@ -58,9 +78,51 @@ StatusOr<HeraResult> Hera::RunWithPairs(
   HERA_ASSIGN_OR_RETURN(ValueSimilarityPtr simv, ResolveMetric(options_));
 
   ResolutionEngine engine(options_, std::move(simv));
+  std::unique_ptr<persist::CheckpointManager> ckpt;
+  if (!options_.checkpoint_dir.empty()) {
+    HERA_ASSIGN_OR_RETURN(
+        ckpt, persist::CheckpointManager::Open(
+                  BatchCheckpointConfig(options_, dataset), engine.trace()));
+    engine.SetCheckpointManager(ckpt.get());
+  }
   engine.AddRecords(dataset.records());
   engine.ArmGuard();
   HERA_RETURN_NOT_OK(engine.IndexPrecomputed(pairs));
+  HERA_RETURN_NOT_OK(engine.IterateToFixpoint());
+
+  HeraResult result;
+  FinishResult(&engine, &result);
+  return result;
+}
+
+StatusOr<HeraResult> Hera::Resume(const Dataset& dataset) const {
+  HERA_RETURN_NOT_OK(dataset.Validate());
+  HERA_ASSIGN_OR_RETURN(ValueSimilarityPtr simv, ResolveMetric(options_));
+  if (options_.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "Resume requires options.checkpoint_dir to be set");
+  }
+  const persist::CheckpointManager::Config config =
+      BatchCheckpointConfig(options_, dataset);
+
+  ResolutionEngine engine(options_, std::move(simv));
+  // Recover before opening for write: NotFound must reach the caller
+  // untouched so it can fall back to a fresh Run.
+  HERA_ASSIGN_OR_RETURN(
+      persist::CheckpointManager::Recovered recovered,
+      persist::CheckpointManager::Recover(config, engine.trace()));
+  engine.RestoreState(recovered.state);
+  engine.ArmGuard();
+  for (const persist::WalEntry& entry : recovered.wal) {
+    HERA_RETURN_NOT_OK(engine.ReplayWalEntry(entry));
+  }
+
+  HERA_ASSIGN_OR_RETURN(std::unique_ptr<persist::CheckpointManager> ckpt,
+                        persist::CheckpointManager::Open(config, engine.trace()));
+  engine.SetCheckpointManager(ckpt.get());
+  // Re-snapshot the recovered state as a fresh epoch: recovery never
+  // appends after a (possibly torn) WAL tail.
+  HERA_RETURN_NOT_OK(ckpt->WriteSnapshot(engine.ExportState()));
   HERA_RETURN_NOT_OK(engine.IterateToFixpoint());
 
   HeraResult result;

@@ -64,6 +64,18 @@ class Hera {
   StatusOr<HeraResult> RunWithPairs(const Dataset& dataset,
                                     const std::vector<ValuePair>& pairs) const;
 
+  /// Resumes a killed or truncated checkpointed run of `dataset` from
+  /// options.checkpoint_dir: loads the newest good snapshot, replays
+  /// the write-ahead log, and continues to fixpoint — producing the
+  /// byte-identical merge sequence and labels the uninterrupted run
+  /// would have. `dataset` must be the same record set the checkpoint
+  /// was written for (enforced by fingerprint: FailedPrecondition on
+  /// mismatch, as with changed options). NotFound when the directory
+  /// holds no snapshot yet — callers typically fall back to Run. The
+  /// guard, thread count, and iteration cap may differ from the
+  /// original run. See docs/file_format.md.
+  StatusOr<HeraResult> Resume(const Dataset& dataset) const;
+
   const HeraOptions& options() const { return options_; }
 
  private:

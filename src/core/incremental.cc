@@ -4,6 +4,25 @@
 
 namespace hera {
 
+namespace {
+
+/// Checkpoint identity for an incremental run. The corpus fingerprint
+/// covers only the schema catalog: the record stream is open-ended, so
+/// the records themselves are part of the checkpointed state, not of
+/// its identity.
+persist::CheckpointManager::Config IncrementalCheckpointConfig(
+    const HeraOptions& options, const SchemaCatalog& schemas) {
+  persist::CheckpointManager::Config config;
+  config.dir = options.checkpoint_dir;
+  config.checkpoint_every = options.checkpoint_every;
+  config.kind = persist::RunKind::kIncremental;
+  config.options_fp = persist::FingerprintOptions(options);
+  config.corpus_fp = persist::FingerprintSchemas(schemas);
+  return config;
+}
+
+}  // namespace
+
 IncrementalHera::IncrementalHera(const HeraOptions& options,
                                  SchemaCatalog schemas, ValueSimilarityPtr simv)
     : options_(options),
@@ -21,8 +40,54 @@ StatusOr<std::unique_ptr<IncrementalHera>> IncrementalHera::Create(
                                      options.metric);
     }
   }
-  return std::unique_ptr<IncrementalHera>(
+  std::unique_ptr<IncrementalHera> inc(
       new IncrementalHera(options, std::move(schemas), std::move(simv)));
+  if (!options.checkpoint_dir.empty()) {
+    HERA_ASSIGN_OR_RETURN(
+        inc->ckpt_, persist::CheckpointManager::Open(
+                        IncrementalCheckpointConfig(options, inc->schemas_),
+                        inc->engine_->trace()));
+    inc->engine_->SetCheckpointManager(inc->ckpt_.get());
+  }
+  return inc;
+}
+
+StatusOr<std::unique_ptr<IncrementalHera>> IncrementalHera::Restore(
+    const HeraOptions& options, SchemaCatalog schemas) {
+  HERA_RETURN_NOT_OK(ValidateOptions(options));
+  if (options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "Restore requires options.checkpoint_dir to be set");
+  }
+  ValueSimilarityPtr simv = options.similarity;
+  if (!simv) {
+    simv = MakeSimilarity(options.metric);
+    if (!simv) {
+      return Status::InvalidArgument("unknown similarity metric: " +
+                                     options.metric);
+    }
+  }
+  std::unique_ptr<IncrementalHera> inc(
+      new IncrementalHera(options, std::move(schemas), std::move(simv)));
+  const persist::CheckpointManager::Config config =
+      IncrementalCheckpointConfig(options, inc->schemas_);
+  HERA_ASSIGN_OR_RETURN(
+      persist::CheckpointManager::Recovered recovered,
+      persist::CheckpointManager::Recover(config, inc->engine_->trace()));
+  inc->engine_->RestoreState(recovered.state);
+  for (const persist::WalEntry& entry : recovered.wal) {
+    HERA_RETURN_NOT_OK(inc->engine_->ReplayWalEntry(entry));
+  }
+  inc->next_id_ = static_cast<uint32_t>(inc->engine_->NumRecords());
+  HERA_ASSIGN_OR_RETURN(inc->ckpt_,
+                        persist::CheckpointManager::Open(
+                            config, inc->engine_->trace()));
+  inc->engine_->SetCheckpointManager(inc->ckpt_.get());
+  // Re-snapshot the recovered state as a fresh epoch: recovery never
+  // appends after a (possibly torn) WAL tail.
+  HERA_RETURN_NOT_OK(inc->ckpt_->WriteSnapshot(inc->engine_->ExportState()));
+  inc->restored_ = true;
+  return inc;
 }
 
 StatusOr<uint32_t> IncrementalHera::AddRecord(uint32_t schema_id,
@@ -43,9 +108,16 @@ StatusOr<uint32_t> IncrementalHera::AddRecord(uint32_t schema_id,
 }
 
 StatusOr<size_t> IncrementalHera::Resolve() {
-  if (pending_.empty() && !resume_needed_) return size_t{0};
+  // A freshly restored engine may hold a mid-fixpoint loop that must
+  // continue even with nothing new pending.
+  const bool continue_restored = restored_;
+  restored_ = false;
+  if (pending_.empty() && !resume_needed_ && !continue_restored) {
+    return size_t{0};
+  }
   size_t processed = pending_.size();
-  if (!pending_.empty()) {
+  const bool had_pending = !pending_.empty();
+  if (had_pending) {
     engine_->AddRecords(pending_);
     pending_.clear();
   }
@@ -61,7 +133,14 @@ StatusOr<size_t> IncrementalHera::Resolve() {
   // with nothing new pending.
   resume_needed_ = true;
   engine_->ArmGuard();
-  HERA_RETURN_NOT_OK(engine_->IndexNewRecords().status());
+  // A pure continuation of a restored round skips re-indexing: the
+  // records were all indexed before the crash, and IndexNewRecords
+  // would discard the restored mid-fixpoint loop state. New records
+  // force a normal (re-index + full rescan) round, which subsumes the
+  // continuation.
+  if (had_pending || !continue_restored) {
+    HERA_RETURN_NOT_OK(engine_->IndexNewRecords().status());
+  }
   HERA_RETURN_NOT_OK(engine_->IterateToFixpoint());
   resume_needed_ = false;
   return processed;

@@ -36,8 +36,24 @@ namespace hera {
 /// \brief Streaming wrapper around ResolutionEngine.
 class IncrementalHera {
  public:
-  /// Fails on an invalid metric/threshold configuration.
+  /// Fails on an invalid metric/threshold configuration. When
+  /// options.checkpoint_dir is set, every Resolve round checkpoints
+  /// into it (see docs/file_format.md) and a killed process can be
+  /// reconstructed with Restore().
   static StatusOr<std::unique_ptr<IncrementalHera>> Create(
+      const HeraOptions& options, SchemaCatalog schemas);
+
+  /// Reconstructs a checkpointed IncrementalHera from
+  /// options.checkpoint_dir: newest good snapshot + WAL replay. The
+  /// first Resolve() after Restore continues the interrupted round
+  /// exactly — already-applied merges are never re-applied and consumed
+  /// failpoints never re-trip — so a round truncated by a RunGuard
+  /// deadline finishes with the same merge sequence the uninterrupted
+  /// round would have produced. `schemas` must match the checkpointed
+  /// catalog (FailedPrecondition otherwise); NotFound when the
+  /// directory has no snapshot. Records still pending (never indexed)
+  /// at the crash were not checkpointed and must be re-added.
+  static StatusOr<std::unique_ptr<IncrementalHera>> Restore(
       const HeraOptions& options, SchemaCatalog schemas);
 
   /// Queues one record; returns its id. The record is invisible to
@@ -79,11 +95,16 @@ class IncrementalHera {
   HeraOptions options_;
   SchemaCatalog schemas_;
   std::unique_ptr<ResolutionEngine> engine_;
+  /// Durable checkpointing; null unless options.checkpoint_dir is set.
+  std::unique_ptr<persist::CheckpointManager> ckpt_;
   std::vector<Record> pending_;
   uint32_t next_id_ = 0;
   /// A previous Resolve failed after consuming its batch (fault
   /// injection); the next Resolve retries even with nothing pending.
   bool resume_needed_ = false;
+  /// Fresh from Restore(): the next Resolve must continue the restored
+  /// fixpoint loop (and must not re-index, which would discard it).
+  bool restored_ = false;
 };
 
 }  // namespace hera

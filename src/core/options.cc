@@ -24,6 +24,10 @@ Status ValidateOptions(const HeraOptions& options) {
   if (options.max_iterations == 0) {
     return Status::InvalidArgument("max_iterations must be > 0");
   }
+  if (!options.checkpoint_dir.empty() && options.checkpoint_every == 0) {
+    return Status::InvalidArgument(
+        "checkpoint_every must be > 0 when checkpoint_dir is set");
+  }
   return Status::OK();
 }
 

@@ -77,6 +77,20 @@ struct HeraOptions {
   /// checks, so Fig 12-style timings stay honest. Ignored when the
   /// library is built with -DHERA_OBS=OFF. See docs/observability.md.
   bool collect_report = false;
+
+  /// Directory for durable checkpoints (snapshots + write-ahead log).
+  /// Empty (the default) disables checkpointing entirely. When set, a
+  /// snapshot is written after indexing, every `checkpoint_every`
+  /// iterations, and at run end (including guard truncation), with one
+  /// WAL entry fsync'd per completed pass in between — a killed run
+  /// resumes via Hera::Resume / IncrementalHera::Restore and produces
+  /// byte-identical clusters. See docs/file_format.md.
+  std::string checkpoint_dir;
+
+  /// Snapshot cadence in compare-and-merge iterations; must be > 0
+  /// when checkpoint_dir is set. Passes between snapshots cost one
+  /// WAL fsync each.
+  size_t checkpoint_every = 8;
 };
 
 /// Checks option ranges: xi, delta in [0, 1]; vote_prior_p in

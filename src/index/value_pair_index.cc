@@ -142,6 +142,23 @@ std::vector<IndexedPair> ValuePairIndex::Dump() const {
   return out;
 }
 
+void ValuePairIndex::RestoreState(const std::vector<IndexedPair>& pairs,
+                                  uint64_t next_pid, size_t shed_pairs,
+                                  size_t shed_posting_entries,
+                                  uint64_t probe_count) {
+  pairs_.clear();
+  by_pid_.clear();
+  touching_.clear();
+  for (const IndexedPair& p : pairs) {
+    assert(p.a.rid < p.b.rid);
+    Insert(p.pid, p.a, p.b, p.sim);
+  }
+  next_pid_ = next_pid;
+  shed_pairs_ = shed_pairs;
+  shed_posting_entries_ = shed_posting_entries;
+  probe_count_.store(probe_count, std::memory_order_relaxed);
+}
+
 bool ValuePairIndex::CheckInvariants() const {
   if (by_pid_.size() != pairs_.size()) return false;
   for (const auto& [key, entry] : pairs_) {

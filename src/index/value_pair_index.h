@@ -112,8 +112,21 @@ class ValuePairIndex {
     return probe_count_.load(std::memory_order_relaxed);
   }
 
-  /// All pairs in index order (for tests / debugging).
+  /// All pairs in index order (for tests / checkpoint export).
   std::vector<IndexedPair> Dump() const;
+
+  /// Next pid AddPairs would assign (checkpoint export).
+  uint64_t next_pid() const { return next_pid_; }
+
+  /// Replaces the contents with checkpointed pairs, preserving each
+  /// pair's pid exactly — pid is the sort tie-breaker for
+  /// equal-similarity pairs, so fresh pids could reorder candidate
+  /// groups and break the byte-identical-resume guarantee. Ceilings are
+  /// not consulted (the pairs already passed them when first added);
+  /// the shed/probe counters are restored verbatim.
+  void RestoreState(const std::vector<IndexedPair>& pairs, uint64_t next_pid,
+                    size_t shed_pairs, size_t shed_posting_entries,
+                    uint64_t probe_count);
 
   /// Verifies invariants (a.rid < b.rid, ordering, secondary indexes
   /// consistent). Returns false and stops at the first violation.

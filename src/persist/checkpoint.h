@@ -1,0 +1,128 @@
+// CheckpointManager: durable snapshots + write-ahead log for one run.
+//
+// Layout of a checkpoint directory:
+//
+//   snapshot-000000    full engine state at an iteration boundary
+//   wal-000000         passes completed since snapshot-000000
+//   snapshot-000001    ...
+//
+// Epochs. Every snapshot write starts a new epoch: the snapshot file
+// gets the next epoch number and subsequent WAL entries go to that
+// epoch's (fresh) WAL file. Retention keeps the last two epochs so a
+// snapshot torn by a crash — or corrupted on disk later — still leaves
+// a complete older epoch to recover from. Recovery itself always
+// re-snapshots into a *new* epoch rather than appending after a torn
+// WAL tail.
+//
+// Durability. Snapshots go through AtomicWriteFile (temp + fsync +
+// rename); WAL entries are appended and fsync'd one framed block at a
+// time, so the only possible damage from SIGKILL is a torn final block,
+// which recovery detects by CRC and drops.
+//
+// Failpoints: persist.snapshot, persist.wal.append, persist.recover.
+// Crash-test hook: HERA_PERSIST_CRASH="wal.append:N" (or "snapshot:N")
+// raises SIGKILL after the Nth durable operation of that kind — CI uses
+// it to kill hera_cli at a deterministic point.
+
+#ifndef HERA_PERSIST_CHECKPOINT_H_
+#define HERA_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "obs/trace.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace hera {
+namespace persist {
+
+/// \brief Owns the files of one checkpoint directory for one run.
+class CheckpointManager {
+ public:
+  /// \brief Identity + cadence of a checkpointed run.
+  struct Config {
+    std::string dir;
+    size_t checkpoint_every = 8;  ///< Snapshot every K iterations.
+    RunKind kind = RunKind::kBatch;
+    uint64_t options_fp = 0;
+    uint64_t corpus_fp = 0;
+  };
+
+  /// \brief What Recover() reconstructed.
+  struct Recovered {
+    EngineState state;           ///< Snapshot state (WAL not yet applied).
+    std::vector<WalEntry> wal;   ///< Entries to replay on top.
+    uint64_t epoch = 0;          ///< Epoch the state came from.
+    bool fell_back = false;      ///< Newest snapshot was corrupt; used older.
+    bool wal_torn = false;       ///< A torn WAL tail was dropped.
+  };
+
+  /// Opens (creating if needed) a checkpoint directory for writing.
+  /// Existing epochs are never overwritten: new snapshots continue
+  /// after the highest epoch found.
+  static StatusOr<std::unique_ptr<CheckpointManager>> Open(
+      const Config& config, obs::RunTrace* trace);
+
+  /// Reads the newest decodable snapshot plus its WAL. Falls back to
+  /// the previous epoch when the newest snapshot is corrupt (with a
+  /// `persist.snapshot_corrupt` trace event). NotFound when the
+  /// directory holds no snapshot at all; FailedPrecondition when the
+  /// snapshot exists but was written under different options, a
+  /// different corpus, or the other run kind.
+  static StatusOr<Recovered> Recover(const Config& config,
+                                     obs::RunTrace* trace);
+
+  ~CheckpointManager();
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  /// True when `iteration` is checkpoint_every or more passes past the
+  /// last snapshot.
+  bool SnapshotDue(size_t iteration) const;
+
+  /// Writes a snapshot as a new epoch and rotates the WAL; prunes
+  /// epochs older than the previous one.
+  Status WriteSnapshot(const EngineState& state);
+
+  /// Appends one pass to the current epoch's WAL (fsync'd). `entry`'s
+  /// epoch/seq fields are stamped here.
+  Status AppendWal(WalEntry entry);
+
+  uint64_t epoch() const { return current_epoch_; }
+
+ private:
+  explicit CheckpointManager(Config config, obs::RunTrace* trace)
+      : config_(std::move(config)), trace_(trace) {}
+
+  std::string SnapshotPath(uint64_t epoch) const;
+  std::string WalPath(uint64_t epoch) const;
+  void RemoveOldEpochs(uint64_t newest);
+  void CloseWal();
+  /// SIGKILLs the process when HERA_PERSIST_CRASH says this durable op
+  /// is the one to die after.
+  void CrashHookTick(const char* op);
+
+  Config config_;
+  obs::RunTrace* trace_ = nullptr;
+
+  uint64_t next_epoch_ = 0;     ///< Epoch the next snapshot will use.
+  uint64_t current_epoch_ = 0;  ///< Epoch of the last written snapshot.
+  bool have_snapshot_ = false;
+  size_t last_snapshot_iteration_ = 0;
+  uint64_t wal_seq_ = 0;
+  int wal_fd_ = -1;
+
+  // HERA_PERSIST_CRASH state.
+  std::string crash_op_;
+  long crash_after_ = 0;
+  long crash_seen_ = 0;
+};
+
+}  // namespace persist
+}  // namespace hera
+
+#endif  // HERA_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,126 @@
+#include "persist/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace hera {
+namespace persist {
+
+uint32_t Crc32(const void* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::PutF64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+Status ByteReader::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::IOError("checkpoint payload truncated (need " +
+                           std::to_string(n) + " bytes, have " +
+                           std::to_string(remaining()) + ")");
+  }
+  return Status::OK();
+}
+
+Status ByteReader::GetU8(uint8_t* v) {
+  HERA_RETURN_NOT_OK(Need(1));
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status ByteReader::GetU32(uint32_t* v) {
+  HERA_RETURN_NOT_OK(Need(4));
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status ByteReader::GetU64(uint64_t* v) {
+  HERA_RETURN_NOT_OK(Need(8));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status ByteReader::GetF64(double* v) {
+  uint64_t bits = 0;
+  HERA_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::GetString(std::string* v) {
+  uint32_t len = 0;
+  HERA_RETURN_NOT_OK(GetU32(&len));
+  HERA_RETURN_NOT_OK(Need(len));
+  v->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+void AppendBlock(std::string* out, std::string_view payload) {
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  out->append(frame.str());
+  out->append(payload.data(), payload.size());
+}
+
+Status ReadBlock(std::string_view file, size_t* pos, std::string* payload) {
+  if (*pos == file.size()) return Status::NotFound("end of file");
+  if (file.size() - *pos < 8) {
+    return Status::IOError("truncated block header at offset " +
+                           std::to_string(*pos));
+  }
+  ByteReader header(file.substr(*pos, 8));
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  HERA_RETURN_NOT_OK(header.GetU32(&len));
+  HERA_RETURN_NOT_OK(header.GetU32(&crc));
+  if (file.size() - *pos - 8 < len) {
+    return Status::IOError("truncated block payload at offset " +
+                           std::to_string(*pos) + " (want " +
+                           std::to_string(len) + " bytes)");
+  }
+  std::string_view body = file.substr(*pos + 8, len);
+  if (Crc32(body) != crc) {
+    return Status::IOError("block CRC mismatch at offset " +
+                           std::to_string(*pos));
+  }
+  payload->assign(body.data(), body.size());
+  *pos += 8 + len;
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace hera

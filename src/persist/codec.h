@@ -1,0 +1,94 @@
+// Binary codec primitives for the persistence layer.
+//
+// Every durable artifact (snapshot, write-ahead log) is a sequence of
+// checksummed blocks:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// written little-endian regardless of host order. A reader validates
+// the CRC before interpreting a single payload byte, so torn writes
+// and bit flips surface as a clean Status error, never as silently
+// wrong state. Within a payload, ByteWriter/ByteReader provide
+// bounds-checked fixed-width scalars and length-prefixed strings;
+// ByteReader never reads past the payload it was given.
+
+#ifndef HERA_PERSIST_CODEC_H_
+#define HERA_PERSIST_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hera {
+namespace persist {
+
+/// CRC-32 (IEEE 802.3 polynomial) of `len` bytes.
+uint32_t Crc32(const void* data, size_t len);
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+/// \brief Append-only little-endian buffer builder.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  /// Doubles travel as their IEEE-754 bit pattern (exact round-trip).
+  void PutF64(double v);
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void PutBytes(const void* data, size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked reader over one payload. Every getter returns
+/// IOError instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetF64(double* v);
+  Status GetString(std::string* v);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Appends one framed block ([len][crc][payload]) to `out`.
+void AppendBlock(std::string* out, std::string_view payload);
+
+/// Reads the block starting at `*pos` in `file` and advances `*pos`
+/// past it. Returns NotFound at a clean end of file (*pos ==
+/// file.size()), IOError on a truncated frame or CRC mismatch.
+Status ReadBlock(std::string_view file, size_t* pos, std::string* payload);
+
+}  // namespace persist
+}  // namespace hera
+
+#endif  // HERA_PERSIST_CODEC_H_

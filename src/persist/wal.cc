@@ -1,0 +1,142 @@
+#include "persist/wal.h"
+
+#include "persist/codec.h"
+
+namespace hera {
+namespace persist {
+
+namespace {
+
+/// Rejects element counts larger than the bytes left in the payload
+/// (every element is at least one byte) before any reserve().
+Status CheckCount(const ByteReader& r, uint64_t count) {
+  if (count > r.remaining()) {
+    return Status::IOError("corrupt element count " + std::to_string(count));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeWalEntry(const WalEntry& entry) {
+  ByteWriter w;
+  w.PutU64(entry.epoch);
+  w.PutU64(entry.seq);
+  w.PutU64(entry.iteration);
+  w.PutU64(entry.pruned);
+  w.PutU64(entry.direct);
+  w.PutU64(entry.candidates);
+  w.PutU64(entry.comparisons);
+  w.PutU64(entry.deferred_groups);
+  w.PutF64(entry.simplified_sum);
+  w.PutU64(entry.simplified_count);
+
+  w.PutU32(static_cast<uint32_t>(entry.merges.size()));
+  for (const WalMerge& m : entry.merges) {
+    w.PutU32(m.i);
+    w.PutU32(m.j);
+    w.PutU32(static_cast<uint32_t>(m.matching.size()));
+    for (const FieldMatch& fm : m.matching) {
+      w.PutU32(fm.field_a);
+      w.PutU32(fm.field_b);
+      w.PutF64(fm.sim);
+    }
+    w.PutU32(static_cast<uint32_t>(m.predictions.size()));
+    for (const auto& [a, b] : m.predictions) {
+      w.PutU32(a.schema_id);
+      w.PutU32(a.attr_index);
+      w.PutU32(b.schema_id);
+      w.PutU32(b.attr_index);
+    }
+  }
+
+  w.PutU32(static_cast<uint32_t>(entry.deferred_after.size()));
+  for (const auto& [a, b] : entry.deferred_after) {
+    w.PutU32(a);
+    w.PutU32(b);
+  }
+  return w.Take();
+}
+
+StatusOr<WalEntry> DecodeWalEntry(std::string_view payload) {
+  WalEntry e;
+  ByteReader r(payload);
+  HERA_RETURN_NOT_OK(r.GetU64(&e.epoch));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.seq));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.iteration));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.pruned));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.direct));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.candidates));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.comparisons));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.deferred_groups));
+  HERA_RETURN_NOT_OK(r.GetF64(&e.simplified_sum));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.simplified_count));
+
+  uint32_t num_merges = 0;
+  HERA_RETURN_NOT_OK(r.GetU32(&num_merges));
+  HERA_RETURN_NOT_OK(CheckCount(r, num_merges));
+  e.merges.resize(num_merges);
+  for (WalMerge& m : e.merges) {
+    HERA_RETURN_NOT_OK(r.GetU32(&m.i));
+    HERA_RETURN_NOT_OK(r.GetU32(&m.j));
+    uint32_t count = 0;
+    HERA_RETURN_NOT_OK(r.GetU32(&count));
+    HERA_RETURN_NOT_OK(CheckCount(r, count));
+    m.matching.resize(count);
+    for (FieldMatch& fm : m.matching) {
+      HERA_RETURN_NOT_OK(r.GetU32(&fm.field_a));
+      HERA_RETURN_NOT_OK(r.GetU32(&fm.field_b));
+      HERA_RETURN_NOT_OK(r.GetF64(&fm.sim));
+    }
+    HERA_RETURN_NOT_OK(r.GetU32(&count));
+    HERA_RETURN_NOT_OK(CheckCount(r, count));
+    m.predictions.resize(count);
+    for (auto& [a, b] : m.predictions) {
+      HERA_RETURN_NOT_OK(r.GetU32(&a.schema_id));
+      HERA_RETURN_NOT_OK(r.GetU32(&a.attr_index));
+      HERA_RETURN_NOT_OK(r.GetU32(&b.schema_id));
+      HERA_RETURN_NOT_OK(r.GetU32(&b.attr_index));
+    }
+  }
+
+  uint32_t num_deferred = 0;
+  HERA_RETURN_NOT_OK(r.GetU32(&num_deferred));
+  HERA_RETURN_NOT_OK(CheckCount(r, num_deferred));
+  e.deferred_after.resize(num_deferred);
+  for (auto& [a, b] : e.deferred_after) {
+    HERA_RETURN_NOT_OK(r.GetU32(&a));
+    HERA_RETURN_NOT_OK(r.GetU32(&b));
+  }
+  if (!r.AtEnd()) return Status::IOError("trailing bytes in WAL entry");
+  return e;
+}
+
+WalReadResult ReadWalImage(std::string_view file_image, uint64_t epoch) {
+  WalReadResult out;
+  size_t pos = 0;
+  std::string payload;
+  while (true) {
+    Status st = ReadBlock(file_image, &pos, &payload);
+    if (st.code() == StatusCode::kNotFound) break;  // Clean end of file.
+    if (!st.ok()) {
+      out.torn = true;  // Torn tail: the block being written at death.
+      break;
+    }
+    StatusOr<WalEntry> entry = DecodeWalEntry(payload);
+    if (!entry.ok()) {
+      out.torn = true;
+      break;
+    }
+    // A wrong epoch or a sequence break means the file does not extend
+    // the snapshot we recovered; stop before it.
+    if (entry->epoch != epoch || entry->seq != out.entries.size()) {
+      out.torn = true;
+      break;
+    }
+    out.entries.push_back(std::move(*entry));
+  }
+  return out;
+}
+
+}  // namespace persist
+}  // namespace hera

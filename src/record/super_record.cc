@@ -78,6 +78,15 @@ SuperRecord SuperRecord::Merge(
   return out;
 }
 
+SuperRecord SuperRecord::FromParts(uint32_t rid, std::vector<Field> fields,
+                                   std::vector<uint32_t> members) {
+  SuperRecord sr;
+  sr.rid_ = rid;
+  sr.fields_ = std::move(fields);
+  sr.members_ = std::move(members);
+  return sr;
+}
+
 size_t SuperRecord::NumValues() const {
   size_t n = 0;
   for (const auto& f : fields_) n += f.size();

@@ -91,6 +91,11 @@ class SuperRecord {
       const std::vector<FieldMatch>& matching, uint32_t new_rid,
       std::vector<std::pair<ValueLabel, ValueLabel>>* remap = nullptr);
 
+  /// Reassembles a super record from serialized parts (checkpoint
+  /// restore); the inverse of reading rid()/fields()/members().
+  static SuperRecord FromParts(uint32_t rid, std::vector<Field> fields,
+                               std::vector<uint32_t> members);
+
   uint32_t rid() const { return rid_; }
   void set_rid(uint32_t rid) { rid_ = rid; }
 

@@ -68,4 +68,29 @@ SchemaMatchingPredictor::DecidedMatchings() const {
   return out;
 }
 
+std::vector<ExportedVote> SchemaMatchingPredictor::ExportVotes() const {
+  std::vector<ExportedVote> out;
+  out.reserve(votes_.size());
+  for (const auto& [key, votes] : votes_) {
+    ExportedVote ev;
+    ev.attr = key.first;
+    ev.other_schema = key.second;
+    ev.total = votes.total;
+    ev.counts.assign(votes.counts.begin(), votes.counts.end());
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+void SchemaMatchingPredictor::RestoreVotes(
+    const std::vector<ExportedVote>& votes, size_t num_predictions) {
+  votes_.clear();
+  for (const ExportedVote& ev : votes) {
+    Votes& v = votes_[{ev.attr, ev.other_schema}];
+    v.total = ev.total;
+    v.counts.insert(ev.counts.begin(), ev.counts.end());
+  }
+  num_predictions_ = num_predictions;
+}
+
 }  // namespace hera

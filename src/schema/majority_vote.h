@@ -25,6 +25,17 @@
 
 namespace hera {
 
+/// \brief One vote tally in serialized form: the votes attribute
+/// `attr` has received for partners under `other_schema`. Produced by
+/// SchemaMatchingPredictor::ExportVotes for checkpointing.
+struct ExportedVote {
+  AttrRef attr;
+  uint32_t other_schema = 0;
+  uint64_t total = 0;
+  /// (partner attr_index, count), ascending partner order.
+  std::vector<std::pair<uint32_t, uint64_t>> counts;
+};
+
 /// \brief Accumulates attribute-match predictions and decides trusted
 /// schema matchings by probabilistic majority vote.
 class SchemaMatchingPredictor {
@@ -57,6 +68,14 @@ class SchemaMatchingPredictor {
 
   /// Total number of predictions recorded.
   size_t num_predictions() const { return num_predictions_; }
+
+  /// Every tally, in deterministic (attr, other_schema) order; with
+  /// RestoreVotes, round-trips the predictor's full state.
+  std::vector<ExportedVote> ExportVotes() const;
+
+  /// Replaces all tallies with exported ones (checkpoint restore).
+  void RestoreVotes(const std::vector<ExportedVote>& votes,
+                    size_t num_predictions);
 
   /// Theorem 2: upper bound on the majority-vote error probability
   /// after n trials with per-trial accuracy p.

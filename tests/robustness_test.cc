@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -466,6 +467,20 @@ TEST(GovernanceTest, FailpointSweepEverySiteSurfacesCleanError) {
   for (const std::string& site : failpoint::KnownSites()) {
     SCOPED_TRACE(site);
     failpoint::DisarmAll();
+    // Checkpointing is on for every site so the persist.* sites are on
+    // the run's path; each site gets a fresh directory.
+    HeraOptions opts;
+    opts.checkpoint_dir =
+        std::string(::testing::TempDir()) + "/sweep_ck_" + site;
+    opts.checkpoint_every = 1;
+    std::filesystem::remove_all(opts.checkpoint_dir);
+    if (site == "persist.recover") {
+      // The recover site only runs on Resume; seed the directory with a
+      // clean checkpointed run first.
+      auto seeded = ReadDataset(path);
+      ASSERT_TRUE(seeded.ok()) << seeded.status();
+      ASSERT_TRUE(Hera(opts).Run(*seeded).ok());
+    }
     failpoint::Arm(site, Status::Internal("injected at " + site), /*skip=*/0,
                    /*trips=*/-1);
     bool failed = false;
@@ -474,7 +489,8 @@ TEST(GovernanceTest, FailpointSweepEverySiteSurfacesCleanError) {
       failed = true;
       EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
     } else {
-      auto r = Hera(HeraOptions{}).Run(*loaded);
+      auto r = site == "persist.recover" ? Hera(opts).Resume(*loaded)
+                                         : Hera(opts).Run(*loaded);
       failed = !r.ok();
       if (!r.ok()) {
         EXPECT_EQ(r.status().code(), StatusCode::kInternal);
@@ -484,6 +500,8 @@ TEST(GovernanceTest, FailpointSweepEverySiteSurfacesCleanError) {
     }
     EXPECT_TRUE(failed) << "site never tripped";
     EXPECT_GE(failpoint::HitCount(site), 1u);
+    failpoint::DisarmAll();
+    std::filesystem::remove_all(opts.checkpoint_dir);
   }
 
   failpoint::DisarmAll();
