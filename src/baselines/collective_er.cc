@@ -89,8 +89,9 @@ std::vector<uint32_t> CollectiveER(const Dataset& dataset,
     }
   }
 
+  BestPairScorer scorer(simv);
   auto combined_sim = [&](uint32_t a, uint32_t b) {
-    double attr = ClusterSimilarity(st.clusters.at(a), st.clusters.at(b), simv,
+    double attr = ClusterSimilarity(st.clusters.at(a), st.clusters.at(b), scorer,
                                     options.xi);
     double rel = RelationalJaccard(st.Neighborhood(a), st.Neighborhood(b), a, b);
     if (rel < 0.0) return attr;  // No relational evidence either way.

@@ -22,8 +22,9 @@ std::vector<uint32_t> CorrelationClustering(
     recs.push_back(HomogeneousCluster::FromRecord(r));
   }
   std::vector<std::unordered_set<uint32_t>> plus(n);
+  BestPairScorer scorer(simv);
   for (auto [i, j] : CandidateRecordPairs(dataset, simv, options.xi)) {
-    double sim = ClusterSimilarity(recs[i], recs[j], simv, options.xi);
+    double sim = ClusterSimilarity(recs[i], recs[j], scorer, options.xi);
     if (sim >= options.delta) {
       plus[i].insert(j);
       plus[j].insert(i);

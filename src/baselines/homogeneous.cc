@@ -47,17 +47,20 @@ size_t HomogeneousCluster::NumPopulatedAttrs() const {
 
 double ClusterSimilarity(const HomogeneousCluster& a, const HomogeneousCluster& b,
                          const ValueSimilarity& simv, double xi) {
+  BestPairScorer scorer(simv);
+  return ClusterSimilarity(a, b, scorer, xi);
+}
+
+double ClusterSimilarity(const HomogeneousCluster& a, const HomogeneousCluster& b,
+                         BestPairScorer& scorer, double xi) {
   size_t pa = a.NumPopulatedAttrs(), pb = b.NumPopulatedAttrs();
   if (pa == 0 || pb == 0) return 0.0;
   double total = 0.0;
   size_t attrs = std::min(a.attr_values().size(), b.attr_values().size());
   for (size_t i = 0; i < attrs; ++i) {
-    double best = 0.0;
-    for (const Value& va : a.attr_values()[i]) {
-      for (const Value& vb : b.attr_values()[i]) {
-        best = std::max(best, simv.Compute(va, vb));
-      }
-    }
+    // Only bests reaching xi contribute, so per-cell skipping below xi
+    // cannot change the sum (the BestAtLeast exactness contract).
+    double best = scorer.BestAtLeast(a.attr_values()[i], b.attr_values()[i], xi);
     if (best >= xi) total += best;
   }
   return total / static_cast<double>(std::min(pa, pb));

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "matching/weight_kernel.h"
 #include "record/dataset.h"
 #include "sim/similarity.h"
 
@@ -49,6 +50,13 @@ class HomogeneousCluster {
 /// populated-attribute count. In [0, 1].
 double ClusterSimilarity(const HomogeneousCluster& a, const HomogeneousCluster& b,
                          const ValueSimilarity& simv, double xi);
+
+/// Same score, computed through a BestPairScorer so cells that cannot
+/// reach `xi` are abandoned early (bit-equal; see weight_kernel.h).
+/// Drivers with a pair loop hold one scorer so encodings are memoized
+/// across calls; the simv overload above is a one-shot convenience.
+double ClusterSimilarity(const HomogeneousCluster& a, const HomogeneousCluster& b,
+                         BestPairScorer& scorer, double xi);
 
 /// \brief Blocking: record pairs sharing at least one value pair with
 /// simv >= xi, computed with the prefix-filter similarity join. All

@@ -19,9 +19,10 @@ std::vector<uint32_t> NaivePairwiseER(const Dataset& dataset,
   }
 
   UnionFind uf(n);
+  BestPairScorer scorer(simv);
   auto consider = [&](uint32_t i, uint32_t j) {
     if (uf.Connected(i, j)) return;
-    double s = ClusterSimilarity(recs[i], recs[j], simv, options.xi);
+    double s = ClusterSimilarity(recs[i], recs[j], scorer, options.xi);
     if (s >= options.delta) uf.Union(i, j);
   };
 

@@ -37,6 +37,7 @@ std::vector<uint32_t> RSwoosh(const Dataset& dataset, const ValueSimilarity& sim
   }
 
   std::vector<std::unique_ptr<Node>> resolved;
+  BestPairScorer scorer(simv);
   while (!pending.empty()) {
     std::unique_ptr<Node> cur = std::move(pending.front());
     pending.pop_front();
@@ -53,7 +54,7 @@ std::vector<uint32_t> RSwoosh(const Dataset& dataset, const ValueSimilarity& sim
         }
       }
       if (!comparable) continue;
-      double sim = ClusterSimilarity(cur->cluster, resolved[k]->cluster, simv,
+      double sim = ClusterSimilarity(cur->cluster, resolved[k]->cluster, scorer,
                                      options.xi);
       if (sim >= options.delta) {
         match_idx = k;

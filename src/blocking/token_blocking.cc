@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/union_find.h"
+#include "matching/weight_kernel.h"
 #include "text/tokenizer.h"
 
 namespace hera {
@@ -103,9 +104,10 @@ namespace {
 /// Schema-agnostic record similarity: values of the smaller record,
 /// each matched to its best partner in the other record (one-to-one is
 /// not enforced — this is the baseline's coarseness), normalized by the
-/// smaller value count.
-double BagSimilarity(const Record& a, const Record& b,
-                     const ValueSimilarity& simv, double xi) {
+/// smaller value count. Only bests reaching xi contribute, so the
+/// scorer's per-cell skipping below xi cannot change the sum.
+double BagSimilarity(const Record& a, const Record& b, BestPairScorer& scorer,
+                     double xi) {
   const Record& small = a.NumPresent() <= b.NumPresent() ? a : b;
   const Record& large = a.NumPresent() <= b.NumPresent() ? b : a;
   size_t denom = small.NumPresent();
@@ -113,11 +115,7 @@ double BagSimilarity(const Record& a, const Record& b,
   double total = 0.0;
   for (const Value& vs : small.values()) {
     if (vs.is_null()) continue;
-    double best = 0.0;
-    for (const Value& vl : large.values()) {
-      if (vl.is_null()) continue;
-      best = std::max(best, simv.Compute(vs, vl));
-    }
+    double best = scorer.BestAtLeast(vs, large.values(), xi);
     if (best >= xi) total += best;
   }
   return total / static_cast<double>(denom);
@@ -134,10 +132,11 @@ std::vector<uint32_t> TokenBlockingER(const Dataset& dataset,
   std::vector<Block> blocks = BuildBlocks(dataset, options.blocking);
   PurgeBlocks(&blocks, n, options.blocking);
   UnionFind uf(n);
+  BestPairScorer scorer(simv, options.use_encoded_kernels);
   for (auto [i, j] : CandidatePairsFromBlocks(blocks)) {
     if (uf.Connected(i, j)) continue;
     double sim =
-        BagSimilarity(dataset.record(i), dataset.record(j), simv, options.xi);
+        BagSimilarity(dataset.record(i), dataset.record(j), scorer, options.xi);
     if (sim >= options.delta) uf.Union(i, j);
   }
   for (uint32_t r = 0; r < n; ++r) labels[r] = uf.Find(r);

@@ -28,9 +28,15 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
     auto pf = std::make_unique<PrefixFilterJoin>();
     token_cache_ = std::make_shared<TokenCache>(pf->q());
     pf->SetTokenCache(token_cache_);
+    pf->SetEncodedKernels(options_.use_encoded_kernels);
     joiner_ = std::move(pf);
   } else {
     joiner_ = std::make_unique<NestedLoopJoin>();
+  }
+  if (options_.enable_pair_sim_cache) {
+    pair_cache_ = std::make_shared<PairSimCache>(
+        simv_->Name(), options_.pair_sim_cache_capacity);
+    joiner_->SetPairSimCache(pair_cache_);
   }
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
@@ -109,6 +115,10 @@ void ResolutionEngine::NoteJoinReport(const JoinReport& report) {
     m.GetCounter("simjoin.candidates")->Inc(report.candidates);
     m.GetCounter("simjoin.verified")->Inc(report.verified);
     m.GetCounter("simjoin.emitted")->Inc(report.emitted);
+    m.GetCounter("simjoin.pruned_prefix")->Inc(report.pruned_prefix);
+    m.GetCounter("simjoin.pruned_length")->Inc(report.pruned_length);
+    m.GetCounter("simjoin.pruned_positional")->Inc(report.pruned_positional);
+    m.GetCounter("simjoin.pruned_suffix")->Inc(report.pruned_suffix);
     if (h_worker_busy_us_ != nullptr) {
       for (double us : report.worker_busy_us) h_worker_busy_us_->Observe(us);
     }
@@ -177,6 +187,15 @@ void ResolutionEngine::SyncTokenCacheMetrics() {
   if (s.hits > hits->value()) hits->Inc(s.hits - hits->value());
 }
 
+void ResolutionEngine::SyncPairCacheMetrics() {
+  if (!trace_ || !pair_cache_) return;
+  PairSimCache::Stats s = pair_cache_->stats();
+  obs::Counter* computed = trace_->metrics().GetCounter("pairsim.computed");
+  if (s.misses > computed->value()) computed->Inc(s.misses - computed->value());
+  obs::Counter* hits = trace_->metrics().GetCounter("pairsim.cache_hits");
+  if (s.hits > hits->value()) hits->Inc(s.hits - hits->value());
+}
+
 void ResolutionEngine::HarvestIndexMetrics() {
   if (!trace_) return;
   trace_->metrics().GetGauge("index.size")->Set(static_cast<double>(index_.size()));
@@ -240,6 +259,7 @@ StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
   stats_.index_size = index_.size();
   HarvestIndexMetrics();
   SyncTokenCacheMetrics();
+  SyncPairCacheMetrics();
   // New pairs invalidate any carried loop state: the next fixpoint loop
   // must rescan every group.
   loop_needs_reset_ = true;

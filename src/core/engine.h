@@ -33,6 +33,7 @@
 #include "record/record.h"
 #include "record/super_record.h"
 #include "schema/majority_vote.h"
+#include "sim/pair_cache.h"
 #include "sim/similarity.h"
 #include "simjoin/similarity_join.h"
 #include "text/token_cache.h"
@@ -149,6 +150,10 @@ class ResolutionEngine {
   /// token cache's cumulative totals (no-op without trace or cache).
   void SyncTokenCacheMetrics();
 
+  /// Same for the pairsim.computed / pairsim.cache_hits counters of
+  /// the verified-pair similarity cache.
+  void SyncPairCacheMetrics();
+
   HeraOptions options_;
   ValueSimilarityPtr simv_;
   std::unique_ptr<SimilarityJoin> joiner_;
@@ -161,6 +166,9 @@ class ResolutionEngine {
   /// Interned q-gram sets shared across join calls and incremental
   /// rounds (only installed for the prefix-filter joiner).
   std::shared_ptr<TokenCache> token_cache_;
+  /// Verified pair similarities shared across join calls, fixpoint
+  /// rounds, and incremental batches (null when disabled).
+  std::shared_ptr<PairSimCache> pair_cache_;
 
   UnionFind uf_;
   std::map<uint32_t, SuperRecord> active_;

@@ -152,10 +152,19 @@ StatusOr<std::vector<ValuePair>> ComputeSimilarValuePairs(
   if (options.use_prefix_filter_join) {
     PrefixFilterJoin join;
     join.SetExecutor(pool.get());
+    join.SetEncodedKernels(options.use_encoded_kernels);
+    if (options.enable_pair_sim_cache) {
+      join.SetPairSimCache(std::make_shared<PairSimCache>(
+          simv->Name(), options.pair_sim_cache_capacity));
+    }
     HERA_RETURN_NOT_OK(join.Join(values, *simv, options.xi, RunGuard(), &pairs));
   } else {
     NestedLoopJoin join;
     join.SetExecutor(pool.get());
+    if (options.enable_pair_sim_cache) {
+      join.SetPairSimCache(std::make_shared<PairSimCache>(
+          simv->Name(), options.pair_sim_cache_capacity));
+    }
     HERA_RETURN_NOT_OK(join.Join(values, *simv, options.xi, RunGuard(), &pairs));
   }
   return pairs;

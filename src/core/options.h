@@ -35,6 +35,27 @@ struct HeraOptions {
   /// nested-loop oracle (false; the paper's slow baseline).
   bool use_prefix_filter_join = true;
 
+  /// Verify join candidates on the integer-encoded gram sets
+  /// (sim/kernel.h) with threshold-driven early exit, and arm the
+  /// PPJoin+-style positional/suffix filters where they are exact.
+  /// Kernel scores are bit-equal to the string path, so this is purely
+  /// a speed knob: labels, merge_sequence, and snapshots are identical
+  /// either way. Off restores the pre-kernel verification path (A/B
+  /// comparisons). See docs/performance.md.
+  bool use_encoded_kernels = true;
+
+  /// Memoize verified value-pair similarities across joins, fixpoint
+  /// rounds, and incremental batches (sim/pair_cache.h). Scores are a
+  /// pure function of the two value texts, so results are unchanged;
+  /// only repeated metric work is saved. Pays off for non-kernel
+  /// metrics (edit, jaro_winkler, monge_elkan); kernel-eligible
+  /// metrics bypass it.
+  bool enable_pair_sim_cache = true;
+
+  /// PairSimCache entry ceiling (0 = unlimited); at the ceiling the
+  /// cache degrades to a pass-through. ~48 bytes + key text per entry.
+  size_t pair_sim_cache_capacity = 1u << 20;
+
   /// Enables the schema-based method (Section IV-B): majority voting
   /// over field-match predictions, with decided matchings forced into
   /// later field matching sets.

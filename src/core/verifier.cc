@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "matching/bipartite.h"
@@ -75,17 +76,23 @@ VerifyResult InstanceBasedVerifier::Verify(
   MatchingResult solved = SolveFieldMatching(edges);
   result.simplified_nodes = solved.simplified_nodes;
   result.km_size = solved.km_size;
+  // Field-pair ids uniquely identify the refined pair behind each
+  // matched edge; index them once instead of rescanning `remaining`
+  // per edge.
+  std::unordered_map<uint64_t, const IndexedPair*> by_fields;
+  by_fields.reserve(remaining.size());
+  for (const IndexedPair& p : remaining) {
+    uint64_t fkey = (static_cast<uint64_t>(p.a.fid) << 32) | p.b.fid;
+    by_fields.emplace(fkey, &p);
+  }
   for (const WeightedEdge& e : solved.matching) {
     result.matching.push_back({e.left, e.right, e.weight});
     total += e.weight;
-    // Recover the attribute origins from the refined pair behind this
-    // edge (weights/field ids uniquely identify it within `remaining`).
-    for (const IndexedPair& p : remaining) {
-      if (p.a.fid == e.left && p.b.fid == e.right) {
-        auto [origin_a, origin_b] = OriginsOf(a, b, p);
-        result.predictions.emplace_back(origin_a, origin_b);
-        break;
-      }
+    uint64_t fkey = (static_cast<uint64_t>(e.left) << 32) | e.right;
+    auto it = by_fields.find(fkey);
+    if (it != by_fields.end()) {
+      auto [origin_a, origin_b] = OriginsOf(a, b, *it->second);
+      result.predictions.emplace_back(origin_a, origin_b);
     }
   }
 

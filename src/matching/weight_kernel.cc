@@ -1,0 +1,81 @@
+#include "matching/weight_kernel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "text/normalize.h"
+
+namespace hera {
+
+namespace {
+
+/// Memo ceiling, matching the per-metric token caches: a pathological
+/// value universe degrades to pass-through, never unbounded growth.
+constexpr size_t kMaxMemoEntries = 1u << 18;
+
+/// Gram length parsed from a "<kind>_q<N>" (or hybrid-wrapped) metric
+/// name; 0 when the name carries no _q suffix.
+int ParseQ(const std::string& name) {
+  size_t pos = name.rfind("_q");
+  if (pos == std::string::npos) return 0;
+  return std::atoi(name.c_str() + pos + 2);
+}
+
+}  // namespace
+
+BestPairScorer::BestPairScorer(const ValueSimilarity& simv, bool use_kernel)
+    : simv_(simv), dict_(std::max(1, ParseQ(simv.Name()))) {
+  const std::string name = simv.Name();
+  if (use_kernel && GramMetricKind(name, ParseQ(name), &kind_)) {
+    kernel_ = true;
+    hybrid_ = name.rfind("hybrid(", 0) == 0;
+    // Empty dictionary: every gram is "unknown" and gets a fresh id on
+    // the fly. Ids are insertion-ordered instead of frequency-ordered —
+    // irrelevant here, the kernels only need the encoding injective.
+    dict_.Freeze();
+  }
+}
+
+const std::vector<uint32_t>& BestPairScorer::Encoded(
+    const Value& v, std::vector<uint32_t>* scratch) {
+  std::string text = Normalize(v.ToString());
+  auto it = encoded_.find(text);
+  if (it != encoded_.end()) return it->second;
+  if (encoded_.size() >= kMaxMemoEntries) {
+    *scratch = dict_.Encode(text);
+    return *scratch;
+  }
+  // Memoized entries have stable addresses (node-based map): the
+  // reference survives rehashes triggered by later insertions.
+  return encoded_.emplace(std::move(text), dict_.Encode(text)).first->second;
+}
+
+double BestPairScorer::BestAtLeast(const Value& a, const std::vector<Value>& b,
+                                   double floor) {
+  double best = 0.0;
+  if (a.is_null()) return best;
+  const std::vector<uint32_t>* ia = nullptr;
+  for (const Value& vb : b) {
+    if (vb.is_null()) continue;
+    if (kernel_ && !(hybrid_ && a.is_number() && vb.is_number())) {
+      if (ia == nullptr) ia = &Encoded(a, &scratch_a_);
+      double s = SetSimilarityBounded(kind_, *ia, Encoded(vb, &scratch_b_),
+                                      std::max(floor, best));
+      if (s != kBelowThreshold && s > best) best = s;
+    } else {
+      best = std::max(best, simv_.Compute(a, vb));
+    }
+  }
+  return best;
+}
+
+double BestPairScorer::BestAtLeast(const std::vector<Value>& a,
+                                   const std::vector<Value>& b, double floor) {
+  double best = 0.0;
+  for (const Value& va : a) {
+    best = std::max(best, BestAtLeast(va, b, std::max(floor, best)));
+  }
+  return best;
+}
+
+}  // namespace hera

@@ -1,0 +1,82 @@
+// Per-cell bounded weight computation for dense best-pair loops.
+//
+// The verifier's KM weight matrix (core/verifier.cc + bipartite.cc) is
+// assembled from join-verified pair similarities and never recomputes a
+// metric — the kernel acceleration for that path lives in the join
+// (simjoin/similarity_join.cc). The loops that DO score every cell of a
+// dense value matrix are the record/cluster similarity functions of the
+// baselines: best value-pair similarity per attribute
+// (baselines/homogeneous.cc) or per value of the smaller record
+// (blocking/token_blocking.cc). BestPairScorer runs those loops on the
+// integer kernels (sim/kernel.h) with per-cell upper-bound skipping: a
+// cell that provably cannot reach the caller's floor — the running
+// best, or ξ — is abandoned mid-merge and never fully computed.
+//
+// Exactness contract: BestAtLeast returns the exact (bit-equal to a
+// simv.Compute loop) maximum whenever that maximum is >= floor; when
+// every cell is below floor the return value is < floor but not
+// necessarily the true maximum. A caller that consumes the result only
+// through a `best >= floor` gate — which is what every dense loop here
+// does, per Definition 5's ξ cutoff — therefore observes identical
+// scores, sums, and labels with the scorer on or off.
+
+#ifndef HERA_MATCHING_WEIGHT_KERNEL_H_
+#define HERA_MATCHING_WEIGHT_KERNEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/similarity.h"
+#include "sim/value.h"
+#include "text/qgram.h"
+
+namespace hera {
+
+/// \brief Best value-pair similarity with per-cell threshold skipping.
+///
+/// Detects the set-overlap metric family from `simv.Name()`
+/// (GramMetricKind); eligible metrics score string cells via
+/// SetSimilarityBounded on memoized dictionary encodings, everything
+/// else (non-kernel metrics, number/number cells under a hybrid
+/// metric) falls back to simv.Compute. Not thread-safe: one scorer per
+/// resolution loop, like the metric token caches.
+class BestPairScorer {
+ public:
+  /// `use_kernel = false` forces the simv.Compute path for every cell
+  /// (A/B toggle; results are bit-equal either way).
+  explicit BestPairScorer(const ValueSimilarity& simv, bool use_kernel = true);
+
+  /// Max over cells (a_i, b_j) of simv.Compute, exact when >= floor
+  /// (see the contract above). Null values score 0, as in the metrics.
+  double BestAtLeast(const std::vector<Value>& a, const std::vector<Value>& b,
+                     double floor);
+
+  /// One-row version: max over simv.Compute(a, b_j).
+  double BestAtLeast(const Value& a, const std::vector<Value>& b, double floor);
+
+  /// True when the metric was recognized and cells use the kernel.
+  bool kernel_active() const { return kernel_; }
+
+ private:
+  /// Encoded gram set of Normalize(v.ToString()), memoized by text
+  /// (content-addressed, so cluster merges never invalidate). Beyond
+  /// the memo ceiling the encoding lands in `*scratch` instead; the
+  /// two sides of a cell use distinct scratch slots so the returned
+  /// references never alias.
+  const std::vector<uint32_t>& Encoded(const Value& v,
+                                       std::vector<uint32_t>* scratch);
+
+  const ValueSimilarity& simv_;
+  bool kernel_ = false;
+  bool hybrid_ = false;  // Number/number cells route to simv.Compute.
+  SetSimKind kind_ = SetSimKind::kJaccard;
+  QgramDictionary dict_;
+  std::unordered_map<std::string, std::vector<uint32_t>> encoded_;
+  std::vector<uint32_t> scratch_a_, scratch_b_;
+};
+
+}  // namespace hera
+
+#endif  // HERA_MATCHING_WEIGHT_KERNEL_H_

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "sim/string_metrics.h"
+#include "text/normalize.h"
+#include "text/qgram.h"
 #include "text/tfidf.h"
 
 namespace hera {
@@ -17,11 +19,25 @@ bool EitherNull(const Value& a, const Value& b) {
   return a.is_null() || b.is_null();
 }
 
+/// Per-metric tokenization cache ceiling: gram-set metrics intern the
+/// q-gram sets of the texts they score (bounded so a pathological
+/// value universe degrades to pass-through, not unbounded growth).
+constexpr size_t kMetricTokenCacheEntries = 1u << 18;
+
+std::shared_ptr<TokenCache> MakeMetricTokenCache(int q) {
+  return std::make_shared<TokenCache>(q, kMetricTokenCacheEntries);
+}
+
 }  // namespace
+
+JaccardSimilarity::JaccardSimilarity(int q)
+    : q_(q), cache_(MakeMetricTokenCache(q)) {}
 
 double JaccardSimilarity::Compute(const Value& a, const Value& b) const {
   if (EitherNull(a, b)) return 0.0;
-  return QgramJaccard(a.ToString(), b.ToString(), q_);
+  TokenCache::GramsPtr ga = cache_->Grams(Normalize(a.ToString()));
+  TokenCache::GramsPtr gb = cache_->Grams(Normalize(b.ToString()));
+  return JaccardOfSets(*ga, *gb);
 }
 
 std::string JaccardSimilarity::Name() const {
@@ -40,14 +56,64 @@ double JaroWinklerSimilarity::Compute(const Value& a, const Value& b) const {
   return JaroWinkler(a.ToString(), b.ToString());
 }
 
+CosineSimilarity::CosineSimilarity(int q)
+    : q_(q), cache_(MakeMetricTokenCache(q)) {}
+
 double CosineSimilarity::Compute(const Value& a, const Value& b) const {
   if (EitherNull(a, b)) return 0.0;
-  return QgramCosine(a.ToString(), b.ToString(), q_);
+  TokenCache::GramsPtr ga = cache_->Grams(Normalize(a.ToString()));
+  TokenCache::GramsPtr gb = cache_->Grams(Normalize(b.ToString()));
+  // Same expression as QgramCosine (bit-equal scores).
+  if (ga->empty() || gb->empty()) return 0.0;
+  size_t inter = OverlapOfSets(*ga, *gb);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(ga->size()) *
+                   static_cast<double>(gb->size()));
 }
 
 std::string CosineSimilarity::Name() const {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "cosine_q%d", q_);
+  return buf;
+}
+
+DiceSimilarity::DiceSimilarity(int q)
+    : q_(q), cache_(MakeMetricTokenCache(q)) {}
+
+double DiceSimilarity::Compute(const Value& a, const Value& b) const {
+  if (EitherNull(a, b)) return 0.0;
+  TokenCache::GramsPtr ga = cache_->Grams(Normalize(a.ToString()));
+  TokenCache::GramsPtr gb = cache_->Grams(Normalize(b.ToString()));
+  // Same expression as QgramDice (bit-equal scores).
+  if (ga->empty() || gb->empty()) return 0.0;
+  size_t inter = OverlapOfSets(*ga, *gb);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(ga->size() + gb->size());
+}
+
+std::string DiceSimilarity::Name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "dice_q%d", q_);
+  return buf;
+}
+
+OverlapSimilarity::OverlapSimilarity(int q)
+    : q_(q), cache_(MakeMetricTokenCache(q)) {}
+
+double OverlapSimilarity::Compute(const Value& a, const Value& b) const {
+  if (EitherNull(a, b)) return 0.0;
+  TokenCache::GramsPtr ga = cache_->Grams(Normalize(a.ToString()));
+  TokenCache::GramsPtr gb = cache_->Grams(Normalize(b.ToString()));
+  // Same expression as QgramOverlap (bit-equal scores).
+  if (ga->empty() || gb->empty()) return 0.0;
+  size_t inter = OverlapOfSets(*ga, *gb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(ga->size(), gb->size()));
+}
+
+std::string OverlapSimilarity::Name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "overlap_q%d", q_);
   return buf;
 }
 
@@ -127,6 +193,20 @@ ValueSimilarityPtr MakeSimilarity(const std::string& name) {
     return nullptr;
   }
   if (name == "cosine") return std::make_shared<CosineSimilarity>(2);
+  if (name.rfind("dice_q", 0) == 0) {
+    if (int q = parse_q(name, "dice_q")) {
+      return std::make_shared<DiceSimilarity>(q);
+    }
+    return nullptr;
+  }
+  if (name == "dice") return std::make_shared<DiceSimilarity>(2);
+  if (name.rfind("overlap_q", 0) == 0) {
+    if (int q = parse_q(name, "overlap_q")) {
+      return std::make_shared<OverlapSimilarity>(q);
+    }
+    return nullptr;
+  }
+  if (name == "overlap") return std::make_shared<OverlapSimilarity>(2);
   if (name == "monge_elkan") return std::make_shared<MongeElkanSimilarity>();
   if (name.rfind("numeric_tol", 0) == 0) {
     double tol = 0.0;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sim/similarity.h"
+#include "text/token_cache.h"
 
 namespace hera {
 
@@ -16,15 +17,22 @@ class TfIdfModel;
 ///
 /// Numbers are compared via their canonical string rendering; nulls
 /// score 0 against everything.
+///
+/// Tokenization is served from an internal TokenCache (as are the
+/// other gram-set metrics below): each distinct normalized text is
+/// q-grammed once per metric instance instead of once per Compute
+/// call. Caching never changes scores — a cached gram set is the exact
+/// QgramSet the uncached path would extract.
 class JaccardSimilarity : public ValueSimilarity {
  public:
-  explicit JaccardSimilarity(int q = 2) : q_(q) {}
+  explicit JaccardSimilarity(int q = 2);
   double Compute(const Value& a, const Value& b) const override;
   std::string Name() const override;
   int q() const { return q_; }
 
  private:
   int q_;
+  std::shared_ptr<TokenCache> cache_;
 };
 
 /// Normalized Levenshtein (1 - dist/maxlen).
@@ -41,15 +49,40 @@ class JaroWinklerSimilarity : public ValueSimilarity {
   std::string Name() const override { return "jaro_winkler"; }
 };
 
-/// Cosine over q-gram sets.
+/// Cosine over q-gram sets (TokenCache-served, see JaccardSimilarity).
 class CosineSimilarity : public ValueSimilarity {
  public:
-  explicit CosineSimilarity(int q = 2) : q_(q) {}
+  explicit CosineSimilarity(int q = 2);
   double Compute(const Value& a, const Value& b) const override;
   std::string Name() const override;
 
  private:
   int q_;
+  std::shared_ptr<TokenCache> cache_;
+};
+
+/// Dice coefficient over q-gram sets (TokenCache-served).
+class DiceSimilarity : public ValueSimilarity {
+ public:
+  explicit DiceSimilarity(int q = 2);
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override;
+
+ private:
+  int q_;
+  std::shared_ptr<TokenCache> cache_;
+};
+
+/// Overlap coefficient over q-gram sets (TokenCache-served).
+class OverlapSimilarity : public ValueSimilarity {
+ public:
+  explicit OverlapSimilarity(int q = 2);
+  double Compute(const Value& a, const Value& b) const override;
+  std::string Name() const override;
+
+ private:
+  int q_;
+  std::shared_ptr<TokenCache> cache_;
 };
 
 /// Symmetrized Monge–Elkan over word tokens (good for multi-word names).
@@ -117,10 +150,10 @@ class HybridSimilarity : public ValueSimilarity {
 };
 
 /// Looks up a metric by name: "jaccard_q<N>", "edit", "jaro_winkler",
-/// "cosine_q<N>", "monge_elkan", "numeric", "numeric_tol<T>",
-/// "hybrid(<string>)", or "hybrid(<string>,<numeric>)". Returns nullptr
-/// for unknown names (Soft TF-IDF needs a corpus model and cannot be
-/// built by name).
+/// "cosine_q<N>", "dice_q<N>", "overlap_q<N>", "monge_elkan",
+/// "numeric", "numeric_tol<T>", "hybrid(<string>)", or
+/// "hybrid(<string>,<numeric>)". Returns nullptr for unknown names
+/// (Soft TF-IDF needs a corpus model and cannot be built by name).
 ValueSimilarityPtr MakeSimilarity(const std::string& name);
 
 }  // namespace hera

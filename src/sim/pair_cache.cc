@@ -1,0 +1,63 @@
+#include "sim/pair_cache.h"
+
+#include <mutex>
+#include <utility>
+
+namespace hera {
+
+namespace {
+
+/// Length-framed ordered key: no delimiter byte a value text could
+/// collide with ("a\x1fb" + "c" vs "a" + "\x1fbc").
+std::string PairKey(const std::string& a, const std::string& b) {
+  std::string key = std::to_string(a.size());
+  key.reserve(key.size() + 1 + a.size() + b.size());
+  key.push_back(':');
+  key.append(a);
+  key.append(b);
+  return key;
+}
+
+}  // namespace
+
+double PairSimCache::GetOrCompute(const std::string& a, const std::string& b,
+                                  const std::function<double()>& compute) {
+  std::string key = PairKey(a, b);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  double sim = compute();
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (max_entries_ > 0 && map_.size() >= max_entries_ &&
+        map_.find(key) == map_.end()) {
+      skipped_inserts_.fetch_add(1, std::memory_order_relaxed);
+      return sim;
+    }
+    map_.emplace(std::move(key), sim);
+  }
+  return sim;
+}
+
+void PairSimCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.clear();
+}
+
+PairSimCache::Stats PairSimCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.skipped_inserts = skipped_inserts_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  s.entries = map_.size();
+  return s;
+}
+
+}  // namespace hera

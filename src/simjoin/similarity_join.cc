@@ -12,6 +12,7 @@
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "parallel/parallel_for.h"
+#include "sim/kernel.h"
 #include "text/normalize.h"
 #include "text/qgram.h"
 
@@ -35,25 +36,65 @@ std::vector<ValuePair> SimilarityJoin::JoinAB(
 
 namespace {
 
+/// Filter/verify counters accumulated per chunk and folded across the
+/// join's phases; the single accumulator the report is written from.
+struct JoinCounters {
+  size_t candidates = 0;
+  size_t verified = 0;
+  /// Token-path pairs that shared at least one indexed prefix token,
+  /// counted once per pair (the marker dedup fires before any filter).
+  size_t encountered = 0;
+  size_t pruned_length = 0;
+  size_t pruned_positional = 0;
+  size_t pruned_suffix = 0;
+
+  void Fold(const JoinCounters& o) {
+    candidates += o.candidates;
+    verified += o.verified;
+    encountered += o.encountered;
+    pruned_length += o.pruned_length;
+    pruned_positional += o.pruned_positional;
+    pruned_suffix += o.pruned_suffix;
+  }
+};
+
 /// One chunk's output: pairs found plus filter/verify counters. Chunks
 /// are concatenated in chunk index order (MergeChunks), which is what
 /// makes parallel output byte-identical to serial for completed runs.
 struct ChunkOut {
   std::vector<ValuePair> pairs;
-  size_t candidates = 0;
-  size_t verified = 0;
+  JoinCounters counters;
 };
 
 void MergeChunks(std::vector<ChunkOut>& chunks, std::vector<ValuePair>* out,
-                 size_t* candidates, size_t* verified) {
+                 JoinCounters* totals) {
   size_t total = 0;
   for (const ChunkOut& c : chunks) total += c.pairs.size();
   out->reserve(out->size() + total);
   for (ChunkOut& c : chunks) {
     std::move(c.pairs.begin(), c.pairs.end(), std::back_inserter(*out));
-    *candidates += c.candidates;
-    *verified += c.verified;
+    totals->Fold(c.counters);
   }
+}
+
+/// Writes the accumulated counters into the report (the plumbing every
+/// join tail used to duplicate). `token_pairs` is the number of pairs
+/// eligible for the token path; the prefix filter's effect is derived
+/// from it — pairs it never surfaced were prefix-pruned.
+void FinishReport(JoinReport* report, const JoinCounters& totals,
+                  bool truncated, size_t shed_posting, size_t token_pairs,
+                  const std::vector<ValuePair>& out) {
+  if (!report) return;
+  report->truncated = truncated;
+  report->shed_posting_entries = shed_posting;
+  report->candidates = totals.candidates;
+  report->verified = totals.verified;
+  report->emitted = out.size();
+  report->pruned_prefix =
+      token_pairs > totals.encountered ? token_pairs - totals.encountered : 0;
+  report->pruned_length = totals.pruned_length;
+  report->pruned_positional = totals.pruned_positional;
+  report->pruned_suffix = totals.pruned_suffix;
 }
 
 /// Folds one parallel phase's stats into the join report (element-wise
@@ -82,6 +123,8 @@ bool IsJaccardMetric(const ValueSimilarity& simv, int q) {
   return name == expect || name == "hybrid(" + expect + ")";
 }
 
+/// Pre-kernel Jaccard verification, kept as the SetEncodedKernels(false)
+/// A/B path.
 double JaccardOfIds(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
   size_t i = 0, j = 0, inter = 0;
   while (i < a.size() && j < b.size()) {
@@ -95,6 +138,90 @@ double JaccardOfIds(const std::vector<uint32_t>& a, const std::vector<uint32_t>&
   }
   size_t uni = a.size() + b.size() - inter;
   return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// How a join verifies the candidates the filters let through.
+struct VerifyPlan {
+  /// Kernel-eligible metric: score encoded token sets directly
+  /// (bit-equal to the string path; see sim/kernel.h).
+  bool use_kernel = false;
+  SetSimKind kind = SetSimKind::kJaccard;
+  /// Positional/suffix filters apply (exact threshold: q-gram Jaccard
+  /// with kernels on).
+  bool exact_filters = false;
+  /// Kernels off but the metric is exact Jaccard: verify with the
+  /// pre-kernel two-pointer merge (the A/B baseline path).
+  bool legacy_jaccard_ids = false;
+  /// Metric-matched PairSimCache for the fallback string path, or null.
+  PairSimCache* pair_cache = nullptr;
+};
+
+/// Suffix filter recursion depth (each level costs a binary search and
+/// halves the spans; 2 is where the cost/benefit curve flattens for
+/// q-gram-sized sets).
+constexpr int kSuffixFilterDepth = 2;
+/// Skip the suffix filter when the remaining spans are shorter than
+/// this — verifying tiny sets outright is cheaper than bounding them.
+constexpr size_t kSuffixFilterMinRemain = 8;
+
+/// PPJoin+-style check at the pair's first shared prefix token, found
+/// at position `px` of `x` and `py` of `y` (both sorted rare-first).
+/// Elements below the shared token contribute at most min(px, py) to
+/// the intersection, the token itself 1, the suffixes at most
+/// min(remaining) (positional bound) — tightened by a depth-limited
+/// partition bound (suffix filter). Pruning only when the intersection
+/// provably cannot reach MinOverlapForThreshold keeps the filter exact:
+/// every pruned pair scores < xi.
+/// Returns 0 = keep, 1 = positional-pruned, 2 = suffix-pruned.
+int PositionalSuffixFilter(const std::vector<uint32_t>& x, size_t px,
+                           const std::vector<uint32_t>& y, size_t py,
+                           double xi) {
+  const size_t nx = x.size(), ny = y.size();
+  const size_t alpha =
+      MinOverlapForThreshold(SetSimKind::kJaccard, nx, ny, xi);
+  const size_t below = std::min(px, py) + 1;
+  const size_t rx = nx - px - 1, ry = ny - py - 1;
+  if (below + std::min(rx, ry) < alpha) return 1;
+  if (std::min(rx, ry) >= kSuffixFilterMinRemain) {
+    size_t ub = below + OverlapUpperBound(x.data() + px + 1, rx,
+                                          y.data() + py + 1, ry,
+                                          kSuffixFilterDepth);
+    if (ub < alpha) return 2;
+  }
+  return 0;
+}
+
+VerifyPlan MakeVerifyPlan(const ValueSimilarity& simv, int q,
+                          bool encoded_kernels, PairSimCache* cache) {
+  VerifyPlan plan;
+  const bool exact_jaccard = IsJaccardMetric(simv, q);
+  SetSimKind kind;
+  if (encoded_kernels && GramMetricKind(simv.Name(), q, &kind)) {
+    plan.use_kernel = true;
+    plan.kind = kind;
+  }
+  plan.exact_filters = exact_jaccard && encoded_kernels;
+  plan.legacy_jaccard_ids = exact_jaccard && !plan.use_kernel;
+  plan.pair_cache =
+      (plan.use_kernel || plan.legacy_jaccard_ids) ? nullptr : cache;
+  return plan;
+}
+
+/// Scores one string-path candidate per the plan: kernel when
+/// eligible (early exit below xi returns a negative sentinel, which
+/// callers' `s >= xi` emission test already rejects), else the metric,
+/// served from the pair cache when one is installed.
+double VerifyStringPair(const VerifyPlan& plan, const ValueSimilarity& simv,
+                        double xi, const std::vector<uint32_t>& x_ids,
+                        const std::vector<uint32_t>& y_ids, const Value& va,
+                        const Value& vb) {
+  if (plan.use_kernel) return SetSimilarityBounded(plan.kind, x_ids, y_ids, xi);
+  if (plan.legacy_jaccard_ids) return JaccardOfIds(x_ids, y_ids);
+  if (plan.pair_cache != nullptr) {
+    return plan.pair_cache->GetOrCompute(
+        va.ToString(), vb.ToString(), [&] { return simv.Compute(va, vb); });
+  }
+  return simv.Compute(va, vb);
 }
 
 
@@ -134,6 +261,7 @@ Status NestedLoopJoin::Join(const std::vector<LabeledValue>& values,
   HERA_FAILPOINT("simjoin.join");
   out->clear();
   ThreadPool* pool = executor();
+  PairSimCache* pair_cache = PairCacheFor(simv);
   const size_t n = values.size();
   const size_t grain = DefaultGrain(n, pool ? pool->size() : 1);
   std::vector<ChunkOut> chunks(NumChunks(n, grain));
@@ -151,22 +279,24 @@ Status NestedLoopJoin::Join(const std::vector<LabeledValue>& values,
               break;
             }
             if (values[i].label.rid == values[j].label.rid) continue;
-            ++co.candidates;
-            ++co.verified;
-            double s = simv.Compute(values[i].value, values[j].value);
+            ++co.counters.candidates;
+            ++co.counters.verified;
+            const Value& va = values[i].value;
+            const Value& vb = values[j].value;
+            double s = (pair_cache && va.is_string() && vb.is_string())
+                           ? pair_cache->GetOrCompute(
+                                 va.AsString(), vb.AsString(),
+                                 [&] { return simv.Compute(va, vb); })
+                           : simv.Compute(va, vb);
             if (s >= xi) co.pairs.push_back({values[i].label, values[j].label, s});
           }
         }
       });
-  size_t n_candidates = 0, n_verified = 0;
-  MergeChunks(chunks, out, &n_candidates, &n_verified);
-  if (report) {
-    report->truncated = stop.load(std::memory_order_relaxed);
-    report->candidates = n_candidates;
-    report->verified = n_verified;
-    report->emitted = out->size();
-    AccumulateBusy(stats, report);
-  }
+  JoinCounters totals;
+  MergeChunks(chunks, out, &totals);
+  FinishReport(report, totals, stop.load(std::memory_order_relaxed), 0, 0,
+               *out);
+  AccumulateBusy(stats, report);
   return Status::OK();
 }
 
@@ -179,6 +309,7 @@ Status NestedLoopJoin::JoinAB(const std::vector<LabeledValue>& probe,
   HERA_FAILPOINT("simjoin.join");
   out->clear();
   ThreadPool* pool = executor();
+  PairSimCache* pair_cache = PairCacheFor(simv);
   const size_t n = probe.size();
   const size_t grain = DefaultGrain(n, pool ? pool->size() : 1);
   std::vector<ChunkOut> chunks(NumChunks(n, grain));
@@ -197,22 +328,22 @@ Status NestedLoopJoin::JoinAB(const std::vector<LabeledValue>& probe,
               break;
             }
             if (p.label.rid == b.label.rid) continue;
-            ++co.candidates;
-            ++co.verified;
-            double s = simv.Compute(p.value, b.value);
+            ++co.counters.candidates;
+            ++co.counters.verified;
+            double s = (pair_cache && p.value.is_string() && b.value.is_string())
+                           ? pair_cache->GetOrCompute(
+                                 p.value.AsString(), b.value.AsString(),
+                                 [&] { return simv.Compute(p.value, b.value); })
+                           : simv.Compute(p.value, b.value);
             if (s >= xi) co.pairs.push_back({p.label, b.label, s});
           }
         }
       });
-  size_t n_candidates = 0, n_verified = 0;
-  MergeChunks(chunks, out, &n_candidates, &n_verified);
-  if (report) {
-    report->truncated = stop.load(std::memory_order_relaxed);
-    report->candidates = n_candidates;
-    report->verified = n_verified;
-    report->emitted = out->size();
-    AccumulateBusy(stats, report);
-  }
+  JoinCounters totals;
+  MergeChunks(chunks, out, &totals);
+  FinishReport(report, totals, stop.load(std::memory_order_relaxed), 0, 0,
+               *out);
+  AccumulateBusy(stats, report);
   return Status::OK();
 }
 
@@ -228,7 +359,7 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   std::atomic<bool> stop{false};
   const size_t max_posting = guard.max_posting_list();
   size_t shed_posting = 0;
-  size_t n_candidates = 0, n_verified = 0;
+  JoinCounters totals;
 
   // ---- Partition: numeric values are swept, everything else gets the
   // token-based path over its canonical string rendering.
@@ -294,19 +425,22 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
               const LabeledValue& va = values[numeric_idx[p]];
               const LabeledValue& vb = values[numeric_idx[r]];
               if (va.label.rid == vb.label.rid) continue;
-              ++co.candidates;
-              ++co.verified;
+              ++co.counters.candidates;
+              ++co.counters.verified;
               double s = simv.Compute(va.value, vb.value);
               if (s >= xi) co.pairs.push_back({va.label, vb.label, s});
             }
           }
         });
-    MergeChunks(chunks, out, &n_candidates, &n_verified);
+    MergeChunks(chunks, out, &totals);
     AccumulateBusy(stats, report);
   }
 
-  // ---- String path: AllPairs with length + prefix filters.
+  // ---- String path: AllPairs with length + prefix filters, plus
+  // positional/suffix filters when the threshold is exact.
   const bool exact_jaccard = IsJaccardMetric(simv, q_);
+  const VerifyPlan plan =
+      MakeVerifyPlan(simv, q_, encoded_kernels_, PairCacheFor(simv));
   // For non-Jaccard metrics the gram filter is only a blocker; run it
   // at a slackened threshold so near-threshold true pairs survive.
   const double filter_xi = exact_jaccard ? xi : xi * filter_slack_;
@@ -373,17 +507,23 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   // — and because entries are ascending, a probe that stops scanning
   // at its own position (cj >= si below) sees exactly the lists as
   // they stood when the serial loop reached it.
+  // Each entry carries the token's position inside its set, which is
+  // what the positional filter reasons about at probe time.
+  struct Posting {
+    size_t si;   // Index into `sets`.
+    size_t pos;  // Prefix position of the token within sets[si].ids.
+  };
   std::vector<size_t> prefix_len(sets.size());
-  std::unordered_map<uint32_t, std::vector<size_t>> postings;
+  std::unordered_map<uint32_t, std::vector<Posting>> postings;
   for (size_t si = 0; si < sets.size(); ++si) {
     prefix_len[si] = PrefixLen(sets[si].ids.size(), filter_xi);
     for (size_t pi = 0; pi < prefix_len[si]; ++pi) {
-      std::vector<size_t>& list = postings[sets[si].ids[pi]];
+      std::vector<Posting>& list = postings[sets[si].ids[pi]];
       if (max_posting > 0 && list.size() >= max_posting) {
         ++shed_posting;
         continue;
       }
-      list.push_back(si);
+      list.push_back({si, pi});
     }
   }
 
@@ -415,16 +555,38 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
             for (size_t pi = 0; pi < prefix_len[si]; ++pi) {
               auto it = postings.find(x.ids[pi]);
               if (it == postings.end()) continue;
-              for (size_t cj : it->second) {
+              for (const Posting& e : it->second) {
+                const size_t cj = e.si;
                 if (cj >= si) break;  // Ascending: the rest joined later.
-                if (candidate_of[cj] == si) continue;  // Already a candidate.
-                if (static_cast<double>(sets[cj].ids.size()) < min_len) continue;
+                if (candidate_of[cj] == si) continue;  // Already seen.
+                // Every filter sees a pair exactly once, at its first
+                // shared prefix token; re-encounters would fail the
+                // same (size-determined) length check, so marking the
+                // pair up front changes neither the candidate set nor
+                // its order.
                 candidate_of[cj] = si;
+                ++co.counters.encountered;
+                if (static_cast<double>(sets[cj].ids.size()) < min_len) {
+                  ++co.counters.pruned_length;
+                  continue;
+                }
+                if (plan.exact_filters) {
+                  int pruned = PositionalSuffixFilter(x.ids, pi,
+                                                      sets[cj].ids, e.pos, xi);
+                  if (pruned != 0) {
+                    if (pruned == 1) {
+                      ++co.counters.pruned_positional;
+                    } else {
+                      ++co.counters.pruned_suffix;
+                    }
+                    continue;
+                  }
+                }
                 candidates.push_back(cj);
               }
             }
 
-            co.candidates += candidates.size();
+            co.counters.candidates += candidates.size();
             for (size_t cj : candidates) {
               if (ticker.Tick()) {
                 stop.store(true, std::memory_order_relaxed);
@@ -434,28 +596,20 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
               const LabeledValue& va = values[x.idx];
               const LabeledValue& vb = values[y.idx];
               if (va.label.rid == vb.label.rid) continue;
-              ++co.verified;
-              double s;
-              if (exact_jaccard) {
-                s = JaccardOfIds(x.ids, y.ids);
-              } else {
-                s = simv.Compute(va.value, vb.value);
-              }
+              ++co.counters.verified;
+              double s = VerifyStringPair(plan, simv, xi, x.ids, y.ids,
+                                          va.value, vb.value);
               if (s >= xi) co.pairs.push_back({va.label, vb.label, s});
             }
           }
         });
-    MergeChunks(chunks, out, &n_candidates, &n_verified);
+    MergeChunks(chunks, out, &totals);
     AccumulateBusy(stats, report);
   }
 
-  if (report) {
-    report->truncated = stop.load(std::memory_order_relaxed);
-    report->shed_posting_entries = shed_posting;
-    report->candidates = n_candidates;
-    report->verified = n_verified;
-    report->emitted = out->size();
-  }
+  const size_t token_pairs = sets.size() * (sets.size() - (sets.empty() ? 0 : 1)) / 2;
+  FinishReport(report, totals, stop.load(std::memory_order_relaxed),
+               shed_posting, token_pairs, *out);
   return Status::OK();
 }
 
@@ -473,11 +627,13 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
   std::atomic<bool> stop{false};
   const size_t max_posting = guard.max_posting_list();
   size_t shed_posting = 0;
-  size_t n_candidates = 0, n_verified = 0;
+  JoinCounters totals;
 
   const bool metric_handles_numbers =
       StartsWith(simv.Name(), "hybrid(") || simv.Name() == "numeric";
   const bool exact_jaccard = IsJaccardMetric(simv, q_);
+  const VerifyPlan plan =
+      MakeVerifyPlan(simv, q_, encoded_kernels_, PairCacheFor(simv));
   const double filter_xi = exact_jaccard ? xi : xi * filter_slack_;
 
   // ---- Numeric path: base sorted by value, probes scan the window
@@ -533,8 +689,8 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
               }
               if (!within) return false;
               if (p.label.rid != base[bi].label.rid) {
-                ++co.candidates;
-                ++co.verified;
+                ++co.counters.candidates;
+                ++co.counters.verified;
                 double s = simv.Compute(p.value, base[bi].value);
                 if (s >= xi) co.pairs.push_back({p.label, base[bi].label, s});
               }
@@ -564,7 +720,7 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
             }
           }
         });
-    MergeChunks(chunks, out, &n_candidates, &n_verified);
+    MergeChunks(chunks, out, &totals);
     AccumulateBusy(stats, report);
   }
 
@@ -626,18 +782,24 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
   // Phase 3 (serial): encode the base and build its inverted index,
   // honoring the posting ceiling in ascending base order (identical
   // shed decisions to the serial build).
-  std::unordered_map<uint32_t, std::vector<size_t>> postings;  // token -> base idx
+  // token -> (base idx, token position); the position feeds the
+  // positional filter at probe time.
+  struct Posting {
+    size_t bi;
+    size_t pos;
+  };
+  std::unordered_map<uint32_t, std::vector<Posting>> postings;
   std::vector<std::vector<uint32_t>> base_ids(base.size());
   for (size_t i = 0; i < base.size(); ++i) {
     if (base_norm[i].empty()) continue;
     base_ids[i] = dict.EncodeGrams(base_grams(i));
-    for (uint32_t tok : base_ids[i]) {
-      std::vector<size_t>& list = postings[tok];
+    for (size_t pos = 0; pos < base_ids[i].size(); ++pos) {
+      std::vector<Posting>& list = postings[base_ids[i][pos]];
       if (max_posting > 0 && list.size() >= max_posting) {
         ++shed_posting;
         continue;
       }
-      list.push_back(i);
+      list.push_back({i, pos});
     }
   }
 
@@ -678,40 +840,55 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
                  k < prefix && !stop.load(std::memory_order_relaxed); ++k) {
               auto it = postings.find(ids[k]);
               if (it == postings.end()) continue;
-              for (size_t bi : it->second) {
+              for (const Posting& e : it->second) {
+                const size_t bi = e.bi;
                 if (ticker.Tick()) {
                   stop.store(true, std::memory_order_relaxed);
                   break;
                 }
                 if (last_probe[bi] == pi) continue;
                 last_probe[bi] = pi;
+                ++co.counters.encountered;
                 double blen = static_cast<double>(base_ids[bi].size());
-                if (blen < min_len || blen > max_len) continue;
-                if (probe[pi].label.rid == base[bi].label.rid) continue;
-                ++co.candidates;
-                ++co.verified;
-                double s;
-                if (exact_jaccard) {
-                  s = JaccardOfIds(ids, base_ids[bi]);
-                } else {
-                  s = simv.Compute(probe[pi].value, base[bi].value);
+                if (blen < min_len || blen > max_len) {
+                  ++co.counters.pruned_length;
+                  continue;
                 }
+                if (probe[pi].label.rid == base[bi].label.rid) continue;
+                if (plan.exact_filters) {
+                  int pruned = PositionalSuffixFilter(ids, k, base_ids[bi],
+                                                      e.pos, xi);
+                  if (pruned != 0) {
+                    if (pruned == 1) {
+                      ++co.counters.pruned_positional;
+                    } else {
+                      ++co.counters.pruned_suffix;
+                    }
+                    continue;
+                  }
+                }
+                ++co.counters.candidates;
+                ++co.counters.verified;
+                double s = VerifyStringPair(plan, simv, xi, ids, base_ids[bi],
+                                            probe[pi].value, base[bi].value);
                 if (s >= xi) co.pairs.push_back({probe[pi].label, base[bi].label, s});
               }
             }
           }
         });
-    MergeChunks(chunks, out, &n_candidates, &n_verified);
+    MergeChunks(chunks, out, &totals);
     AccumulateBusy(stats, report);
   }
 
-  if (report) {
-    report->truncated = stop.load(std::memory_order_relaxed);
-    report->shed_posting_entries = shed_posting;
-    report->candidates = n_candidates;
-    report->verified = n_verified;
-    report->emitted = out->size();
+  size_t probe_tokenized = 0, base_tokenized = 0;
+  for (size_t i = 0; i < probe.size(); ++i) {
+    if (!probe_ids[i].empty()) ++probe_tokenized;
   }
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (!base_ids[i].empty()) ++base_tokenized;
+  }
+  FinishReport(report, totals, stop.load(std::memory_order_relaxed),
+               shed_posting, probe_tokenized * base_tokenized, *out);
   return Status::OK();
 }
 

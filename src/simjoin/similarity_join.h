@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "parallel/thread_pool.h"
 #include "record/super_record.h"
+#include "sim/pair_cache.h"
 #include "sim/similarity.h"
 #include "text/token_cache.h"
 
@@ -47,10 +48,25 @@ struct JoinReport {
   /// join every cross-record pair is a candidate).
   size_t candidates = 0;
   /// Candidates scored by the similarity metric (== candidates unless
-  /// truncated mid-verification).
+  /// truncated mid-verification or pruned by the positional/suffix
+  /// filters below).
   size_t verified = 0;
   /// Pairs that met xi and were emitted into `out`.
   size_t emitted = 0;
+  /// Per-filter pruning counters for the token path (all zero for the
+  /// nested-loop join). A token-path pair flows
+  ///   prefix -> length -> positional -> suffix -> candidate
+  /// and is counted in exactly one bucket the first time it is pruned:
+  /// `pruned_prefix` — pairs sharing no indexed prefix token (derived:
+  /// eligible token pairs minus encountered ones); `pruned_length` —
+  /// encountered pairs failing the length filter; `pruned_positional`
+  /// / `pruned_suffix` — PPJoin+-style position and suffix bounds,
+  /// applied only when the filter threshold is exact (q-gram Jaccard),
+  /// so pruning never changes the emitted pairs.
+  size_t pruned_prefix = 0;
+  size_t pruned_length = 0;
+  size_t pruned_positional = 0;
+  size_t pruned_suffix = 0;
   /// Worker threads the join's parallel phases ran on (1 = serial).
   size_t threads_used = 1;
   /// Per-worker busy microseconds summed across the join's parallel
@@ -89,6 +105,18 @@ class SimilarityJoin {
   void SetExecutor(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* executor() const { return pool_; }
 
+  /// Shares a verified-pair similarity cache across joins and rounds:
+  /// metric verification of string pairs is served from it when the
+  /// cache was built for the same metric (Name() match). Scores are a
+  /// pure function of the two texts, so caching never changes results.
+  /// Kernel-eligible metrics bypass it (the kernel is cheaper than the
+  /// lookup); it pays off for edit/Jaro/Monge–Elkan-style metrics.
+  void SetPairSimCache(std::shared_ptr<PairSimCache> cache) {
+    pair_cache_ = std::move(cache);
+  }
+  const PairSimCache* pair_sim_cache() const { return pair_cache_.get(); }
+
+
   /// Unguarded convenience forms.
   std::vector<ValuePair> Join(const std::vector<LabeledValue>& values,
                               const ValueSimilarity& simv, double xi) const;
@@ -107,8 +135,17 @@ class SimilarityJoin {
                         const RunGuard& guard, std::vector<ValuePair>* out,
                         JoinReport* report = nullptr) const = 0;
 
+ protected:
+  /// The installed cache when it matches `simv`, else nullptr.
+  PairSimCache* PairCacheFor(const ValueSimilarity& simv) const {
+    return (pair_cache_ && pair_cache_->metric_name() == simv.Name())
+               ? pair_cache_.get()
+               : nullptr;
+  }
+
  private:
   ThreadPool* pool_ = nullptr;
+  std::shared_ptr<PairSimCache> pair_cache_;
 };
 
 /// \brief O(n^2) reference implementation; correctness oracle in tests
@@ -131,16 +168,19 @@ class NestedLoopJoin : public SimilarityJoin {
                 JoinReport* report = nullptr) const override;
 };
 
-/// \brief AllPairs-style join: q-gram tokens interned in ascending
-/// global frequency, length filter + prefix filter over an inverted
-/// index, then verification with the actual metric.
+/// \brief AllPairs/PPJoin+-style join: q-gram tokens interned in
+/// ascending global frequency, length + prefix filters over an
+/// inverted index — plus positional and suffix filters when the
+/// threshold is exact — then verification on the encoded token sets
+/// (kernel-eligible metrics) or with the actual metric.
 ///
-/// The filter is *exact* (no false negatives) when the metric is
-/// q-gram Jaccard with the same q — HERA's default. For other string
-/// metrics the prefix threshold is scaled down by `filter_slack`
-/// (candidate generation becomes heuristic blocking; verification
-/// still uses the true metric). Numeric values are joined by a sorted
-/// sweep, exact for the relative-difference numeric similarity.
+/// The filter stack is *exact* (no false negatives) when the metric is
+/// q-gram Jaccard with the same q — HERA's default; the positional and
+/// suffix filters apply only then. For other string metrics the prefix
+/// threshold is scaled down by `filter_slack` (candidate generation
+/// becomes heuristic blocking; verification still uses the true
+/// metric). Numeric values are joined by a sorted sweep, exact for the
+/// relative-difference numeric similarity.
 class PrefixFilterJoin : public SimilarityJoin {
  public:
   using SimilarityJoin::Join;
@@ -162,6 +202,17 @@ class PrefixFilterJoin : public SimilarityJoin {
   /// must be built with the same q).
   int q() const { return q_; }
 
+  /// Toggles the integer-encoded verification kernels (sim/kernel.h)
+  /// and the PPJoin+-style positional/suffix filters that ride on
+  /// them. On (the default), kernel-eligible metrics (Jaccard / Dice /
+  /// overlap / cosine over q-grams with matching q) are verified
+  /// directly on the encoded token sets with threshold-driven early
+  /// exit — bit-equal to the string path, so emitted pairs are
+  /// byte-identical either way. Off restores the pre-kernel path
+  /// (A/B comparisons, debugging).
+  void SetEncodedKernels(bool enabled) { encoded_kernels_ = enabled; }
+  bool encoded_kernels() const { return encoded_kernels_; }
+
   Status Join(const std::vector<LabeledValue>& values,
               const ValueSimilarity& simv, double xi, const RunGuard& guard,
               std::vector<ValuePair>* out,
@@ -179,6 +230,7 @@ class PrefixFilterJoin : public SimilarityJoin {
  private:
   int q_;
   double filter_slack_;
+  bool encoded_kernels_ = true;
   std::shared_ptr<TokenCache> cache_;
 };
 
