@@ -3,6 +3,8 @@
 //   hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]
 //                    [--threads N] [--out labels.csv] [--quiet]
 //                    [--emit-report report.json] [--log-level LEVEL]
+//                    [--trace-out trace.json] [--timeline-csv FILE]
+//                    [--timeline-interval-ms MS]
 //                    [--checkpoint-dir DIR] [--checkpoint-every K]
 //                    [--resume] [--deadline-ms MS]
 //   hera_cli generate <movies|publications> <output.hera>
@@ -13,7 +15,12 @@
 // record plus run statistics; when the input carries ground truth it
 // also reports precision/recall/F1. --emit-report turns on metric
 // collection and writes the machine-readable run report (JSON; see
-// docs/observability.md). --log-level (debug|info|warning|error|off)
+// docs/observability.md). --trace-out writes the run as a Chrome-trace
+// JSON file (open at ui.perfetto.dev or chrome://tracing); it and
+// --timeline-csv imply report collection and, unless overridden by
+// --timeline-interval-ms, a 50 ms timeline sampler. Profiling is
+// observation-only: labels and merge order are byte-identical with it
+// on or off. --log-level (debug|info|warning|error|off)
 // overrides the HERA_LOG_LEVEL environment variable. --threads (or the
 // HERA_THREADS environment variable; the flag wins) sets
 // HeraOptions::num_threads — results are identical at any setting (see
@@ -43,6 +50,7 @@
 #include "data/publication_generator.h"
 #include "eval/cluster_metrics.h"
 #include "eval/metrics.h"
+#include "obs/perfetto.h"
 
 using namespace hera;
 
@@ -55,6 +63,8 @@ int Usage() {
       "  hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]\n"
       "                   [--threads N] [--out labels.csv] [--quiet]\n"
       "                   [--emit-report report.json] [--log-level LEVEL]\n"
+      "                   [--trace-out trace.json] [--timeline-csv FILE]\n"
+      "                   [--timeline-interval-ms MS]\n"
       "                   [--checkpoint-dir DIR] [--checkpoint-every K]\n"
       "                   [--resume] [--deadline-ms MS]\n"
       "  hera_cli generate <movies|publications> <output.hera>\n"
@@ -112,7 +122,20 @@ int CmdResolve(int argc, char** argv) {
   }
   const bool quiet = HasFlag(argc, argv, "--quiet");
   const char* report_path = FlagValue(argc, argv, "--emit-report");
-  opts.collect_report = report_path != nullptr;
+  const char* trace_path = FlagValue(argc, argv, "--trace-out");
+  const char* timeline_csv_path = FlagValue(argc, argv, "--timeline-csv");
+  opts.collect_report =
+      report_path != nullptr || trace_path != nullptr ||
+      timeline_csv_path != nullptr;
+  // Trace/timeline output wants sampled counter tracks, so those flags
+  // turn the sampler on at its 50 ms default unless the user sets an
+  // explicit interval (0 disables the sampler but keeps span tracing).
+  if (trace_path != nullptr || timeline_csv_path != nullptr) {
+    opts.timeline_interval_ms = 50;
+  }
+  if (const char* v = FlagValue(argc, argv, "--timeline-interval-ms")) {
+    opts.timeline_interval_ms = std::strtoull(v, nullptr, 10);
+  }
 
   StatusOr<HeraResult> result =
       resume ? Hera(opts).Resume(*ds) : Hera(opts).Run(*ds);
@@ -176,6 +199,38 @@ int CmdResolve(int argc, char** argv) {
     if (!quiet) {
       std::fprintf(stderr, "%s", result->report.ToString().c_str());
       std::fprintf(stderr, "report written to %s\n", report_path);
+    }
+  }
+  if (opts.collect_report && result->report.empty()) {
+    std::fprintf(stderr,
+                 "note: this build has observability compiled out "
+                 "(-DHERA_OBS=OFF); report/trace/timeline output is "
+                 "empty-but-valid\n");
+  }
+  if (trace_path != nullptr) {
+    Status wst = AtomicWriteFile(trace_path,
+                                 obs::ExportChromeTrace(result->report));
+    if (!wst.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", trace_path,
+                   wst.ToString().c_str());
+      return 3;
+    }
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "trace written to %s (open at ui.perfetto.dev)\n",
+                   trace_path);
+    }
+  }
+  if (timeline_csv_path != nullptr) {
+    Status wst = AtomicWriteFile(timeline_csv_path,
+                                 result->report.TimelineCsv());
+    if (!wst.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", timeline_csv_path,
+                   wst.ToString().c_str());
+      return 3;
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "timeline written to %s\n", timeline_csv_path);
     }
   }
   if (ds->has_ground_truth()) {

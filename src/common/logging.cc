@@ -44,6 +44,11 @@ std::atomic<LogLevel>& Level() {
 }
 
 /// "2026-08-05T12:34:56.789Z" (UTC) for the current wall clock.
+///
+/// system_clock is intentional here — log lines must correlate with
+/// external logs/events, so they carry wall time and may jump under
+/// NTP. Every *measured* duration in the codebase (Timer, spans,
+/// timeline samples, deadlines) uses steady_clock instead.
 void FormatTimestamp(char* buf, size_t buf_size) {
   using std::chrono::duration_cast;
   using std::chrono::milliseconds;

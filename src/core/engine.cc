@@ -44,8 +44,10 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
   }
   index_.SetCeilings(guard_.max_index_pairs(), guard_.max_posting_list());
 #ifndef HERA_DISABLE_OBS
-  if (options_.collect_report) {
-    trace_ = std::make_shared<obs::RunTrace>();
+  // A timeline interval implies report collection: the samples land in
+  // the report's timeline section.
+  if (options_.collect_report || options_.timeline_interval_ms > 0) {
+    trace_ = std::make_shared<obs::RunTrace>(options_.timeline_capacity);
     obs::MetricsRegistry& m = trace_->metrics();
     // 1us .. ~4.2s in x4 steps.
     h_verify_us_ = m.GetHistogram("verify.latency_us",
@@ -68,6 +70,47 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
     // recorded alongside its timings.
     m.GetGauge("parallel.num_threads")
         ->Set(static_cast<double>(pool_ != nullptr ? pool_->size() : 1));
+    // Atomic mirrors for the sampler thread: stats_ itself is
+    // controller-thread-only.
+    c_merges_ = m.GetCounter("engine.merges");
+    c_verified_groups_ = m.GetCounter("engine.verified_groups");
+    joiner_->SetCollectWorkerSpans(true);
+    trace_->SetTimelineIntervalMs(
+        static_cast<double>(options_.timeline_interval_ms));
+    if (options_.timeline_interval_ms > 0) {
+      obs::TimelineSampler::Options sopts;
+      sopts.interval_ms = static_cast<double>(options_.timeline_interval_ms);
+      obs::RunTrace* trace = trace_.get();
+      sampler_ = std::make_unique<obs::TimelineSampler>(
+          sopts, [trace] { return trace->NowMs(); }, &trace_->timeline());
+      // Every probe is a relaxed atomic load or an internally-locked
+      // cache counter — read-only with respect to resolution state.
+      obs::Counter* c_merges = c_merges_;
+      sampler_->AddProbe("merges",
+                         [c_merges] { return static_cast<double>(c_merges->value()); });
+      obs::Counter* c_verified = c_verified_groups_;
+      sampler_->AddProbe("verified_groups", [c_verified] {
+        return static_cast<double>(c_verified->value());
+      });
+      obs::Counter* c_emitted = m.GetCounter("simjoin.emitted");
+      sampler_->AddProbe("pairs_emitted", [c_emitted] {
+        return static_cast<double>(c_emitted->value());
+      });
+      obs::Gauge* g_index = m.GetGauge("index.size");
+      sampler_->AddProbe("index_size", [g_index] { return g_index->value(); });
+      if (token_cache_) {
+        std::shared_ptr<TokenCache> tc = token_cache_;
+        sampler_->AddProbe("token_cache_entries", [tc] {
+          return static_cast<double>(tc->stats().entries);
+        });
+      }
+      if (pair_cache_) {
+        std::shared_ptr<PairSimCache> pc = pair_cache_;
+        sampler_->AddProbe("pair_sim_cache_entries", [pc] {
+          return static_cast<double>(pc->stats().entries);
+        });
+      }
+    }
   }
 #endif
 }
@@ -89,6 +132,9 @@ void ResolutionEngine::AddRecords(const std::vector<Record>& records) {
 
 void ResolutionEngine::ArmGuard() {
   guard_.Arm();
+  // Idempotent across incremental rounds: the sampler keeps running
+  // between Resolve calls and Start() is a no-op while it does.
+  if (sampler_ != nullptr) sampler_->Start();
   stats_.outcome = RunOutcome::kCompleted;
   // A restored run carries its shed counters across the resume; the
   // degradation they represent is permanent (the shed pairs are gone),
@@ -109,7 +155,12 @@ RunOutcome ResolutionEngine::TruncationOutcome() const {
                             : RunOutcome::kTruncatedDeadline;
 }
 
-void ResolutionEngine::NoteJoinReport(const JoinReport& report) {
+void ResolutionEngine::StopTimelineSampler() {
+  if (sampler_ != nullptr) sampler_->Stop();
+}
+
+void ResolutionEngine::NoteJoinReport(const JoinReport& report,
+                                      double join_start_ms) {
   if (trace_) {
     obs::MetricsRegistry& m = trace_->metrics();
     m.GetCounter("simjoin.candidates")->Inc(report.candidates);
@@ -121,6 +172,15 @@ void ResolutionEngine::NoteJoinReport(const JoinReport& report) {
     m.GetCounter("simjoin.pruned_suffix")->Inc(report.pruned_suffix);
     if (h_worker_busy_us_ != nullptr) {
       for (double us : report.worker_busy_us) h_worker_busy_us_->Observe(us);
+    }
+    // Rebase the join's call-relative chunk spans onto the tracer
+    // clock. Recorded post-hoc on the controller thread — workers
+    // never touch the tracer.
+    for (const JoinReport::WorkerSpan& ws : report.worker_spans) {
+      trace_->AddWorkerSpan({ws.phase, ws.worker, ws.chunk,
+                             join_start_ms + ws.start_us / 1000.0,
+                             ws.dur_us / 1000.0,
+                             trace_->tracer().iteration()});
     }
   }
   if (report.truncated) {
@@ -242,17 +302,20 @@ StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
   JoinReport report;
   {
     auto join_span = obs::StartSpan(trace_.get(), "join.self");
+    double join_t0 = trace_ ? trace_->tracer().ElapsedMs() : 0.0;
     HERA_RETURN_NOT_OK(
         joiner_->Join(fresh, *simv_, options_.xi, guard_, &joined, &report));
+    join_span.End();
+    NoteJoinReport(report, join_t0);
   }
-  NoteJoinReport(report);
   AddPairsGuarded(std::move(joined));
   if (!existing.empty() && !guard_.Interrupted()) {
     auto join_span = obs::StartSpan(trace_.get(), "join.ab");
+    double join_t0 = trace_ ? trace_->tracer().ElapsedMs() : 0.0;
     HERA_RETURN_NOT_OK(joiner_->JoinAB(fresh, existing, *simv_, options_.xi,
                                        guard_, &joined, &report));
     join_span.End();
-    NoteJoinReport(report);
+    NoteJoinReport(report, join_t0);
     AddPairsGuarded(std::move(joined));
   }
   indexed_watermark_ = static_cast<uint32_t>(uf_.Size());
@@ -336,6 +399,10 @@ Status ResolutionEngine::IterateToFixpoint() {
     // An iteration boundary is the durable unit: snapshot when due,
     // then log the pass about to run as one WAL entry at its end.
     if (ckpt_ != nullptr && ckpt_->SnapshotDue(stats_.iterations)) {
+      // Fold the loop time so far into total_ms so the persisted
+      // elapsed time is accurate — a resumed run stitches its timeline
+      // onto index_build_ms + total_ms from the snapshot.
+      total_timer.Lap();
       HERA_RETURN_NOT_OK(ckpt_->WriteSnapshot(ExportState()));
     }
     // Until this pass completes (including its WAL append), the carried
@@ -421,6 +488,7 @@ Status ResolutionEngine::IterateToFixpoint() {
         plans[k].same_root = i == j;
       }
       std::atomic<bool> stop{false};
+      const double phase_a_t0 = trace_ ? trace_->tracer().ElapsedMs() : 0.0;
       ParallelRunStats pstats = ParallelChunks(
           pool_.get(), groups.size(),
           DefaultGrain(groups.size(), pool_->size()),
@@ -452,9 +520,18 @@ Status ResolutionEngine::IterateToFixpoint() {
               plan.verify_us = verify_timer.ElapsedMicros();
               plan.verified = true;
             }
-          });
+          },
+          /*record_spans=*/trace_ != nullptr);
       if (h_worker_busy_us_ != nullptr) {
         for (double us : pstats.busy_us) h_worker_busy_us_->Observe(us);
+      }
+      if (trace_) {
+        for (const ChunkSpan& cs : pstats.chunk_spans) {
+          trace_->AddWorkerSpan({"verify.phase_a", cs.worker, cs.chunk,
+                                 phase_a_t0 + cs.start_us / 1000.0,
+                                 cs.dur_us / 1000.0,
+                                 trace_->tracer().iteration()});
+        }
       }
     }
 
@@ -555,6 +632,7 @@ Status ResolutionEngine::IterateToFixpoint() {
         HERA_FAILPOINT("verify.km");
         ++stats_.candidates;
         ++stats_.comparisons;
+        if (c_verified_groups_ != nullptr) c_verified_groups_->Inc();
         VerifyResult vr;
         if (fresh && plan->verified && speculation_valid()) {
           // Adopt the speculative KM result computed in Phase A.
@@ -618,6 +696,7 @@ Status ResolutionEngine::IterateToFixpoint() {
       merged_this_pass[i] = merged_this_pass[j] = true;
       loop_dirty_.insert(new_rid);
       ++stats_.merges;
+      if (c_merges_ != nullptr) c_merges_->Inc();
       stats_.merge_sequence.emplace_back(i, j);
     }
 
@@ -633,6 +712,7 @@ Status ResolutionEngine::IterateToFixpoint() {
       row.deferred =
           stats_.deferred_candidate_groups - pass_before.deferred_candidate_groups;
       row.ms = pass_timer.ElapsedMillis();
+      row.t_ms = trace_->NowMs();
       trace_->AddIteration(row);
       h_iteration_us_->Observe(row.ms * 1000.0);
     }
@@ -678,8 +758,12 @@ Status ResolutionEngine::IterateToFixpoint() {
   stats_.decided_schema_matchings = predictor_.DecidedMatchings().size();
 
   // Final snapshot: every exit (fixpoint, cap, guard truncation) leaves
-  // the directory resumable from exactly this state.
+  // the directory resumable from exactly this state. Stop (not Lap) the
+  // run timer first so the persisted elapsed time equals the reported
+  // stats.total_ms exactly — a resumed timeline continues from
+  // index_build_ms + total_ms, and the two must agree.
   if (ckpt_ != nullptr) {
+    total_timer.Stop();
     HERA_RETURN_NOT_OK(ckpt_->WriteSnapshot(ExportState()));
   }
   return Status::OK();
@@ -741,6 +825,13 @@ void ResolutionEngine::RestoreState(const persist::EngineState& state) {
   predictor_.RestoreVotes(state.votes,
                           static_cast<size_t>(state.num_predictions));
   stats_ = state.stats;
+  // Stitch the resumed run's observability clock onto the pre-crash
+  // one: the restored stats carry the milliseconds already spent, so
+  // timeline samples and iteration rows continue a monotone series
+  // across the resume. Tracer spans stay process-relative by design.
+  if (trace_) {
+    trace_->SetTimeBaseMs(stats_.index_build_ms + stats_.total_ms);
+  }
   indexed_watermark_ = state.indexed_watermark;
   join_shed_posting_ = static_cast<size_t>(state.join_shed_posting);
   simplified_nodes_sum_ = state.simplified_nodes_sum;
@@ -788,11 +879,13 @@ Status ResolutionEngine::ReplayWalEntry(const persist::WalEntry& entry) {
     }
     loop_dirty_.insert(new_rid);
     ++stats_.merges;
+    if (c_merges_ != nullptr) c_merges_->Inc();
     stats_.merge_sequence.emplace_back(m.i, m.j);
   }
   stats_.pruned_by_bound += static_cast<size_t>(entry.pruned);
   stats_.direct_merges += static_cast<size_t>(entry.direct);
   stats_.candidates += static_cast<size_t>(entry.candidates);
+  if (c_verified_groups_ != nullptr) c_verified_groups_->Inc(entry.candidates);
   stats_.comparisons += static_cast<size_t>(entry.comparisons);
   stats_.deferred_candidate_groups +=
       static_cast<size_t>(entry.deferred_groups);

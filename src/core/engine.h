@@ -102,6 +102,17 @@ class ResolutionEngine {
   obs::RunTrace* trace() { return trace_.get(); }
   const obs::RunTrace* trace() const { return trace_.get(); }
 
+  /// Stops the background timeline sampler (taking one final edge
+  /// sample); no-op when none is running. Hera::Run calls this before
+  /// building the report; incremental callers may leave it running
+  /// across rounds. The sampler only observes — stopping or never
+  /// starting it cannot change labels or merge_sequence.
+  void StopTimelineSampler();
+
+  /// The run's timeline sampler, or nullptr when
+  /// options.timeline_interval_ms is 0 (or HERA_OBS was compiled out).
+  obs::TimelineSampler* timeline_sampler() { return sampler_.get(); }
+
   /// Installs a checkpoint manager (borrowed; the caller keeps it alive
   /// for the engine's lifetime, nullptr detaches). With one installed,
   /// the engine snapshots after indexing, every checkpoint_every
@@ -134,8 +145,10 @@ class ResolutionEngine {
   /// kTruncatedCancelled or kTruncatedDeadline per the guard's state.
   RunOutcome TruncationOutcome() const;
 
-  /// Folds a guarded-join report into stats/outcome.
-  void NoteJoinReport(const JoinReport& report);
+  /// Folds a guarded-join report into stats/outcome. `join_start_ms`
+  /// is the tracer time at which the join call began; the report's
+  /// join-relative worker spans are rebased onto it.
+  void NoteJoinReport(const JoinReport& report, double join_start_ms);
 
   /// Inserts join output under the guard's index ceilings: sorts
   /// strongest-first when a ceiling is set so the weakest pairs are
@@ -212,6 +225,16 @@ class ResolutionEngine {
   obs::Histogram* h_index_build_us_ = nullptr; ///< Per-round build time.
   obs::Histogram* h_iteration_us_ = nullptr;   ///< Per-pass duration.
   obs::Histogram* h_worker_busy_us_ = nullptr; ///< Per-worker busy time.
+  /// Atomic mirrors of stats_ fields the sampler thread may not read
+  /// directly (stats_ is controller-thread-only). Incremented at the
+  /// same sites as their stats_ counterparts, including WAL replay.
+  obs::Counter* c_merges_ = nullptr;
+  obs::Counter* c_verified_groups_ = nullptr;
+
+  /// Background timeline sampler (null unless timeline_interval_ms is
+  /// set). Declared after trace_: its probes and clock read through
+  /// trace_ and the caches, so it must be destroyed first.
+  std::unique_ptr<obs::TimelineSampler> sampler_;
 };
 
 }  // namespace hera

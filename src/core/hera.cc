@@ -28,6 +28,10 @@ StatusOr<ValueSimilarityPtr> ResolveMetric(const HeraOptions& options) {
 void FinishResult(ResolutionEngine* engine, HeraResult* result) {
   result->entity_of = engine->Labels();
   result->stats = engine->stats();
+  // Stop the timeline sampler (taking one final edge sample) before
+  // snapshotting the trace, so the report's timeline covers the whole
+  // run and no sampler thread races the report build.
+  engine->StopTimelineSampler();
   if (engine->trace() != nullptr) {
     result->report =
         obs::BuildRunReport(*engine->trace(), engine->stats(),

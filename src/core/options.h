@@ -99,6 +99,19 @@ struct HeraOptions {
   /// library is built with -DHERA_OBS=OFF. See docs/observability.md.
   bool collect_report = false;
 
+  /// Tick period of the background timeline sampler, which snapshots
+  /// process RSS/CPU and the run's counters (merges, emitted pairs,
+  /// cache occupancy) into RunReport::timeline. 0 (the default)
+  /// disables the sampler thread entirely. Implies report collection
+  /// when set. Sampling is read-only over atomics — labels and
+  /// merge_sequence are byte-identical with it on or off. Ignored
+  /// under -DHERA_OBS=OFF.
+  size_t timeline_interval_ms = 0;
+
+  /// Ring capacity of the timeline (oldest samples overwritten beyond
+  /// it; RunReport::timeline.dropped counts the loss).
+  size_t timeline_capacity = 4096;
+
   /// Directory for durable checkpoints (snapshots + write-ahead log).
   /// Empty (the default) disables checkpointing entirely. When set, a
   /// snapshot is written after indexing, every `checkpoint_every`

@@ -1,0 +1,63 @@
+// Minimal recursive-descent JSON parser.
+//
+// The observability layer historically only wrote JSON; the trace and
+// report exporters now need in-repo round-trip tests and tooling
+// (schema assertions on trace.json, bench comparisons), so this adds
+// the read side. It parses the full JSON grammar — objects, arrays,
+// strings with escapes (incl. \uXXXX to UTF-8), numbers, booleans,
+// null — with a nesting-depth limit, and rejects trailing garbage.
+// It is written for correctness and small size, not speed; nothing on
+// a resolution hot path parses JSON.
+
+#ifndef HERA_OBS_JSON_READER_H_
+#define HERA_OBS_JSON_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace hera {
+namespace obs {
+
+/// \brief One parsed JSON value (a tree; object member order is
+/// preserved as written).
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                              ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    ///< kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// The member named `key`, or nullptr (also when not an object).
+  /// First match wins on (invalid but parseable) duplicate keys.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Dotted-path lookup through nested objects ("stats.total_ms");
+  /// nullptr when any hop is missing or not an object.
+  const JsonValue* FindPath(std::string_view dotted_path) const;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected). InvalidArgument with position info on malformed
+/// input or nesting deeper than 256 levels.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace hera
+
+#endif  // HERA_OBS_JSON_READER_H_

@@ -121,6 +121,18 @@ class ScopedTimer {
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
+  /// Flushes the elapsed time into the cumulative-ms sink and restarts
+  /// the stopwatch, so the accumulator is accurate at an intermediate
+  /// export point (e.g. a checkpoint snapshot) without double-counting
+  /// when the timer later stops. The histogram only sees the final
+  /// Stop()'s remainder, so per-phase duration samples are unaffected
+  /// unless Lap() is used on a histogram-backed timer.
+  void Lap() {
+    if (stopped_) return;
+    if (acc_ms_ != nullptr) *acc_ms_ += timer_.ElapsedMicros() / 1000.0;
+    timer_.Restart();
+  }
+
   /// Flushes the elapsed time into the sinks; idempotent.
   void Stop() {
     if (stopped_) return;

@@ -1,0 +1,158 @@
+#include "obs/perfetto.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "obs/json.h"
+
+namespace hera {
+namespace obs {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kControllerTid = 1;
+constexpr int kWorkerTidBase = 2;  // Worker w renders as tid 2 + w.
+
+void WriteMetadata(JsonWriter& w, const char* name, int tid,
+                   const std::string& value) {
+  w.BeginObject()
+      .Key("ph").String("M")
+      .Key("pid").Int(kPid)
+      .Key("tid").Int(tid)
+      .Key("name").String(name)
+      .Key("args").BeginObject().Key("name").String(value).EndObject()
+      .EndObject();
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const RunReport& report) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+
+  // Thread/process metadata so Perfetto shows named tracks.
+  WriteMetadata(w, "process_name", kControllerTid, "hera");
+  WriteMetadata(w, "thread_name", kControllerTid, "controller");
+  size_t max_worker = 0;
+  bool any_worker = false;
+  for (const WorkerSpanRecord& s : report.worker_spans) {
+    max_worker = std::max(max_worker, s.worker);
+    any_worker = true;
+  }
+  if (any_worker) {
+    for (size_t worker = 0; worker <= max_worker; ++worker) {
+      WriteMetadata(w, "thread_name",
+                    kWorkerTidBase + static_cast<int>(worker),
+                    "worker-" + std::to_string(worker));
+    }
+  }
+
+  // Iteration rows by number, so "iteration" spans can carry the
+  // pass's counter deltas as args (quality-over-time in the UI).
+  std::map<uint64_t, const RunTrace::IterationRow*> rows;
+  for (const RunTrace::IterationRow& row : report.iterations) {
+    rows[row.iteration] = &row;
+  }
+
+  // Controller spans: ph "X" complete events, process-relative tracer
+  // clock, milliseconds -> microseconds.
+  for (const SpanRecord& s : report.spans) {
+    w.BeginObject()
+        .Key("ph").String("X")
+        .Key("pid").Int(kPid)
+        .Key("tid").Int(kControllerTid)
+        .Key("cat").String("phase")
+        .Key("name").String(s.name)
+        .Key("ts").Number(s.start_ms * 1000.0)
+        .Key("dur").Number(s.dur_ms * 1000.0)
+        .Key("args").BeginObject()
+        .Key("depth").Int(s.depth)
+        .Key("iteration").Int(s.iteration);
+    if (s.name == "iteration" && s.iteration >= 0) {
+      auto it = rows.find(static_cast<uint64_t>(s.iteration));
+      if (it != rows.end()) {
+        const RunTrace::IterationRow& row = *it->second;
+        w.Key("groups").UInt(row.groups)
+            .Key("pruned").UInt(row.pruned)
+            .Key("direct").UInt(row.direct)
+            .Key("verified").UInt(row.verified)
+            .Key("merges").UInt(row.merges)
+            .Key("deferred").UInt(row.deferred);
+      }
+    }
+    w.EndObject().EndObject();
+  }
+
+  // Worker spans: one track per pool worker.
+  for (const WorkerSpanRecord& s : report.worker_spans) {
+    w.BeginObject()
+        .Key("ph").String("X")
+        .Key("pid").Int(kPid)
+        .Key("tid").Int(kWorkerTidBase + static_cast<int>(s.worker))
+        .Key("cat").String("worker")
+        .Key("name").String(s.name)
+        .Key("ts").Number(s.start_ms * 1000.0)
+        .Key("dur").Number(s.dur_ms * 1000.0)
+        .Key("args").BeginObject()
+        .Key("chunk").UInt(s.chunk)
+        .Key("iteration").Int(s.iteration)
+        .EndObject()
+        .EndObject();
+  }
+
+  // Structured events (failpoint trips, checkpoint snapshots, sheds,
+  // WAL/recovery) as process-scoped instants.
+  for (const TraceEvent& e : report.events) {
+    w.BeginObject()
+        .Key("ph").String("i")
+        .Key("s").String("p")
+        .Key("pid").Int(kPid)
+        .Key("tid").Int(kControllerTid)
+        .Key("cat").String("event")
+        .Key("name").String(e.kind)
+        .Key("ts").Number(e.t_ms * 1000.0)
+        .Key("args").BeginObject()
+        .Key("detail").String(e.detail)
+        .Key("value").UInt(e.value)
+        .Key("iteration").Int(e.iteration)
+        .EndObject()
+        .EndObject();
+  }
+
+  // Timeline samples as counter tracks: one "C" event per column per
+  // sample. Stitched clock; a resumed run's counters continue where
+  // the pre-crash process left off.
+  const auto& tl = report.timeline;
+  auto counter = [&w](const std::string& name, double ts_us, double value) {
+    w.BeginObject()
+        .Key("ph").String("C")
+        .Key("pid").Int(kPid)
+        .Key("tid").Int(kControllerTid)
+        .Key("cat").String("timeline")
+        .Key("name").String(name)
+        .Key("ts").Number(ts_us)
+        .Key("args").BeginObject().Key("value").Number(value).EndObject()
+        .EndObject();
+  };
+  for (const TimelineSample& s : tl.samples) {
+    double ts_us = s.t_ms * 1000.0;
+    counter("rss_bytes", ts_us, s.rss_bytes);
+    counter("cpu_user_ms", ts_us, s.cpu_user_ms);
+    counter("cpu_sys_ms", ts_us, s.cpu_sys_ms);
+    size_t n = std::min(tl.columns.size(), s.values.size());
+    for (size_t i = 0; i < n; ++i) {
+      counter(tl.columns[i], ts_us, s.values[i]);
+    }
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace obs
+}  // namespace hera

@@ -1,0 +1,43 @@
+// Chrome-trace / Perfetto JSON export of a RunReport.
+//
+// ExportChromeTrace serializes the report's spans, worker spans,
+// structured events, and timeline into the Chrome trace event format
+// (the JSON flavor Perfetto's ui.perfetto.dev and chrome://tracing
+// both load):
+//
+//   pid 1 / tid 1          controller thread: tracer spans as "X"
+//                          (complete) events; "iteration" spans carry
+//                          the matching IterationRow's counter deltas
+//                          as args.
+//   pid 1 / tid 2+w        pool worker w: per-chunk worker spans.
+//   instant events ("i")   every TraceEvent — failpoint trips,
+//                          checkpoint snapshots (kind
+//                          "persist.snapshot", value = epoch), sheds,
+//                          WAL/recovery events.
+//   counter events ("C")   one per timeline sample per column, so the
+//                          sampled series render as counter tracks.
+//
+// Timestamps are microseconds (the format's unit) on the stitched run
+// clock for instants/counters and the process-relative tracer clock
+// for spans; see docs/observability.md for the resume semantics.
+
+#ifndef HERA_OBS_PERFETTO_H_
+#define HERA_OBS_PERFETTO_H_
+
+#include <string>
+
+#include "obs/report.h"
+
+namespace hera {
+namespace obs {
+
+/// Serializes `report` as a Chrome trace JSON document
+/// ({"displayTimeUnit":"ms","traceEvents":[...]}). An empty() report
+/// yields a valid document whose traceEvents hold only thread/process
+/// metadata.
+std::string ExportChromeTrace(const RunReport& report);
+
+}  // namespace obs
+}  // namespace hera
+
+#endif  // HERA_OBS_PERFETTO_H_

@@ -28,6 +28,22 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+/// Escapes a Prometheus label value: backslash, double-quote, and
+/// newline must be backslash-escaped inside the quoted value.
+std::string PromEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 void WriteStatsFields(JsonWriter& w, const HeraStats& s,
                       const char* outcome_name) {
   w.Key("outcome").String(outcome_name);
@@ -60,7 +76,13 @@ RunReport BuildRunReport(const RunTrace& trace, const HeraStats& stats,
     r.phases.push_back({name, stat.count, stat.total_ms, stat.max_ms});
   }
   r.spans = trace.tracer().spans();
+  r.worker_spans = trace.worker_spans();
+  r.dropped_worker_spans = trace.dropped_worker_spans();
   r.iterations = trace.iterations();
+  r.timeline.interval_ms = trace.timeline_interval_ms();
+  r.timeline.columns = trace.timeline().columns();
+  r.timeline.samples = trace.timeline().Samples();
+  r.timeline.dropped = trace.timeline().dropped();
   trace.metrics().ForEachCounter(
       [&](const std::string& name, const Counter& c) {
         r.counters[name] = c.value();
@@ -127,6 +149,20 @@ std::string RunReport::ToJson() const {
   }
   w.EndArray();
 
+  w.Key("worker_spans").BeginArray();
+  for (const WorkerSpanRecord& s : worker_spans) {
+    w.BeginObject()
+        .Key("name").String(s.name)
+        .Key("worker").UInt(s.worker)
+        .Key("chunk").UInt(s.chunk)
+        .Key("start_ms").Number(s.start_ms)
+        .Key("dur_ms").Number(s.dur_ms)
+        .Key("iteration").Int(s.iteration)
+        .EndObject();
+  }
+  w.EndArray();
+  w.Key("dropped_worker_spans").UInt(dropped_worker_spans);
+
   w.Key("iterations").BeginArray();
   for (const RunTrace::IterationRow& row : iterations) {
     w.BeginObject()
@@ -138,9 +174,34 @@ std::string RunReport::ToJson() const {
         .Key("merges").UInt(row.merges)
         .Key("deferred").UInt(row.deferred)
         .Key("ms").Number(row.ms)
+        .Key("t_ms").Number(row.t_ms)
         .EndObject();
   }
   w.EndArray();
+
+  // Timeline as compact array-of-arrays: row layout matches
+  // TimelineCsv() — [t_ms, rss_bytes, cpu_user_ms, cpu_sys_ms,
+  // <columns...>].
+  w.Key("timeline").BeginObject();
+  w.Key("interval_ms").Number(timeline.interval_ms);
+  w.Key("columns").BeginArray();
+  w.String("t_ms").String("rss_bytes").String("cpu_user_ms")
+      .String("cpu_sys_ms");
+  for (const std::string& c : timeline.columns) w.String(c);
+  w.EndArray();
+  w.Key("samples").BeginArray();
+  for (const TimelineSample& s : timeline.samples) {
+    w.BeginArray()
+        .Number(s.t_ms)
+        .Number(s.rss_bytes)
+        .Number(s.cpu_user_ms)
+        .Number(s.cpu_sys_ms);
+    for (double v : s.values) w.Number(v);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Key("dropped").UInt(timeline.dropped);
+  w.EndObject();
 
   w.Key("counters").BeginObject();
   for (const auto& [name, v] : counters) w.Key(name).UInt(v);
@@ -200,14 +261,21 @@ std::string RunReport::ToPrometheusText() const {
     line("# TYPE " + p + " gauge");
     line(p + " " + FormatDouble(v));
   }
-  // Phase timings export as one summary-ish pair of series per phase.
-  for (const Phase& ph : phases) {
-    std::string p = PromName("phase." + ph.name + ".ms");
-    line("# TYPE " + p + " counter");
-    line(p + " " + FormatDouble(ph.total_ms));
-    std::string c = PromName("phase." + ph.name + ".count");
-    line("# TYPE " + c + " counter");
-    line(c + " " + std::to_string(ph.count));
+  // Phase timings export as two labeled series — one time series per
+  // metric with a phase label, not one metric name per phase (which
+  // exploded the metric namespace and broke aggregation queries).
+  // Label values are escaped per the text exposition format.
+  if (!phases.empty()) {
+    line("# TYPE hera_phase_ms_total counter");
+    for (const Phase& ph : phases) {
+      line("hera_phase_ms_total{phase=\"" + PromEscapeLabel(ph.name) + "\"} " +
+           FormatDouble(ph.total_ms));
+    }
+    line("# TYPE hera_phase_runs_total counter");
+    for (const Phase& ph : phases) {
+      line("hera_phase_runs_total{phase=\"" + PromEscapeLabel(ph.name) +
+           "\"} " + std::to_string(ph.count));
+    }
   }
   for (const HistogramData& h : histograms) {
     std::string p = PromName(h.name);
@@ -273,6 +341,40 @@ std::string RunReport::ToString() const {
              static_cast<long long>(e.iteration), e.kind.c_str(),
              e.detail.c_str(), static_cast<unsigned long long>(e.value));
     }
+  }
+  if (!timeline.samples.empty()) {
+    append("timeline: %zu samples @ %.0fms (%llu dropped)\n",
+           timeline.samples.size(), timeline.interval_ms,
+           static_cast<unsigned long long>(timeline.dropped));
+  }
+  return out;
+}
+
+std::string RunReport::TimelineCsv() const {
+  std::string out = "t_ms,rss_bytes,cpu_user_ms,cpu_sys_ms";
+  for (const std::string& c : timeline.columns) {
+    out += ',';
+    out += c;  // Column names are metric identifiers: no commas/quotes.
+  }
+  out += '\n';
+  char buf[64];
+  auto cell = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+  };
+  for (const TimelineSample& s : timeline.samples) {
+    cell(s.t_ms);
+    out += ',';
+    cell(s.rss_bytes);
+    out += ',';
+    cell(s.cpu_user_ms);
+    out += ',';
+    cell(s.cpu_sys_ms);
+    for (double v : s.values) {
+      out += ',';
+      cell(v);
+    }
+    out += '\n';
   }
   return out;
 }

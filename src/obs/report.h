@@ -54,8 +54,22 @@ struct RunReport {
   /// Individual spans (bounded; see Tracer::kMaxSpanRecords).
   std::vector<SpanRecord> spans;
 
+  /// Per-worker chunk spans (bounded; see RunTrace::kMaxWorkerSpans).
+  std::vector<WorkerSpanRecord> worker_spans;
+  uint64_t dropped_worker_spans = 0;
+
   /// Per compare-and-merge pass counter deltas.
   std::vector<RunTrace::IterationRow> iterations;
+
+  /// Sampled resource/metric time series (empty when the sampler was
+  /// off). `samples[i].values` is parallel to `columns`.
+  struct TimelineData {
+    double interval_ms = 0.0;  ///< Sampler tick period (0 = off).
+    std::vector<std::string> columns;
+    std::vector<TimelineSample> samples;
+    uint64_t dropped = 0;      ///< Samples lost to ring overflow.
+  };
+  TimelineData timeline;
 
   /// Metric snapshot at report time.
   std::map<std::string, uint64_t> counters;
@@ -79,6 +93,11 @@ struct RunReport {
   std::string ToJson() const;
   std::string ToPrometheusText() const;
   std::string ToString() const;
+
+  /// The timeline as CSV: header
+  /// "t_ms,rss_bytes,cpu_user_ms,cpu_sys_ms,<columns...>" then one row
+  /// per sample. Header-only when the sampler was off.
+  std::string TimelineCsv() const;
 };
 
 /// Snapshots `trace` into an export-ready report. `outcome_name` is

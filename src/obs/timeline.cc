@@ -1,0 +1,189 @@
+#include "obs/timeline.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace hera {
+namespace obs {
+
+void TimelineSeries::SetColumns(std::vector<std::string> columns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  columns_ = std::move(columns);
+}
+
+std::vector<std::string> TimelineSeries::columns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return columns_;
+}
+
+void TimelineSeries::Push(TimelineSample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(sample));
+    return;
+  }
+  // Full: overwrite the oldest sample (the one the cursor points at).
+  ring_[next_] = std::move(sample);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<TimelineSample> TimelineSeries::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) return ring_;
+  std::vector<TimelineSample> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t TimelineSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TimelineSeries::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+bool ReadProcSelfStats(ProcSelfStats* out) {
+  *out = ProcSelfStats{};
+#ifdef __linux__
+  static const double kPageBytes = static_cast<double>(sysconf(_SC_PAGESIZE));
+  static const double kTickMs = 1000.0 / static_cast<double>(sysconf(_SC_CLK_TCK));
+  {
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr) return false;
+    long long total = 0, resident = 0;
+    int n = std::fscanf(f, "%lld %lld", &total, &resident);
+    std::fclose(f);
+    if (n == 2) out->rss_bytes = static_cast<double>(resident) * kPageBytes;
+  }
+  {
+    std::FILE* f = std::fopen("/proc/self/stat", "r");
+    if (f == nullptr) return false;
+    char buf[1024];
+    size_t got = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    buf[got] = '\0';
+    // Field 2 (comm) may contain spaces; parse from after its closing
+    // paren. utime/stime are fields 14/15 (1-based), i.e. 11 fields
+    // past the parenthesized comm + state.
+    const char* p = std::strrchr(buf, ')');
+    if (p == nullptr) return false;
+    ++p;
+    long long utime = 0, stime = 0;
+    // state + 10 numeric fields precede utime.
+    int n = std::sscanf(p,
+                        " %*c %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s "
+                        "%lld %lld",
+                        &utime, &stime);
+    if (n == 2) {
+      out->cpu_user_ms = static_cast<double>(utime) * kTickMs;
+      out->cpu_sys_ms = static_cast<double>(stime) * kTickMs;
+    }
+  }
+  return true;
+#else
+  return false;
+#endif
+}
+
+TimelineSampler::TimelineSampler(Options options,
+                                 std::function<double()> now_ms,
+                                 TimelineSeries* out)
+    : interval_ms_(options.interval_ms >= 1.0 ? options.interval_ms : 1.0),
+      now_ms_(std::move(now_ms)),
+      out_(out) {}
+
+TimelineSampler::~TimelineSampler() { Stop(); }
+
+void TimelineSampler::AddProbe(std::string name,
+                               std::function<double()> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_once_) return;  // Columns are frozen at first Start.
+  probes_.emplace_back(std::move(name), std::move(probe));
+}
+
+void TimelineSampler::SampleNow() {
+  TimelineSample s;
+  s.t_ms = now_ms_();
+  ProcSelfStats proc;
+  ReadProcSelfStats(&proc);
+  s.rss_bytes = proc.rss_bytes;
+  s.cpu_user_ms = proc.cpu_user_ms;
+  s.cpu_sys_ms = proc.cpu_sys_ms;
+  s.values.reserve(probes_.size());
+  for (const auto& [name, probe] : probes_) {
+    (void)name;
+    s.values.push_back(probe());
+  }
+  out_->Push(std::move(s));
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TimelineSampler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    if (!started_once_) {
+      std::vector<std::string> columns;
+      columns.reserve(probes_.size());
+      for (const auto& [name, probe] : probes_) {
+        (void)probe;
+        columns.push_back(name);
+      }
+      out_->SetColumns(std::move(columns));
+      started_once_ = true;
+    }
+    running_ = true;
+    stop_requested_ = false;
+  }
+  SampleNow();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TimelineSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  SampleNow();  // Final edge sample: the timeline always reaches run end.
+}
+
+bool TimelineSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void TimelineSampler::Loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(interval_ms_);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace hera

@@ -1,0 +1,146 @@
+// Sampled resource/metric timelines for one run.
+//
+// A TimelineSampler is a low-overhead background thread that, every
+// interval_ms, snapshots process resources (/proc/self RSS and CPU on
+// Linux) plus a set of caller-registered probes (lock-free counters,
+// gauges, cache occupancy) into a fixed-capacity ring buffer
+// (TimelineSeries). The series is embedded in the RunReport as its
+// `timeline` section and exported as JSON and CSV — the raw material
+// for merges-vs-seconds quality curves and the Perfetto counter
+// tracks.
+//
+// Determinism: sampling is strictly read-only over atomics and
+// internally-locked caches; it never feeds back into resolution, so
+// labels and merge sequences are byte-identical with the sampler on or
+// off (docs/observability.md states the guarantee).
+//
+// Overflow: at capacity the ring overwrites the oldest sample and
+// counts the overwrite in dropped() — never silent, never unbounded.
+
+#ifndef HERA_OBS_TIMELINE_H_
+#define HERA_OBS_TIMELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hera {
+namespace obs {
+
+/// One timeline row. `values` is parallel to the owning series'
+/// columns(); the three resource fields are always present.
+struct TimelineSample {
+  double t_ms = 0.0;        ///< Stitched run time (see RunTrace::NowMs).
+  double rss_bytes = 0.0;   ///< Process resident set (0 off-Linux).
+  double cpu_user_ms = 0.0; ///< Cumulative process user CPU (0 off-Linux).
+  double cpu_sys_ms = 0.0;  ///< Cumulative process system CPU (0 off-Linux).
+  std::vector<double> values;
+};
+
+/// \brief Thread-safe fixed-capacity ring of samples (oldest dropped
+/// first once full, with an explicit dropped() count).
+class TimelineSeries {
+ public:
+  explicit TimelineSeries(size_t capacity = 4096)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  /// Names of the probe columns (set once by the sampler at Start).
+  void SetColumns(std::vector<std::string> columns);
+  std::vector<std::string> columns() const;
+
+  void Push(TimelineSample sample);
+
+  /// Samples oldest-first (chronological).
+  std::vector<TimelineSample> Samples() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Samples overwritten because the ring was full.
+  uint64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::string> columns_;
+  std::vector<TimelineSample> ring_;
+  size_t next_ = 0;       ///< Ring write cursor once wrapped.
+  bool wrapped_ = false;
+  uint64_t dropped_ = 0;
+};
+
+/// Resource snapshot of the current process.
+struct ProcSelfStats {
+  double rss_bytes = 0.0;
+  double cpu_user_ms = 0.0;
+  double cpu_sys_ms = 0.0;
+};
+
+/// Reads RSS from /proc/self/statm and user/system CPU from
+/// /proc/self/stat. Returns false (zeroed output) when /proc is
+/// unavailable (non-Linux); callers treat the fields as best-effort.
+bool ReadProcSelfStats(ProcSelfStats* out);
+
+/// \brief Periodic sampler thread writing into a TimelineSeries.
+///
+/// Probes are registered before Start() and invoked on the sampler
+/// thread at every tick; they must be thread-safe and non-blocking
+/// (atomic reads, internally-locked cache counters). Start() takes an
+/// immediate sample and Stop() takes a final one, so even a
+/// zero-duration run yields a non-empty timeline. Start/Stop are
+/// idempotent; SampleNow() is the synchronous hook tests use.
+class TimelineSampler {
+ public:
+  struct Options {
+    double interval_ms = 50.0;  ///< Tick period (clamped to >= 1ms).
+  };
+
+  /// `now_ms` supplies sample timestamps (the run trace's stitched
+  /// clock); `out` must outlive the sampler.
+  TimelineSampler(Options options, std::function<double()> now_ms,
+                  TimelineSeries* out);
+  ~TimelineSampler();
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  /// Registers a probe column; only before the first Start().
+  void AddProbe(std::string name, std::function<double()> probe);
+
+  void Start();
+  void Stop();
+  bool running() const;
+  double interval_ms() const { return interval_ms_; }
+  /// Total samples captured (including Start/Stop edge samples).
+  uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Captures one sample synchronously (any thread, running or not).
+  void SampleNow();
+
+ private:
+  void Loop();
+
+  const double interval_ms_;
+  const std::function<double()> now_ms_;
+  TimelineSeries* const out_;
+  std::vector<std::pair<std::string, std::function<double()>>> probes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  bool started_once_ = false;
+  std::atomic<uint64_t> samples_{0};
+};
+
+}  // namespace obs
+}  // namespace hera
+
+#endif  // HERA_OBS_TIMELINE_H_

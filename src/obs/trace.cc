@@ -75,7 +75,7 @@ uint64_t Tracer::dropped_events() const {
   return dropped_events_;
 }
 
-RunTrace::RunTrace() {
+RunTrace::RunTrace(size_t timeline_capacity) : timeline_(timeline_capacity) {
   // Injected faults become visible trace events instead of opaque
   // early returns. Process-wide single slot: with several concurrently
   // traced runs only the most recent one sees failpoint events.
@@ -95,6 +95,25 @@ void RunTrace::AddIteration(const IterationRow& row) {
 std::vector<RunTrace::IterationRow> RunTrace::iterations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return iterations_;
+}
+
+void RunTrace::AddWorkerSpan(WorkerSpanRecord span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker_spans_.size() >= kMaxWorkerSpans) {
+    ++dropped_worker_spans_;
+    return;
+  }
+  worker_spans_.push_back(std::move(span));
+}
+
+std::vector<WorkerSpanRecord> RunTrace::worker_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worker_spans_;
+}
+
+uint64_t RunTrace::dropped_worker_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_worker_spans_;
 }
 
 }  // namespace obs

@@ -24,6 +24,7 @@
 
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace hera {
 namespace obs {
@@ -52,6 +53,19 @@ struct SpanRecord {
   double start_ms = 0.0;   ///< Open time since trace start.
   double dur_ms = 0.0;
   int64_t iteration = -1;  ///< Iteration scope at close.
+};
+
+/// One chunk executed on a pool worker (Phase A verification, join
+/// scans). Recorded post-hoc by the controller thread from
+/// ParallelRunStats::chunk_spans, so worker code never touches the
+/// tracer. Times are on the tracer clock, same as SpanRecord.
+struct WorkerSpanRecord {
+  std::string name;        ///< Phase ("join.probe", "verify.phase_a").
+  size_t worker = 0;       ///< Pool worker index (0-based).
+  uint64_t chunk = 0;      ///< Chunk index within the parallel call.
+  double start_ms = 0.0;   ///< Start time since trace start.
+  double dur_ms = 0.0;
+  int64_t iteration = -1;  ///< Iteration scope when recorded.
 };
 
 /// \brief Span + event recorder for one run.
@@ -123,6 +137,8 @@ class Tracer {
 /// \brief Everything one observed run collects.
 class RunTrace {
  public:
+  static constexpr size_t kMaxWorkerSpans = 8192;
+
   /// One compare-and-merge pass's counters (deltas for that pass).
   struct IterationRow {
     uint64_t iteration = 0;
@@ -133,9 +149,10 @@ class RunTrace {
     uint64_t merges = 0;
     uint64_t deferred = 0;   ///< Pushed to a later pass by the ceiling.
     double ms = 0.0;
+    double t_ms = 0.0;       ///< Stitched run time at pass end (NowMs).
   };
 
-  RunTrace();
+  explicit RunTrace(size_t timeline_capacity = 4096);
   ~RunTrace();
   RunTrace(const RunTrace&) = delete;
   RunTrace& operator=(const RunTrace&) = delete;
@@ -144,15 +161,41 @@ class RunTrace {
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  TimelineSeries& timeline() { return timeline_; }
+  const TimelineSeries& timeline() const { return timeline_; }
 
   void AddIteration(const IterationRow& row);
   std::vector<IterationRow> iterations() const;
 
+  /// Worker spans (bounded; overflow counted, never silent).
+  void AddWorkerSpan(WorkerSpanRecord span);
+  std::vector<WorkerSpanRecord> worker_spans() const;
+  uint64_t dropped_worker_spans() const;
+
+  /// Stitched-run clock. The base is 0 for a fresh run; a resumed run
+  /// sets it to the milliseconds already spent before the checkpoint
+  /// (RestoreState), so timeline samples and iteration rows from the
+  /// pre-crash and resumed processes concatenate into one monotone
+  /// series. Tracer spans stay process-relative by design.
+  void SetTimeBaseMs(double base_ms) { time_base_ms_ = base_ms; }
+  double time_base_ms() const { return time_base_ms_; }
+  double NowMs() const { return time_base_ms_ + tracer_.ElapsedMs(); }
+
+  /// Sampler interval used for this run (0 = sampler off); recorded so
+  /// the report can state it.
+  void SetTimelineIntervalMs(double ms) { timeline_interval_ms_ = ms; }
+  double timeline_interval_ms() const { return timeline_interval_ms_; }
+
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
+  TimelineSeries timeline_;
+  double time_base_ms_ = 0.0;
+  double timeline_interval_ms_ = 0.0;
   mutable std::mutex mu_;
   std::vector<IterationRow> iterations_;
+  std::vector<WorkerSpanRecord> worker_spans_;
+  uint64_t dropped_worker_spans_ = 0;
 };
 
 /// Null-tolerant span helper for instrumentation sites.

@@ -25,6 +25,16 @@
 
 namespace hera {
 
+/// One executed chunk: which worker ran it and when, relative to the
+/// ParallelChunks call start. Only recorded when the caller asks
+/// (record_spans); feeds the per-worker timeline of the trace export.
+struct ChunkSpan {
+  size_t chunk = 0;
+  size_t worker = 0;
+  double start_us = 0.0;  ///< Microseconds after the call started.
+  double dur_us = 0.0;
+};
+
 /// What one ParallelChunks call did; feeds the observability layer's
 /// per-phase thread gauge and worker busy-time histogram.
 struct ParallelRunStats {
@@ -34,6 +44,10 @@ struct ParallelRunStats {
   size_t chunks = 0;
   /// Per-worker busy microseconds (time spent inside chunk bodies).
   std::vector<double> busy_us;
+  /// Per-chunk execution records (empty unless record_spans was set).
+  /// Slot c describes chunk c; every chunk runs exactly once, so the
+  /// vector is fully populated without any cross-worker coordination.
+  std::vector<ChunkSpan> chunk_spans;
 };
 
 /// Chunk size that yields ~8 claimable chunks per worker, so the
@@ -48,9 +62,14 @@ inline size_t DefaultGrain(size_t n, size_t workers) {
 /// Chunk c covers [c*grain, min(n, (c+1)*grain)). `fn` must be safe to
 /// call concurrently from different workers on different chunks; two
 /// workers never receive the same chunk.
+///
+/// With `record_spans` set, every chunk's (worker, start, duration) is
+/// captured into stats.chunk_spans — two extra clock reads per chunk,
+/// used by the trace/profiling tier. Recording never changes which
+/// chunks exist or how they are claimed, so results are unaffected.
 template <typename Fn>
 ParallelRunStats ParallelChunks(ThreadPool* pool, size_t n, size_t grain,
-                                Fn&& fn) {
+                                Fn&& fn, bool record_spans = false) {
   ParallelRunStats stats;
   if (n == 0) {
     stats.busy_us.assign(1, 0.0);
@@ -59,10 +78,16 @@ ParallelRunStats ParallelChunks(ThreadPool* pool, size_t n, size_t grain,
   if (grain == 0) grain = 1;
   const size_t num_chunks = (n + grain - 1) / grain;
   stats.chunks = num_chunks;
+  if (record_spans) stats.chunk_spans.resize(num_chunks);
+  ChunkSpan* spans = record_spans ? stats.chunk_spans.data() : nullptr;
   if (pool == nullptr || pool->size() <= 1 || num_chunks <= 1) {
     Timer timer;
     for (size_t c = 0; c < num_chunks; ++c) {
+      double t0 = spans != nullptr ? timer.ElapsedMicros() : 0.0;
       fn(c, c * grain, std::min(n, (c + 1) * grain), size_t{0});
+      if (spans != nullptr) {
+        spans[c] = {c, size_t{0}, t0, timer.ElapsedMicros() - t0};
+      }
     }
     stats.workers = 1;
     stats.busy_us.assign(1, timer.ElapsedMicros());
@@ -72,12 +97,21 @@ ParallelRunStats ParallelChunks(ThreadPool* pool, size_t n, size_t grain,
   stats.busy_us.assign(pool->size(), 0.0);
   std::atomic<size_t> cursor{0};
   double* busy = stats.busy_us.data();
-  pool->Run([&, busy](size_t worker) {
+  // All workers time against one epoch so chunk spans share a single
+  // origin (the call start, same as the serial path).
+  Timer call_timer;
+  pool->Run([&, busy, spans](size_t worker) {
     Timer timer;
     for (;;) {
       size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
+      double t0 = spans != nullptr ? call_timer.ElapsedMicros() : 0.0;
       fn(c, c * grain, std::min(n, (c + 1) * grain), worker);
+      if (spans != nullptr) {
+        // Chunk c is claimed by exactly one worker, so slot c is
+        // written exactly once: no lock needed.
+        spans[c] = {c, worker, t0, call_timer.ElapsedMicros() - t0};
+      }
     }
     busy[worker] = timer.ElapsedMicros();
   });

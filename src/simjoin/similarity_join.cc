@@ -98,10 +98,17 @@ void FinishReport(JoinReport* report, const JoinCounters& totals,
 }
 
 /// Folds one parallel phase's stats into the join report (element-wise
-/// busy-time sum; threads_used is the widest phase).
-void AccumulateBusy(const ParallelRunStats& stats, JoinReport* report) {
+/// busy-time sum; threads_used is the widest phase). `phase` names the
+/// phase for the recorded chunk spans (if any) and `phase_offset_us`
+/// rebases their call-relative starts onto the join-entry clock.
+void AccumulateBusy(const ParallelRunStats& stats, JoinReport* report,
+                    const char* phase = "", double phase_offset_us = 0.0) {
   if (!report) return;
   report->threads_used = std::max(report->threads_used, stats.workers);
+  for (const ChunkSpan& cs : stats.chunk_spans) {
+    report->worker_spans.push_back(
+        {phase, cs.chunk, cs.worker, phase_offset_us + cs.start_us, cs.dur_us});
+  }
   if (stats.workers <= 1) return;
   if (report->worker_busy_us.size() < stats.busy_us.size()) {
     report->worker_busy_us.resize(stats.busy_us.size(), 0.0);
@@ -261,6 +268,8 @@ Status NestedLoopJoin::Join(const std::vector<LabeledValue>& values,
   HERA_FAILPOINT("simjoin.join");
   out->clear();
   ThreadPool* pool = executor();
+  const bool rec = collect_worker_spans() && report != nullptr &&
+                   pool != nullptr && pool->size() > 1;
   PairSimCache* pair_cache = PairCacheFor(simv);
   const size_t n = values.size();
   const size_t grain = DefaultGrain(n, pool ? pool->size() : 1);
@@ -291,12 +300,13 @@ Status NestedLoopJoin::Join(const std::vector<LabeledValue>& values,
             if (s >= xi) co.pairs.push_back({values[i].label, values[j].label, s});
           }
         }
-      });
+      },
+      rec);
   JoinCounters totals;
   MergeChunks(chunks, out, &totals);
   FinishReport(report, totals, stop.load(std::memory_order_relaxed), 0, 0,
                *out);
-  AccumulateBusy(stats, report);
+  AccumulateBusy(stats, report, "join.nested");
   return Status::OK();
 }
 
@@ -309,6 +319,8 @@ Status NestedLoopJoin::JoinAB(const std::vector<LabeledValue>& probe,
   HERA_FAILPOINT("simjoin.join");
   out->clear();
   ThreadPool* pool = executor();
+  const bool rec = collect_worker_spans() && report != nullptr &&
+                   pool != nullptr && pool->size() > 1;
   PairSimCache* pair_cache = PairCacheFor(simv);
   const size_t n = probe.size();
   const size_t grain = DefaultGrain(n, pool ? pool->size() : 1);
@@ -338,12 +350,13 @@ Status NestedLoopJoin::JoinAB(const std::vector<LabeledValue>& probe,
             if (s >= xi) co.pairs.push_back({p.label, b.label, s});
           }
         }
-      });
+      },
+      rec);
   JoinCounters totals;
   MergeChunks(chunks, out, &totals);
   FinishReport(report, totals, stop.load(std::memory_order_relaxed), 0, 0,
                *out);
-  AccumulateBusy(stats, report);
+  AccumulateBusy(stats, report, "join.nested");
   return Status::OK();
 }
 
@@ -356,6 +369,11 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   out->clear();
   ThreadPool* pool = executor();
   const size_t nworkers = (pool && pool->size() > 1) ? pool->size() : 1;
+  // Per-phase chunk spans are rebased onto this join-entry clock so the
+  // report's worker spans share one origin across all phases.
+  Timer join_timer;
+  const bool rec =
+      collect_worker_spans() && report != nullptr && nworkers > 1;
   std::atomic<bool> stop{false};
   const size_t max_posting = guard.max_posting_list();
   size_t shed_posting = 0;
@@ -392,6 +410,7 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
     const size_t n = numeric_idx.size();
     const size_t grain = DefaultGrain(n, nworkers);
     std::vector<ChunkOut> chunks(NumChunks(n, grain));
+    const double phase_t0 = join_timer.ElapsedMicros();
     ParallelRunStats stats = ParallelChunks(
         pool, n, grain,
         [&](size_t chunk, size_t begin, size_t end, size_t /*worker*/) {
@@ -431,9 +450,10 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
               if (s >= xi) co.pairs.push_back({va.label, vb.label, s});
             }
           }
-        });
+        },
+        rec);
     MergeChunks(chunks, out, &totals);
-    AccumulateBusy(stats, report);
+    AccumulateBusy(stats, report, "join.numeric", phase_t0);
   }
 
   // ---- String path: AllPairs with length + prefix filters, plus
@@ -461,6 +481,7 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
   }
   {
     const size_t n = string_idx.size();
+    const double phase_t0 = join_timer.ElapsedMicros();
     ParallelRunStats stats = ParallelChunks(
         pool, n, DefaultGrain(n, nworkers),
         [&](size_t /*chunk*/, size_t begin, size_t end, size_t /*worker*/) {
@@ -473,8 +494,9 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
               owned_grams[i] = QgramSet(normalized[i], q_);
             }
           }
-        });
-    AccumulateBusy(stats, report);
+        },
+        rec);
+    AccumulateBusy(stats, report, "join.tokenize", phase_t0);
   }
   auto grams_of = [&](size_t i) -> const std::vector<std::string>& {
     return cache ? *shared_grams[i] : owned_grams[i];
@@ -539,6 +561,7 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
     std::vector<std::vector<size_t>> markers(nworkers,
                                              std::vector<size_t>(n, SIZE_MAX));
     std::vector<std::vector<size_t>> cand_bufs(nworkers);
+    const double phase_t0 = join_timer.ElapsedMicros();
     ParallelRunStats stats = ParallelChunks(
         pool, n, grain,
         [&](size_t chunk, size_t begin, size_t end, size_t worker) {
@@ -602,9 +625,10 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
               if (s >= xi) co.pairs.push_back({va.label, vb.label, s});
             }
           }
-        });
+        },
+        rec);
     MergeChunks(chunks, out, &totals);
-    AccumulateBusy(stats, report);
+    AccumulateBusy(stats, report, "join.probe", phase_t0);
   }
 
   const size_t token_pairs = sets.size() * (sets.size() - (sets.empty() ? 0 : 1)) / 2;
@@ -624,6 +648,9 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
   out->clear();
   ThreadPool* pool = executor();
   const size_t nworkers = (pool && pool->size() > 1) ? pool->size() : 1;
+  Timer join_timer;
+  const bool rec =
+      collect_worker_spans() && report != nullptr && nworkers > 1;
   std::atomic<bool> stop{false};
   const size_t max_posting = guard.max_posting_list();
   size_t shed_posting = 0;
@@ -654,6 +681,7 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
     const size_t n = probe.size();
     const size_t grain = DefaultGrain(n, nworkers);
     std::vector<ChunkOut> chunks(NumChunks(n, grain));
+    const double phase_t0 = join_timer.ElapsedMicros();
     ParallelRunStats stats = ParallelChunks(
         pool, n, grain,
         [&](size_t chunk, size_t begin, size_t end, size_t /*worker*/) {
@@ -719,9 +747,10 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
                 break;
             }
           }
-        });
+        },
+        rec);
     MergeChunks(chunks, out, &totals);
-    AccumulateBusy(stats, report);
+    AccumulateBusy(stats, report, "join.numeric", phase_t0);
   }
 
   // ---- String path: full inverted index over the base tokens, probes
@@ -742,6 +771,7 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
   }
   {
     const size_t n = base.size() + probe.size();
+    const double phase_t0 = join_timer.ElapsedMicros();
     ParallelRunStats stats = ParallelChunks(
         pool, n, DefaultGrain(n, nworkers),
         [&](size_t /*chunk*/, size_t begin, size_t end, size_t /*worker*/) {
@@ -759,8 +789,9 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
             }
             (is_base ? base_norm : probe_norm)[i] = std::move(norm);
           }
-        });
-    AccumulateBusy(stats, report);
+        },
+        rec);
+    AccumulateBusy(stats, report, "join.tokenize", phase_t0);
   }
   auto base_grams = [&](size_t i) -> const std::vector<std::string>& {
     return cache ? *base_shared[i] : base_owned[i];
@@ -820,6 +851,7 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
     std::vector<ChunkOut> chunks(NumChunks(n, grain));
     std::vector<std::vector<size_t>> markers(
         nworkers, std::vector<size_t>(base.size(), SIZE_MAX));
+    const double phase_t0 = join_timer.ElapsedMicros();
     ParallelRunStats stats = ParallelChunks(
         pool, n, grain,
         [&](size_t chunk, size_t begin, size_t end, size_t worker) {
@@ -875,9 +907,10 @@ Status PrefixFilterJoin::JoinAB(const std::vector<LabeledValue>& probe,
               }
             }
           }
-        });
+        },
+        rec);
     MergeChunks(chunks, out, &totals);
-    AccumulateBusy(stats, report);
+    AccumulateBusy(stats, report, "join.probe", phase_t0);
   }
 
   size_t probe_tokenized = 0, base_tokenized = 0;

@@ -73,6 +73,20 @@ struct JoinReport {
   /// phases; empty when the join ran serially. Feeds the
   /// parallel.worker_busy_us histogram.
   std::vector<double> worker_busy_us;
+  /// One chunk executed on a pool worker in one of the join's parallel
+  /// phases ("join.numeric", "join.tokenize", "join.probe",
+  /// "join.nested"). Collected only when the joiner's
+  /// SetCollectWorkerSpans is on and a pool is installed; start_us is
+  /// relative to the join call's entry. Feeds the trace export's
+  /// per-worker tracks.
+  struct WorkerSpan {
+    const char* phase = "";
+    size_t chunk = 0;
+    size_t worker = 0;
+    double start_us = 0.0;
+    double dur_us = 0.0;
+  };
+  std::vector<WorkerSpan> worker_spans;
 };
 
 /// \brief Abstract similarity join over labeled value sets.
@@ -116,6 +130,12 @@ class SimilarityJoin {
   }
   const PairSimCache* pair_sim_cache() const { return pair_cache_.get(); }
 
+  /// Records per-chunk worker spans into JoinReport::worker_spans (two
+  /// extra clock reads per chunk; off by default). Recording never
+  /// affects which pairs are emitted — it is observation only.
+  void SetCollectWorkerSpans(bool on) { collect_worker_spans_ = on; }
+  bool collect_worker_spans() const { return collect_worker_spans_; }
+
 
   /// Unguarded convenience forms.
   std::vector<ValuePair> Join(const std::vector<LabeledValue>& values,
@@ -146,6 +166,7 @@ class SimilarityJoin {
  private:
   ThreadPool* pool_ = nullptr;
   std::shared_ptr<PairSimCache> pair_cache_;
+  bool collect_worker_spans_ = false;
 };
 
 /// \brief O(n^2) reference implementation; correctness oracle in tests

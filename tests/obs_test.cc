@@ -17,8 +17,11 @@
 #include "core/hera.h"
 #include "core/incremental.h"
 #include "obs/json.h"
+#include "obs/json_reader.h"
 #include "obs/metrics.h"
+#include "obs/perfetto.h"
 #include "obs/report.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "testing_util.h"
 
@@ -65,6 +68,143 @@ TEST(JsonWriterTest, EmptyContainers) {
   w.BeginObject().Key("a").BeginArray().EndArray().Key("o").BeginObject()
       .EndObject().EndObject();
   EXPECT_EQ(w.str(), R"({"a":[],"o":{}})");
+}
+
+// --------------------------------------------------------- JSON reader
+
+TEST(JsonReaderTest, ParsesScalarsAndContainers) {
+  auto v = obs::ParseJson(R"( {"n": 3, "x": -1.5e2, "b": true,
+                               "s": "hi", "z": null,
+                               "a": [1, [2], {}]} )");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->Find("n")->number_value, 3.0);
+  EXPECT_DOUBLE_EQ(v->Find("x")->number_value, -150.0);
+  EXPECT_TRUE(v->Find("b")->bool_value);
+  EXPECT_EQ(v->Find("s")->string_value, "hi");
+  EXPECT_TRUE(v->Find("z")->is_null());
+  const obs::JsonValue* a = v->Find("a");
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_TRUE(a->items[1].is_array());
+  EXPECT_TRUE(a->items[2].is_object());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, RoundTripsWriterOutput) {
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Key("esc").String("a\"b\\c\nd\te")
+      .Key("nums").BeginArray().Number(0.0).Number(-3.25).UInt(1u << 30)
+      .EndArray()
+      .EndObject();
+  auto v = obs::ParseJson(w.str());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("esc")->string_value, "a\"b\\c\nd\te");
+  EXPECT_DOUBLE_EQ(v->Find("nums")->items[2].number_value,
+                   static_cast<double>(1u << 30));
+}
+
+TEST(JsonReaderTest, UnicodeEscapesDecodeToUtf8) {
+  // "café " (U+00E9) + an emoji via a surrogate pair (U+1F600).
+  auto v = obs::ParseJson("\"caf\\u00e9 \\uD83D\\uDE00\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "caf\xC3\xA9 \xF0\x9F\x98\x80");
+  EXPECT_FALSE(obs::ParseJson(R"("\uD83D")").ok());   // Unpaired high.
+  EXPECT_FALSE(obs::ParseJson(R"("\uDE00")").ok());   // Unpaired low.
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "\"x",
+        "[1] garbage", "-", "1.", "1e", "'single'", "{\"a\":1,}"}) {
+    EXPECT_FALSE(obs::ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+  // Parse errors carry a position.
+  auto err = obs::ParseJson("[1, oops]");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(JsonReaderTest, DepthLimitIsEnforcedNotCrashed) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(obs::ParseJson(deep).ok());
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(obs::ParseJson(ok).ok());
+}
+
+TEST(JsonReaderTest, FindPathWalksNestedObjects) {
+  auto v = obs::ParseJson(R"({"stats": {"verify": {"speedup": 14.2}}})");
+  ASSERT_TRUE(v.ok());
+  const obs::JsonValue* s = v->FindPath("stats.verify.speedup");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->number_value, 14.2);
+  EXPECT_EQ(v->FindPath("stats.nope.speedup"), nullptr);
+  EXPECT_EQ(v->FindPath("stats.verify.speedup.deeper"), nullptr);
+}
+
+// ------------------------------------------------------------ timeline
+
+TEST(TimelineTest, RingOverflowDropsOldestAndCounts) {
+  obs::TimelineSeries series(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::TimelineSample s;
+    s.t_ms = static_cast<double>(i);
+    series.Push(std::move(s));
+  }
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.dropped(), 6u);
+  auto samples = series.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Chronological and holding the newest four.
+  EXPECT_DOUBLE_EQ(samples.front().t_ms, 6.0);
+  EXPECT_DOUBLE_EQ(samples.back().t_ms, 9.0);
+}
+
+TEST(TimelineTest, SamplerTakesEdgeSamplesAndFreezesColumns) {
+  obs::TimelineSeries series(64);
+  obs::TimelineSampler::Options sopts;
+  sopts.interval_ms = 10000;  // No periodic tick during the test.
+  double clock = 0.0;
+  obs::TimelineSampler sampler(sopts, [&clock] { return clock += 1.0; },
+                               &series);
+  std::atomic<uint64_t> counter{7};
+  sampler.AddProbe("c", [&counter] {
+    return static_cast<double>(counter.load());
+  });
+  sampler.Start();
+  sampler.Start();  // Idempotent.
+  sampler.AddProbe("late", [] { return 0.0; });  // Ignored after Start.
+  sampler.SampleNow();
+  sampler.Stop();
+  sampler.Stop();  // Idempotent.
+  EXPECT_GE(sampler.samples_taken(), 3u);  // Start + SampleNow + Stop.
+  auto columns = series.columns();
+  ASSERT_EQ(columns.size(), 1u);
+  EXPECT_EQ(columns[0], "c");
+  auto samples = series.Samples();
+  ASSERT_GE(samples.size(), 3u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].t_ms, samples[i - 1].t_ms);  // Monotone clock.
+  }
+  for (const auto& s : samples) {
+    ASSERT_EQ(s.values.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.values[0], 7.0);
+  }
+}
+
+TEST(TimelineTest, ProcSelfStatsReadsOnLinux) {
+  obs::ProcSelfStats stats;
+  bool ok = obs::ReadProcSelfStats(&stats);
+#ifdef __linux__
+  ASSERT_TRUE(ok);
+  EXPECT_GT(stats.rss_bytes, 0.0);
+  EXPECT_GE(stats.cpu_user_ms + stats.cpu_sys_ms, 0.0);
+#else
+  EXPECT_FALSE(ok);
+#endif
 }
 
 // ------------------------------------------------------------- metrics
@@ -507,6 +647,234 @@ TEST(ObsIntegrationTest, IncrementalRoundsAccumulate) {
     if (e.kind == "incremental.round") saw_round_event = true;
   }
   EXPECT_TRUE(saw_round_event);
+}
+
+// ------------------------------------------- Prometheus labeled series
+
+TEST(ReportTest, PrometheusPhaseSeriesAreLabeledAndEscaped) {
+  obs::RunReport r;
+  r.collected = true;
+  r.phases.push_back({"index.build", 2, 12.5, 8.0});
+  r.phases.push_back({"odd\"name\\with\nstuff", 1, 1.0, 1.0});
+  std::string text = r.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE hera_phase_ms_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hera_phase_ms_total{phase=\"index.build\"} 12.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("hera_phase_runs_total{phase=\"index.build\"} 2"),
+            std::string::npos);
+  // Backslash, quote, and newline are escaped inside the label value.
+  EXPECT_NE(
+      text.find(
+          "hera_phase_ms_total{phase=\"odd\\\"name\\\\with\\nstuff\"} 1"),
+      std::string::npos);
+  // No line of the exposition text contains a raw (unescaped) newline
+  // inside a label: every line must be "name{...} value" or a comment.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    std::string line = text.substr(start, end - start);
+    EXPECT_TRUE(line.empty() || line[0] == '#' ||
+                line.find(' ') != std::string::npos)
+        << "torn line: " << line;
+    start = end == std::string::npos ? text.size() : end + 1;
+  }
+}
+
+// ------------------------------------------------------- timeline CSV
+
+TEST(ReportTest, TimelineCsvGolden) {
+  obs::RunReport r;
+  r.collected = true;
+  r.timeline.interval_ms = 50.0;
+  r.timeline.columns = {"merges", "index_size"};
+  obs::TimelineSample s1;
+  s1.t_ms = 1.5;
+  s1.rss_bytes = 4096;
+  s1.cpu_user_ms = 2;
+  s1.cpu_sys_ms = 1;
+  s1.values = {0, 10};
+  obs::TimelineSample s2 = s1;
+  s2.t_ms = 51.5;
+  s2.values = {3, 12};
+  r.timeline.samples = {s1, s2};
+  EXPECT_EQ(r.TimelineCsv(),
+            "t_ms,rss_bytes,cpu_user_ms,cpu_sys_ms,merges,index_size\n"
+            "1.5,4096,2,1,0,10\n"
+            "51.5,4096,2,1,3,12\n");
+  // Header-only when the sampler was off.
+  obs::RunReport empty;
+  EXPECT_EQ(empty.TimelineCsv(), "t_ms,rss_bytes,cpu_user_ms,cpu_sys_ms\n");
+}
+
+// -------------------------------------------------- timeline sampling
+
+TEST(ObsIntegrationTest, TimelineSamplerFillsReportTimeline) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.timeline_interval_ms = 1;  // Implies report collection.
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  const obs::RunReport& r = result->report;
+  ASSERT_TRUE(r.collected);
+  EXPECT_DOUBLE_EQ(r.timeline.interval_ms, 1.0);
+  ASSERT_GE(r.timeline.samples.size(), 2u);  // Start + Stop edges.
+  // Columns include the quality-curve probes.
+  auto has_column = [&r](const char* name) {
+    for (const auto& c : r.timeline.columns) {
+      if (c == name) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_column("merges"));
+  ASSERT_TRUE(has_column("verified_groups"));
+  ASSERT_TRUE(has_column("pairs_emitted"));
+  ASSERT_TRUE(has_column("index_size"));
+  size_t merges_col = 0;
+  while (r.timeline.columns[merges_col] != "merges") ++merges_col;
+  double prev_t = -1.0, prev_merges = -1.0;
+  for (const obs::TimelineSample& s : r.timeline.samples) {
+    EXPECT_GE(s.t_ms, prev_t);  // Monotone sample clock.
+    prev_t = s.t_ms;
+    ASSERT_EQ(s.values.size(), r.timeline.columns.size());
+    EXPECT_GE(s.values[merges_col], prev_merges);  // Cumulative curve.
+    prev_merges = s.values[merges_col];
+  }
+  // The final edge sample sees every merge of the run.
+  EXPECT_DOUBLE_EQ(r.timeline.samples.back().values[merges_col],
+                   static_cast<double>(result->stats.merges));
+  // Quality-over-time: per-iteration rows carry the stitched clock.
+  double prev_row_t = 0.0;
+  for (const auto& row : r.iterations) {
+    EXPECT_GE(row.t_ms, prev_row_t);
+    prev_row_t = row.t_ms;
+  }
+#ifdef __linux__
+  EXPECT_GT(r.timeline.samples.back().rss_bytes, 0.0);
+#endif
+}
+
+TEST(ObsIntegrationTest, SamplerOnOrOffProducesIdenticalResults) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions plain;
+  HeraOptions sampled;
+  sampled.collect_report = true;
+  sampled.timeline_interval_ms = 1;
+  auto r1 = Hera(plain).Run(ds);
+  auto r2 = Hera(sampled).Run(ds);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->entity_of, r2->entity_of);
+  EXPECT_EQ(r1->stats.merge_sequence, r2->stats.merge_sequence);
+}
+
+TEST(ObsIntegrationTest, TimelineRingOverflowIsReported) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.timeline_interval_ms = 1;
+  opts.timeline_capacity = 2;  // Force the ring to wrap.
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  const obs::RunReport& r = result->report;
+  ASSERT_LE(r.timeline.samples.size(), 2u);  // Ring capacity holds.
+  ASSERT_GE(r.timeline.samples.size(), 1u);
+  // Overflow keeps the newest samples: the retained tail is the final
+  // edge sample, which sees every merge of the run.
+  size_t merges_col = 0;
+  while (r.timeline.columns[merges_col] != "merges") ++merges_col;
+  EXPECT_DOUBLE_EQ(r.timeline.samples.back().values[merges_col],
+                   static_cast<double>(result->stats.merges));
+}
+
+// ------------------------------------------------------- Chrome trace
+
+TEST(ChromeTraceTest, ExportRoundTripsThroughRepoParser) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.collect_report = true;
+  opts.timeline_interval_ms = 1;
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  std::string trace_json = obs::ExportChromeTrace(result->report);
+  auto doc = obs::ParseJson(trace_json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GT(events->items.size(), 0u);
+
+  bool saw_phase_span = false, saw_counter = false, saw_thread_name = false;
+  for (const obs::JsonValue& e : events->items) {
+    ASSERT_TRUE(e.is_object());
+    const obs::JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->is_string());
+    ASSERT_NE(e.Find("pid"), nullptr);
+    ASSERT_TRUE(e.Find("pid")->is_number());
+    ASSERT_NE(e.Find("tid"), nullptr);
+    ASSERT_TRUE(e.Find("tid")->is_number());
+    if (ph->string_value != "M") {
+      // Every non-metadata event sits on the timeline.
+      ASSERT_NE(e.Find("ts"), nullptr);
+      ASSERT_TRUE(e.Find("ts")->is_number());
+      EXPECT_GE(e.Find("ts")->number_value, 0.0);
+    }
+    if (ph->string_value == "X") {
+      ASSERT_NE(e.Find("dur"), nullptr);
+      EXPECT_GE(e.Find("dur")->number_value, 0.0);
+      if (e.Find("name")->string_value == "resolve") saw_phase_span = true;
+      // Iteration spans carry the pass's counter deltas as args.
+      if (e.Find("name")->string_value == "iteration") {
+        EXPECT_NE(e.FindPath("args.merges"), nullptr);
+        EXPECT_NE(e.FindPath("args.verified"), nullptr);
+      }
+    }
+    if (ph->string_value == "C" &&
+        e.Find("name")->string_value == "merges") {
+      saw_counter = true;
+      EXPECT_NE(e.FindPath("args.value"), nullptr);
+    }
+    if (ph->string_value == "M" &&
+        e.Find("name")->string_value == "thread_name") {
+      saw_thread_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_phase_span);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST(ChromeTraceTest, GovernanceEventsBecomeInstants) {
+  Dataset ds = testing_util::MakeCustomersDataset();
+  HeraOptions opts;
+  opts.collect_report = true;
+  opts.guard.WithMaxIndexPairs(5);  // Forces shed.index_pairs events.
+  auto result = Hera(opts).Run(ds);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->stats.shed_index_pairs, 0u);
+  auto doc = obs::ParseJson(obs::ExportChromeTrace(result->report));
+  ASSERT_TRUE(doc.ok());
+  bool saw_instant = false;
+  for (const obs::JsonValue& e : doc->Find("traceEvents")->items) {
+    const obs::JsonValue* ph = e.Find("ph");
+    if (ph->string_value == "i" &&
+        e.Find("name")->string_value == "shed.index_pairs") {
+      saw_instant = true;
+      EXPECT_EQ(e.Find("s")->string_value, "p");  // Process-scoped.
+      EXPECT_GT(e.FindPath("args.value")->number_value, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(ChromeTraceTest, EmptyReportExportsValidTrace) {
+  obs::RunReport empty;
+  auto doc = obs::ParseJson(obs::ExportChromeTrace(empty));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Metadata-only (process/controller names), but schema-valid.
+  EXPECT_GE(events->items.size(), 2u);
 }
 
 #endif  // HERA_DISABLE_OBS

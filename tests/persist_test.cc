@@ -21,6 +21,9 @@
 #include "core/incremental.h"
 #include "core/options.h"
 #include "data/publication_generator.h"
+#ifndef HERA_DISABLE_OBS
+#include "obs/perfetto.h"
+#endif
 #include "persist/checkpoint.h"
 #include "persist/codec.h"
 #include "record/dataset.h"
@@ -502,6 +505,69 @@ TEST(PersistResumeTest, TornWalTailIsDroppedNotFatal) {
   ASSERT_TRUE(resumed.ok()) << resumed.status();
   EXPECT_EQ(resumed->entity_of, ref->entity_of);
 }
+
+#ifndef HERA_DISABLE_OBS
+
+TEST(PersistResumeTest, TimelineStitchesAcrossResume) {
+  Dataset ds = MakePublications();
+  HeraOptions base;
+  auto ref = Hera(base).Run(ds);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_GE(ref->stats.iterations, 3u);
+
+  // Cut the run at the first iteration boundary with profiling on.
+  HeraOptions opts = base;
+  opts.checkpoint_dir = TestDir("timeline_stitch");
+  opts.checkpoint_every = 1;
+  opts.max_iterations = 1;
+  opts.collect_report = true;
+  opts.timeline_interval_ms = 1;
+  auto cut = Hera(opts).Run(ds);
+  ASSERT_TRUE(cut.ok()) << cut.status();
+  ASSERT_EQ(cut->stats.outcome, RunOutcome::kIterationCap);
+  ASSERT_TRUE(cut->report.collected);
+  ASSERT_GE(cut->report.timeline.samples.size(), 2u);
+  // The pre-cut process's timeline starts at (near) zero run time.
+  EXPECT_LT(cut->report.timeline.samples.front().t_ms,
+            cut->stats.index_build_ms + cut->stats.total_ms + 1.0);
+  const double cut_elapsed = cut->stats.index_build_ms + cut->stats.total_ms;
+
+  // Resume in a fresh process (engine): the restored time base stitches
+  // the resumed samples onto the end of the pre-cut run's clock.
+  HeraOptions ropts = opts;
+  ropts.max_iterations = base.max_iterations;
+  auto resumed = Hera(ropts).Resume(ds);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->entity_of, ref->entity_of);
+  EXPECT_EQ(resumed->stats.merge_sequence, ref->stats.merge_sequence);
+
+  const obs::RunReport& r = resumed->report;
+  ASSERT_TRUE(r.collected);
+  ASSERT_GE(r.timeline.samples.size(), 2u);
+  // Stitched: the resumed process's first sample continues at the
+  // restored run time, not at zero.
+  EXPECT_GE(r.timeline.samples.front().t_ms, cut_elapsed);
+  double prev = 0.0;
+  for (const auto& s : r.timeline.samples) {
+    EXPECT_GE(s.t_ms, prev);
+    prev = s.t_ms;
+  }
+  // Per-iteration quality rows continue on the same stitched clock.
+  ASSERT_FALSE(r.iterations.empty());
+  EXPECT_GE(r.iterations.front().t_ms, cut_elapsed);
+  prev = 0.0;
+  for (const auto& row : r.iterations) {
+    EXPECT_GE(row.t_ms, prev);
+    prev = row.t_ms;
+  }
+
+  // Checkpoint epochs surface in the exported trace as instant events.
+  const std::string trace = obs::ExportChromeTrace(r);
+  EXPECT_NE(trace.find("persist.snapshot"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+}
+
+#endif  // HERA_DISABLE_OBS
 
 // ---------------------------------------------------------------------------
 // Incremental restore after a governed (truncated) round.
