@@ -1,0 +1,288 @@
+// Micro-benchmark for the flat index backend (index/flat_table.h): the
+// candidate-generation probe storm measured as ns/probe against the
+// ordered/node-based containers the backend replaces, a prefetch
+// pipeline-depth sweep, and an end-to-end prefix-filter join at both
+// backends.
+//
+// Plain executable (no google-benchmark dependency) so it can run in
+// the CI bench-smoke job. With HERA_BENCH_JSON_DIR set it writes
+// BENCH_flat_index.json; the committed baseline lives at
+// bench/baselines/BENCH_flat_index.json and tools/bench_compare.py
+// gates candgen.batched_speedup against it.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "core/hera.h"
+#include "data/movie_generator.h"
+#include "index/flat_table.h"
+#include "obs/json.h"
+
+namespace hera {
+namespace bench {
+namespace {
+
+volatile uint64_t g_sink = 0;  // Defeats dead-code elimination.
+
+/// Best-of-repeats wall time for one full sweep of `fn`, divided by
+/// `ops` — ns per operation at steady state.
+template <typename Fn>
+double NsPerOpSweep(size_t ops, int reps, const Fn& fn) {
+  double best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t acc = fn();
+    auto t1 = std::chrono::steady_clock::now();
+    g_sink = g_sink + acc;
+    double ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                static_cast<double>(ops);
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+struct CandgenRow {
+  size_t keys = 0;
+  size_t probes = 0;
+  double ordered_map_ns = 0;    // std::map::find (the replaced path).
+  double unordered_map_ns = 0;  // std::unordered_map::find.
+  double flat_scalar_ns = 0;    // FlatTable::Find, one key at a time.
+  double flat_batched_ns = 0;   // FlatTable::FindBatch, pipelined.
+  double batched_speedup = 0;   // ordered_map_ns / flat_batched_ns.
+  double speedup_vs_unordered = 0;
+};
+
+/// The candidate-generation shape: a large token -> posting-slot table
+/// probed in random order, far beyond cache. Keys are splitmix-spread
+/// so every probe is a fresh DRAM line — exactly what the prefetch
+/// pipeline is for.
+CandgenRow RunCandgen() {
+  constexpr size_t kKeys = 1u << 20;  // ~1M entries.
+  constexpr size_t kBatch = 256;
+  std::mt19937_64 rng(42);
+
+  std::vector<uint64_t> keys(kKeys);
+  for (size_t i = 0; i < kKeys; ++i) keys[i] = rng() | 1u;
+
+  std::map<uint64_t, uint64_t> ordered;
+  std::unordered_map<uint64_t, uint64_t> unordered;
+  FlatTable flat(kKeys);
+  for (size_t i = 0; i < kKeys; ++i) {
+    ordered.emplace(keys[i], i);
+    unordered.emplace(keys[i], i);
+    *flat.FindOrInsert(keys[i], 0) = i;
+  }
+
+  // Probe stream: the inserted keys, reshuffled (all hits — candidate
+  // generation probes tokens that exist), random order so neither the
+  // tree nor the table sees locality.
+  std::vector<uint64_t> probes = keys;
+  std::shuffle(probes.begin(), probes.end(), rng);
+
+  CandgenRow row;
+  row.keys = kKeys;
+  row.probes = probes.size();
+  row.ordered_map_ns = NsPerOpSweep(probes.size(), 3, [&] {
+    uint64_t acc = 0;
+    for (uint64_t k : probes) acc += ordered.find(k)->second;
+    return acc;
+  });
+  row.unordered_map_ns = NsPerOpSweep(probes.size(), 3, [&] {
+    uint64_t acc = 0;
+    for (uint64_t k : probes) acc += unordered.find(k)->second;
+    return acc;
+  });
+  const FlatTable& cflat = flat;
+  row.flat_scalar_ns = NsPerOpSweep(probes.size(), 3, [&] {
+    uint64_t acc = 0;
+    for (uint64_t k : probes) acc += *cflat.Find(k);
+    return acc;
+  });
+  std::vector<const uint64_t*> out(kBatch);
+  row.flat_batched_ns = NsPerOpSweep(probes.size(), 3, [&] {
+    uint64_t acc = 0;
+    for (size_t at = 0; at < probes.size(); at += kBatch) {
+      size_t n = std::min(kBatch, probes.size() - at);
+      cflat.FindBatch({probes.data() + at, n}, {out.data(), n});
+      for (size_t i = 0; i < n; ++i) acc += *out[i];
+    }
+    return acc;
+  });
+  row.batched_speedup = row.ordered_map_ns / row.flat_batched_ns;
+  row.speedup_vs_unordered = row.unordered_map_ns / row.flat_batched_ns;
+
+  std::printf("candidate-generation probe storm (%zu keys, %zu probes)\n",
+              row.keys, row.probes);
+  PrintRule(52);
+  std::printf("%-28s %12.1f ns/probe\n", "std::map (ordered)", row.ordered_map_ns);
+  std::printf("%-28s %12.1f ns/probe\n", "std::unordered_map", row.unordered_map_ns);
+  std::printf("%-28s %12.1f ns/probe\n", "flat scalar", row.flat_scalar_ns);
+  std::printf("%-28s %12.1f ns/probe\n", "flat batched (depth 8)",
+              row.flat_batched_ns);
+  std::printf("%-28s %11.2fx (%.2fx vs unordered_map)\n", "batched speedup",
+              row.batched_speedup, row.speedup_vs_unordered);
+  return row;
+}
+
+struct DepthRow {
+  size_t depth = 0;
+  double ns_per_probe = 0;
+};
+
+std::vector<DepthRow> RunDepthSweep() {
+  constexpr size_t kKeys = 1u << 20;
+  constexpr size_t kBatch = 256;
+  std::mt19937_64 rng(43);
+  std::vector<uint64_t> keys(kKeys);
+  for (size_t i = 0; i < kKeys; ++i) keys[i] = rng() | 1u;
+  std::vector<uint64_t> probes = keys;
+  std::shuffle(probes.begin(), probes.end(), rng);
+
+  std::vector<DepthRow> rows;
+  std::printf("\nprefetch pipeline depth sweep (batched probes)\n");
+  PrintRule(52);
+  for (size_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    FlatTable flat(kKeys, depth);
+    for (size_t i = 0; i < kKeys; ++i) *flat.FindOrInsert(keys[i], 0) = i;
+    const FlatTable& cflat = flat;
+    std::vector<const uint64_t*> out(kBatch);
+    double ns = NsPerOpSweep(probes.size(), 3, [&] {
+      uint64_t acc = 0;
+      for (size_t at = 0; at < probes.size(); at += kBatch) {
+        size_t n = std::min(kBatch, probes.size() - at);
+        cflat.FindBatch({probes.data() + at, n}, {out.data(), n});
+        for (size_t i = 0; i < n; ++i) acc += *out[i];
+      }
+      return acc;
+    });
+    rows.push_back({depth, ns});
+    std::printf("depth %-22zu %12.1f ns/probe\n", depth, ns);
+  }
+  return rows;
+}
+
+struct JoinRow {
+  size_t records = 0;
+  size_t pairs = 0;
+  double ordered_ms = 0;
+  double flat_ms = 0;
+  double speedup = 0;
+};
+
+/// End-to-end prefix-filter self-join, ordered vs flat backend. Same
+/// pair list both ways (asserted) — the backends differ in probe cost
+/// only.
+JoinRow RunJoin() {
+  MovieGeneratorConfig config;
+  config.num_records = 1500;
+  config.num_entities = 250;
+  config.seed = 11;
+  Dataset ds = GenerateMovieDataset(config);
+
+  auto run = [&](IndexBackend backend) {
+    HeraOptions opts;
+    opts.index_backend = backend;
+    opts.num_threads = BenchThreads();
+    double best = 1e30;
+    std::vector<ValuePair> pairs;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      auto result = ComputeSimilarValuePairs(ds, opts);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!result.ok()) {
+        std::fprintf(stderr, "join failed: %s\n",
+                     result.status().ToString().c_str());
+        std::abort();
+      }
+      pairs = std::move(result).value();
+      best = std::min(
+          best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return std::make_pair(best, pairs.size());
+  };
+  auto [ordered_ms, ordered_pairs] = run(IndexBackend::kOrdered);
+  auto [flat_ms, flat_pairs] = run(IndexBackend::kFlat);
+  if (ordered_pairs != flat_pairs) {
+    std::fprintf(stderr, "backend pair counts diverge: %zu vs %zu\n",
+                 ordered_pairs, flat_pairs);
+    std::abort();
+  }
+
+  JoinRow row;
+  row.records = config.num_records;
+  row.pairs = ordered_pairs;
+  row.ordered_ms = ordered_ms;
+  row.flat_ms = flat_ms;
+  row.speedup = ordered_ms / flat_ms;
+  std::printf("\nend-to-end prefix-filter join (%zu records, %zu pairs)\n",
+              row.records, row.pairs);
+  PrintRule(52);
+  std::printf("%-28s %12.1f ms\n", "ordered backend", row.ordered_ms);
+  std::printf("%-28s %12.1f ms\n", "flat backend", row.flat_ms);
+  std::printf("%-28s %11.2fx\n", "join speedup", row.speedup);
+  return row;
+}
+
+void WriteJson(const CandgenRow& candgen, const std::vector<DepthRow>& depths,
+               const JoinRow& join) {
+  const char* dir = BenchJsonDir();
+  if (dir == nullptr) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("flat_index");
+  w.Key("candgen").BeginObject();
+  w.Key("keys").UInt(candgen.keys);
+  w.Key("probes").UInt(candgen.probes);
+  w.Key("ordered_map_ns").Number(candgen.ordered_map_ns);
+  w.Key("unordered_map_ns").Number(candgen.unordered_map_ns);
+  w.Key("flat_scalar_ns").Number(candgen.flat_scalar_ns);
+  w.Key("flat_batched_ns").Number(candgen.flat_batched_ns);
+  w.Key("batched_speedup").Number(candgen.batched_speedup);
+  w.Key("speedup_vs_unordered").Number(candgen.speedup_vs_unordered);
+  w.EndObject();
+  w.Key("depth_sweep").BeginArray();
+  for (const DepthRow& r : depths) {
+    w.BeginObject();
+    w.Key("depth").UInt(r.depth);
+    w.Key("ns_per_probe").Number(r.ns_per_probe);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("join").BeginObject();
+  w.Key("records").UInt(join.records);
+  w.Key("pairs").UInt(join.pairs);
+  w.Key("ordered_ms").Number(join.ordered_ms);
+  w.Key("flat_ms").Number(join.flat_ms);
+  w.Key("speedup").Number(join.speedup);
+  w.EndObject();
+  w.EndObject();
+  std::string path = std::string(dir) + "/BENCH_flat_index.json";
+  Status st = AtomicWriteFile(path, w.str() + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+  } else {
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hera
+
+int main() {
+  hera::bench::CandgenRow candgen = hera::bench::RunCandgen();
+  std::vector<hera::bench::DepthRow> depths = hera::bench::RunDepthSweep();
+  hera::bench::JoinRow join = hera::bench::RunJoin();
+  hera::bench::WriteJson(candgen, depths, join);
+  return 0;
+}

@@ -1,7 +1,8 @@
 // hera_cli: run HERA over a dataset file from the command line.
 //
 //   hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]
-//                    [--threads N] [--out labels.csv] [--quiet]
+//                    [--threads N] [--index-backend ordered|flat]
+//                    [--out labels.csv] [--quiet]
 //                    [--emit-report report.json] [--log-level LEVEL]
 //                    [--trace-out trace.json] [--timeline-csv FILE]
 //                    [--timeline-interval-ms MS]
@@ -25,6 +26,11 @@
 // HERA_THREADS environment variable; the flag wins) sets
 // HeraOptions::num_threads — results are identical at any setting (see
 // docs/performance.md); the run report records the value used.
+// --index-backend (or HERA_INDEX_BACKEND; the flag wins) picks the
+// hash-structure backend for candidate generation and index lookups:
+// "ordered" (the default node-based containers) or "flat" (the
+// batched, prefetch-pipelined flat table — same labels and merge
+// order, lower probe cost; see docs/performance.md).
 //
 // Durability: --checkpoint-dir makes the run resumable after a kill or
 // a --deadline-ms truncation (snapshots + WAL, docs/file_format.md);
@@ -61,7 +67,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]\n"
-      "                   [--threads N] [--out labels.csv] [--quiet]\n"
+      "                   [--threads N] [--index-backend ordered|flat]\n"
+      "                   [--out labels.csv] [--quiet]\n"
       "                   [--emit-report report.json] [--log-level LEVEL]\n"
       "                   [--trace-out trace.json] [--timeline-csv FILE]\n"
       "                   [--timeline-interval-ms MS]\n"
@@ -105,6 +112,14 @@ int CmdResolve(int argc, char** argv) {
   }
   if (const char* v = FlagValue(argc, argv, "--threads")) {
     opts.num_threads = std::strtoull(v, nullptr, 10);
+  }
+  const char* backend_name = std::getenv("HERA_INDEX_BACKEND");
+  if (const char* v = FlagValue(argc, argv, "--index-backend")) backend_name = v;
+  if (backend_name != nullptr &&
+      !IndexBackendFromString(backend_name, &opts.index_backend)) {
+    std::fprintf(stderr, "unknown index backend %s (want ordered|flat)\n",
+                 backend_name);
+    return Usage();
   }
   if (const char* v = FlagValue(argc, argv, "--checkpoint-dir")) {
     opts.checkpoint_dir = v;
@@ -173,10 +188,10 @@ int CmdResolve(int argc, char** argv) {
   const HeraStats& st = result->stats;
   std::fprintf(stderr,
                "records=%zu entities=%zu index=%zu iterations=%zu "
-               "comparisons=%zu direct=%zu merges=%zu time=%.1fms\n",
+               "comparisons=%zu direct=%zu merges=%zu backend=%s time=%.1fms\n",
                ds->size(), result->super_records.size(), st.index_size,
                st.iterations, st.comparisons, st.direct_merges, st.merges,
-               st.total_ms);
+               IndexBackendToString(opts.index_backend), st.total_ms);
   int exit_code = 0;
   if (st.outcome != RunOutcome::kCompleted) {
     std::fprintf(stderr, "outcome=%s (run was governed; labeling is valid)\n",

@@ -173,6 +173,21 @@ class GuardTicker {
     return stopped_;
   }
 
+  /// Batched form for hoisted checks: advances the op counter by `n`
+  /// (one call per record, weighted by the work the record covers) and
+  /// consults the clock when a 1024-op boundary is crossed — the same
+  /// effective cadence as n scalar Tick()s, without putting the guard
+  /// in the innermost loop.
+  bool Tick(size_t n) {
+    if (!enabled_) return false;
+    if (stopped_) return true;
+    const size_t before = ops_ >> 10;
+    ops_ += n;
+    if ((ops_ >> 10) == before) return false;
+    stopped_ = guard_.Interrupted();
+    return stopped_;
+  }
+
   bool stopped() const { return stopped_; }
 
  private:

@@ -230,6 +230,13 @@ class ResolutionEngine {
   /// same sites as their stats_ counterparts, including WAL replay.
   obs::Counter* c_merges_ = nullptr;
   obs::Counter* c_verified_groups_ = nullptr;
+  /// Flat-backend traffic (flat.probes_batched / flat.rehashes). Join
+  /// reports Inc these directly; the value-pair index's cumulative
+  /// totals are folded in via the seen-markers below.
+  obs::Counter* c_flat_probes_ = nullptr;
+  obs::Counter* c_flat_rehashes_ = nullptr;
+  uint64_t flat_index_probes_seen_ = 0;
+  uint64_t flat_index_rehashes_seen_ = 0;
 
   /// Background timeline sampler (null unless timeline_interval_ms is
   /// set). Declared after trace_: its probes and clock read through

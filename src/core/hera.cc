@@ -157,6 +157,7 @@ StatusOr<std::vector<ValuePair>> ComputeSimilarValuePairs(
     PrefixFilterJoin join;
     join.SetExecutor(pool.get());
     join.SetEncodedKernels(options.use_encoded_kernels);
+    join.SetIndexBackend(options.index_backend, options.flat_pipeline_depth);
     if (options.enable_pair_sim_cache) {
       join.SetPairSimCache(std::make_shared<PairSimCache>(
           simv->Name(), options.pair_sim_cache_capacity));

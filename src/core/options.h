@@ -11,6 +11,7 @@
 
 #include "common/run_guard.h"
 #include "common/status.h"
+#include "index/flat_table.h"
 #include "sim/similarity.h"
 
 namespace hera {
@@ -55,6 +56,22 @@ struct HeraOptions {
   /// PairSimCache entry ceiling (0 = unlimited); at the ceiling the
   /// cache degrades to a pass-through. ~48 bytes + key text per entry.
   size_t pair_sim_cache_capacity = 1u << 20;
+
+  /// Hash backend for candidate generation and index-side pid lookups
+  /// (index/flat_table.h): kOrdered keeps the node-based std
+  /// containers; kFlat routes the join's gram dictionary and posting
+  /// table plus the value-pair index's pid side table through a flat
+  /// open-addressing table with batched, prefetch-pipelined probes.
+  /// Purely a speed knob: labels, merge_sequence, and snapshots are
+  /// byte-identical either way, at every thread count. See
+  /// docs/performance.md ("Flat index backend").
+  IndexBackend index_backend = IndexBackend::kOrdered;
+
+  /// In-flight probes per batched flat-table lookup (ignored under
+  /// kOrdered). Must lie in [1, FlatTable::kMaxPipelineDepth]. 8 covers
+  /// DRAM latency on typical cores; raise toward 16–32 for very large
+  /// indexes, lower toward 1–4 when the table fits in L2.
+  size_t flat_pipeline_depth = FlatTable::kDefaultPipelineDepth;
 
   /// Enables the schema-based method (Section IV-B): majority voting
   /// over field-match predictions, with decided matchings forced into

@@ -20,9 +20,38 @@
 #include <utility>
 #include <vector>
 
+#include "index/flat_table.h"
 #include "simjoin/similarity_join.h"
 
 namespace hera {
+
+/// Relaxed atomic counter with value-copying moves, so classes holding
+/// one keep their defaulted move operations (a raw std::atomic deletes
+/// them, which historically forced a hand-written field-by-field move
+/// that every new member had to be added to — an easy-to-drift list).
+class MovableAtomicCounter {
+ public:
+  MovableAtomicCounter() = default;
+  MovableAtomicCounter(MovableAtomicCounter&& other) noexcept
+      : v_(other.v_.load(std::memory_order_relaxed)) {}
+  MovableAtomicCounter& operator=(MovableAtomicCounter&& other) noexcept {
+    v_.store(other.v_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Inc(uint64_t delta = 1) const {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Store(uint64_t value) const {
+    v_.store(value, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Mutable so logically-const probe paths can count traffic.
+  mutable std::atomic<uint64_t> v_{0};
+};
 
 /// One index entry: pid (stable identity), the two labels, similarity.
 struct IndexedPair {
@@ -37,22 +66,22 @@ class ValuePairIndex {
  public:
   ValuePairIndex() = default;
 
-  // The atomic probe counter deletes the implicit moves; the index is
-  // only ever moved between runs, never concurrently with probes.
-  ValuePairIndex(ValuePairIndex&& other) noexcept { *this = std::move(other); }
-  ValuePairIndex& operator=(ValuePairIndex&& other) noexcept {
-    pairs_ = std::move(other.pairs_);
-    by_pid_ = std::move(other.by_pid_);
-    touching_ = std::move(other.touching_);
-    next_pid_ = other.next_pid_;
-    max_pairs_ = other.max_pairs_;
-    max_per_record_ = other.max_per_record_;
-    shed_pairs_ = other.shed_pairs_;
-    shed_posting_entries_ = other.shed_posting_entries_;
-    probe_count_.store(other.probe_count_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-    return *this;
-  }
+  // The probe counter is a MovableAtomicCounter precisely so these can
+  // stay defaulted: a hand-written member list here silently dropped
+  // fields as they were added. The index is only ever moved between
+  // runs, never concurrently with probes.
+  ValuePairIndex(ValuePairIndex&&) noexcept = default;
+  ValuePairIndex& operator=(ValuePairIndex&&) noexcept = default;
+
+  /// Selects the pid-lookup backend. kFlat mirrors the pid -> key map
+  /// into a flat open-addressing side table whose merge-maintenance
+  /// lookups batch through the prefetch pipeline (`pipeline_depth`
+  /// probes in flight). Contents and iteration order are identical
+  /// either way — a speed knob only. Must be called while the index is
+  /// empty (the engine sets it at construction).
+  void SetBackend(IndexBackend backend,
+                  size_t pipeline_depth = FlatTable::kDefaultPipelineDepth);
+  IndexBackend backend() const { return backend_; }
 
   /// Installs resource ceilings (0 = unlimited): `max_pairs` caps the
   /// total pair count, `max_per_record` caps one record's posting list
@@ -81,11 +110,20 @@ class ValuePairIndex {
 
   /// Number of value pairs currently stored (the |S| of Table II at
   /// build time).
-  size_t size() const { return by_pid_.size(); }
+  size_t size() const { return pairs_.size(); }
 
   /// All pairs for the record pair (i, j), descending similarity.
   /// Order of i and j does not matter.
   std::vector<IndexedPair> PairsFor(uint32_t i, uint32_t j) const;
+
+  /// Batched PairsFor: the paper's binary_search_l/r range lookup for
+  /// every (i, j) group in `groups`, written to (*out)[k] in group
+  /// order ((*out) is resized and overwritten). Counts one probe per
+  /// group, exactly like scalar PairsFor calls. The engine preloads a
+  /// pass's candidate groups through this in one sweep when the flat
+  /// backend is selected.
+  void PairsForBatch(const std::vector<std::pair<uint32_t, uint32_t>>& groups,
+                     std::vector<std::vector<IndexedPair>>* out) const;
 
   /// Visits every non-empty (rid1, rid2) group in index order; `pairs`
   /// is sorted by descending similarity. Candidate generation is one
@@ -108,9 +146,11 @@ class ValuePairIndex {
 
   /// PairsFor lookups served since construction (probe traffic; never
   /// reset by Build).
-  size_t probe_count() const {
-    return probe_count_.load(std::memory_order_relaxed);
-  }
+  size_t probe_count() const { return probe_count_.value(); }
+
+  /// Flat side-table traffic for the obs layer (0 under ordered).
+  uint64_t flat_batched_probes() const { return by_pid_flat_.batched_probes(); }
+  uint64_t flat_rehashes() const { return by_pid_flat_.rehashes(); }
 
   /// All pairs in index order (for tests / checkpoint export).
   std::vector<IndexedPair> Dump() const;
@@ -155,9 +195,19 @@ class ValuePairIndex {
 
   void Insert(uint64_t pid, ValueLabel a, ValueLabel b, double sim);
   void Erase(uint64_t pid);
+  /// pid -> sort key, served by whichever backend is live.
+  Key KeyOf(uint64_t pid) const;
 
   std::map<Key, Entry> pairs_;
+  IndexBackend backend_ = IndexBackend::kOrdered;
+  /// Ordered backend's pid -> key map (empty under kFlat).
   std::unordered_map<uint64_t, Key> by_pid_;
+  /// Flat backend: pid -> slot into key_slab_ (Key is 24 bytes, so the
+  /// uint64-valued table indirects through a slab; freed slots are
+  /// recycled). Both empty under kOrdered.
+  FlatTable by_pid_flat_;
+  std::vector<Key> key_slab_;
+  std::vector<uint64_t> free_slots_;
   // rid -> pids of pairs touching that record; drives ApplyMerge.
   std::unordered_map<uint32_t, std::unordered_set<uint64_t>> touching_;
   uint64_t next_pid_ = 0;
@@ -166,10 +216,10 @@ class ValuePairIndex {
   size_t max_per_record_ = 0;
   size_t shed_pairs_ = 0;
   size_t shed_posting_entries_ = 0;
-  /// Atomic because PairsFor is probed concurrently by the engine's
-  /// parallel verification phase (everything else on the index stays
-  /// controller-thread only).
-  mutable std::atomic<uint64_t> probe_count_{0};
+  /// Atomic (relaxed) because PairsFor is probed concurrently by the
+  /// engine's parallel verification phase (everything else on the
+  /// index stays controller-thread only).
+  MovableAtomicCounter probe_count_;
 };
 
 }  // namespace hera

@@ -45,6 +45,7 @@ import sys
 MANIFEST = [
     ("BENCH_kernel.json", "verify.speedup", "higher", 0.6),
     ("BENCH_kernel.json", "verify.speedup_cold", "higher", 0.6),
+    ("BENCH_flat_index.json", "candgen.batched_speedup", "higher", 0.6),
 ]
 
 
