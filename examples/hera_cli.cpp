@@ -37,11 +37,21 @@
 // --resume continues from the directory's newest checkpoint (falling
 // back to a fresh run when it holds none).
 //
+// Progressive mode: --progressive verifies candidate groups best-first
+// (highest similarity upper bound first) whenever the run is governed,
+// so a budget or deadline cut sheds the least promising work;
+// --max-verifications N caps total verifier invocations and
+// --frontier-capacity C bounds the per-pass reordering (see
+// docs/operational_limits.md, "Progressive mode"). SIGINT/SIGTERM are
+// converted into cooperative cancellation: the run stops at its next
+// safe point, checkpoints, and exits 2 with a resume hint.
+//
 // Exit codes: 0 the run completed; 2 the run ended governed (degraded,
-// iteration cap, or truncated — the labeling is valid and, with a
-// checkpoint directory, resumable); 3 error (unreadable input, corrupt
-// checkpoint, write failure); 64 usage error.
+// iteration cap, budget spent, or truncated — the labeling is valid
+// and, with a checkpoint directory, resumable); 3 error (unreadable
+// input, corrupt checkpoint, write failure); 64 usage error.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +60,7 @@
 #include "common/file_util.h"
 #include "common/logging.h"
 #include "core/hera.h"
+#include "data/ambiguity_generator.h"
 #include "data/csv.h"
 #include "data/profile.h"
 #include "data/movie_generator.h"
@@ -74,10 +85,24 @@ int Usage() {
       "                   [--timeline-interval-ms MS]\n"
       "                   [--checkpoint-dir DIR] [--checkpoint-every K]\n"
       "                   [--resume] [--deadline-ms MS]\n"
-      "  hera_cli generate <movies|publications> <output.hera>\n"
+      "                   [--progressive] [--max-verifications N]\n"
+      "                   [--frontier-capacity C]\n"
+      "  hera_cli generate <movies|publications|ambiguous> <output.hera>\n"
       "                   [--records N] [--entities E] [--seed S]\n"
+      "                   [--decoys D]   (ambiguous only; --records unused)\n"
       "  hera_cli stats <input.hera>\n");
   return 64;
+}
+
+/// Signal-to-cancellation bridge: SIGINT/SIGTERM request RunGuard
+/// cancellation, so the run stops at its next safe point, writes its
+/// checkpoint (when --checkpoint-dir is set), and exits 2 with a
+/// resume hint instead of dying mid-write. RequestCancel is one
+/// relaxed atomic store — async-signal-safe.
+CancellationToken g_signal_cancel = CancellationToken::Make();
+
+extern "C" void HandleStopSignal(int /*sig*/) {
+  g_signal_cancel.RequestCancel();
 }
 
 /// Returns the value following `flag`, or nullptr.
@@ -130,6 +155,28 @@ int CmdResolve(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--deadline-ms")) {
     opts.guard.WithTimeoutMs(std::atof(v));
   }
+  opts.progressive = HasFlag(argc, argv, "--progressive");
+  if (const char* v = FlagValue(argc, argv, "--max-verifications")) {
+    opts.guard.WithMaxVerifications(std::strtoull(v, nullptr, 10));
+  }
+  if (const char* v = FlagValue(argc, argv, "--frontier-capacity")) {
+    opts.frontier_capacity = std::strtoull(v, nullptr, 10);
+  }
+  const bool quiet_early = HasFlag(argc, argv, "--quiet");
+  if (opts.progressive && !quiet_early) {
+    opts.guard.WithBudgetObserver([](const char* reason) {
+      std::fprintf(stderr,
+                   "progressive cut (%s): draining frontier and writing "
+                   "checkpoint\n",
+                   reason);
+    });
+  }
+  // An operator Ctrl-C (or a supervisor's SIGTERM) becomes cooperative
+  // cancellation: the run ends governed at the next safe point with a
+  // valid labeling, a final checkpoint, and exit code 2.
+  opts.guard.WithCancellation(g_signal_cancel);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
   const bool resume = HasFlag(argc, argv, "--resume");
   if (resume && opts.checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
@@ -271,6 +318,31 @@ int CmdGenerate(int argc, char** argv) {
   }
   if (const char* v = FlagValue(argc, argv, "--seed")) {
     seed = std::strtoull(v, nullptr, 10);
+  }
+  if (domain == "ambiguous") {
+    // Verification-heavy corpus: every merge costs a KM verification,
+    // decoys add verification-shaped non-matches. Record count follows
+    // from entities and decoys, so --records does not apply.
+    if (entities == 0) {
+      std::fprintf(stderr, "need entities >= 1\n");
+      return Usage();
+    }
+    AmbiguityGeneratorConfig config;
+    config.num_entities = entities;
+    config.seed = seed;
+    if (const char* v = FlagValue(argc, argv, "--decoys")) {
+      config.num_decoys = std::strtoull(v, nullptr, 10);
+    }
+    Dataset ds = GenerateAmbiguousDataset(config);
+    Status st = WriteDataset(ds, out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 3;
+    }
+    std::printf("wrote %zu records / %zu entities / %zu schemas to %s\n",
+                ds.size(), ds.NumEntities(), ds.schemas().size(),
+                out_path.c_str());
+    return 0;
   }
   if (entities == 0 || records < entities) {
     std::fprintf(stderr, "need records >= entities >= 1\n");

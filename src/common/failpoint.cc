@@ -76,7 +76,8 @@ size_t HitCount(const std::string& site) {
 std::vector<std::string> KnownSites() {
   return {"csv.read",     "csv.record", "index.build",
           "simjoin.join", "verify.km",  "engine.merge",
-          "persist.snapshot", "persist.wal.append", "persist.recover"};
+          "persist.snapshot", "persist.wal.append", "persist.recover",
+          "persist.write.short"};
 }
 
 void SetTripObserver(const void* owner,

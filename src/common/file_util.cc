@@ -11,6 +11,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace hera {
 
 namespace {
@@ -37,6 +39,17 @@ Status AtomicWriteFile(const std::string& path, std::string_view content) {
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("cannot create", tmp);
+
+#ifndef HERA_DISABLE_FAILPOINTS
+  // Simulated short write / ENOSPC: the temp file dies with the write,
+  // the destination (previous epoch) is never touched. A manual check,
+  // not HERA_FAILPOINT — the macro returns without the cleanup below.
+  if (Status st = failpoint::Check("persist.write.short"); !st.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+#endif
 
   const char* data = content.data();
   size_t left = content.size();

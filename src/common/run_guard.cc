@@ -12,4 +12,10 @@ Status RunGuard::StatusIfInterrupted() const {
   return Status::OK();
 }
 
+void RunGuard::NotifyBudgetCut(const char* reason) const {
+  if (!observer_ || !*observer_ || !observer_fired_) return;
+  if (observer_fired_->exchange(true, std::memory_order_relaxed)) return;
+  (*observer_)(reason);
+}
+
 }  // namespace hera

@@ -22,7 +22,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "common/status.h"
 
@@ -105,6 +107,32 @@ class RunGuard {
     return *this;
   }
 
+  /// Verification budget: total verifier invocations this run may
+  /// spend (0 = unlimited). Counted from Arm(), so a resumed run gets
+  /// a fresh budget, like a deadline. Under HeraOptions::progressive
+  /// the budget is spent best-first (highest similarity upper bound
+  /// first); groups left unverified at exhaustion are deferred into
+  /// the checkpointable queue, not dropped.
+  RunGuard& WithMaxVerifications(size_t n) {
+    max_verifications_ = n;
+    return *this;
+  }
+
+  /// Hook fired (at most once per run) when the engine converts a
+  /// budget/deadline/cancellation trip into an orderly frontier drain
+  /// instead of a blind shed. `reason` is a static string such as
+  /// "budget", "deadline", or "cancelled". Fired on the controller
+  /// thread, before the truncation checkpoint is written.
+  using BudgetObserver = std::function<void(const char* reason)>;
+
+  /// Attaches a budget observer. Copies of the guard share the
+  /// observer and its fired-once latch.
+  RunGuard& WithBudgetObserver(BudgetObserver observer) {
+    observer_ = std::make_shared<BudgetObserver>(std::move(observer));
+    observer_fired_ = std::make_shared<std::atomic<bool>>(false);
+    return *this;
+  }
+
   /// Starts the clock: deadline = now + timeout. Called by the engine
   /// at run start; re-arming grants a fresh budget (each
   /// IncrementalHera::Resolve round is its own run).
@@ -131,16 +159,27 @@ class RunGuard {
   /// stop — for callers that want an error instead of a partial result.
   Status StatusIfInterrupted() const;
 
+  /// Fires the budget observer with `reason`, exactly once across all
+  /// copies of this guard; later calls (and calls with no observer)
+  /// are no-ops. Called by the engine at the first budget/guard cut of
+  /// a progressive run.
+  void NotifyBudgetCut(const char* reason) const;
+
   size_t max_index_pairs() const { return max_index_pairs_; }
   size_t max_posting_list() const { return max_posting_list_; }
   size_t max_candidates_per_iteration() const {
     return max_candidates_per_iteration_;
   }
+  size_t max_verifications() const { return max_verifications_; }
+
+  /// True when a deadline or cancellation token is configured (the
+  /// conditions Interrupted() watches, as opposed to the ceilings).
+  bool watched() const { return watched_; }
 
   /// True when any deadline, token, or ceiling is configured.
   bool active() const {
     return watched_ || max_index_pairs_ > 0 || max_posting_list_ > 0 ||
-           max_candidates_per_iteration_ > 0;
+           max_candidates_per_iteration_ > 0 || max_verifications_ > 0;
   }
 
  private:
@@ -155,6 +194,11 @@ class RunGuard {
   size_t max_index_pairs_ = 0;
   size_t max_posting_list_ = 0;
   size_t max_candidates_per_iteration_ = 0;
+  size_t max_verifications_ = 0;
+  // Shared so guard copies (RunGuard is a value carried in
+  // HeraOptions) observe one fired-once latch.
+  std::shared_ptr<BudgetObserver> observer_;
+  std::shared_ptr<std::atomic<bool>> observer_fired_;
 };
 
 /// \brief Strided interrupt probe for tight loops: checks the clock

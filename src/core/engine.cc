@@ -76,6 +76,11 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
     // controller-thread-only.
     c_merges_ = m.GetCounter("engine.merges");
     c_verified_groups_ = m.GetCounter("engine.verified_groups");
+    // Progressive-mode quality family; stays at zero for
+    // non-progressive runs (docs/observability.md).
+    c_frontier_groups_ = m.GetCounter("quality.frontier_groups");
+    c_frontier_verified_ = m.GetCounter("quality.frontier_verified");
+    c_frontier_deferred_ = m.GetCounter("quality.frontier_deferred");
     // The backend and its pipeline depth land in the report as gauges,
     // so a recorded run says which probe path produced its timings.
     m.GetGauge("index.backend_flat")
@@ -124,6 +129,16 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
           return static_cast<double>(pc->stats().entries);
         });
       }
+      if (options_.progressive) {
+        // Paired with the `merges` track above this samples the
+        // recall-vs-verified-pairs curve: merges (recall proxy, and
+        // exact recall once labels are scored) as a function of
+        // verification spend.
+        obs::Counter* c_fv = c_frontier_verified_;
+        sampler_->AddProbe("frontier_verified", [c_fv] {
+          return static_cast<double>(c_fv->value());
+        });
+      }
     }
   }
 #endif
@@ -146,6 +161,10 @@ void ResolutionEngine::AddRecords(const std::vector<Record>& records) {
 
 void ResolutionEngine::ArmGuard() {
   guard_.Arm();
+  // The verification budget, like the deadline, is granted afresh per
+  // run: a resumed or incremental round may spend max_verifications()
+  // again from zero.
+  budget_spent_ = 0;
   // Idempotent across incremental rounds: the sampler keeps running
   // between Resolve calls and Start() is a no-op while it does.
   if (sampler_ != nullptr) sampler_->Start();
@@ -199,6 +218,12 @@ void ResolutionEngine::NoteJoinReport(const JoinReport& report,
                              join_start_ms + ws.start_us / 1000.0,
                              ws.dur_us / 1000.0,
                              trace_->tracer().iteration()});
+    }
+  }
+  if (report.shed_candidates > 0) {
+    stats_.shed_join_candidates += report.shed_candidates;
+    if (trace_) {
+      trace_->tracer().Event("shed.candidates", "join", report.shed_candidates);
     }
   }
   if (report.truncated) {
@@ -498,7 +523,11 @@ Status ResolutionEngine::IterateToFixpoint() {
     const bool flat_index = options_.index_backend == IndexBackend::kFlat;
     const bool parallel_phase_a =
         pool_ != nullptr && pool_->size() > 1 && groups.size() > 1;
-    if ((parallel_phase_a || flat_index) && !groups.empty()) {
+    // Progressive mode needs every group's similarity upper bound
+    // before Phase B starts (the frontier is ordered by it), so it
+    // forces plan-building even on the serial ordered path.
+    if ((parallel_phase_a || flat_index || options_.progressive) &&
+        !groups.empty()) {
       // Roots are resolved serially: Find path-compresses.
       plans.resize(groups.size());
       for (size_t k = 0; k < groups.size(); ++k) {
@@ -581,13 +610,19 @@ Status ResolutionEngine::IterateToFixpoint() {
                                  trace_->tracer().iteration()});
         }
       }
-    } else if (flat_index && !plans.empty()) {
-      // Serial flat path: finish the preloaded plans inline — bounds
-      // only; verification stays in Phase B, in canonical order against
-      // the live predictor state — so Phase B adopts the batched pairs
-      // instead of re-probing the index group by group.
+    } else if ((flat_index || options_.progressive) && !plans.empty()) {
+      // Serial path: finish the plans inline — bounds only;
+      // verification stays in Phase B against the live predictor
+      // state. Under the flat backend the pairs were batch-preloaded
+      // above; the serial ordered progressive path loads them here
+      // (the same PairsFor lookups Phase B would otherwise issue).
       for (GroupPlan& plan : plans) {
-        if (plan.same_root || !plan.pairs_loaded) continue;
+        if (plan.same_root) continue;
+        if (!plan.pairs_loaded) {
+          if (!active_.count(plan.i) || !active_.count(plan.j)) continue;
+          plan.pairs = index_.PairsFor(plan.i, plan.j);
+          plan.pairs_loaded = true;
+        }
         if (plan.pairs.empty()) {
           plan.loaded = true;
           continue;
@@ -626,11 +661,70 @@ Status ResolutionEngine::IterateToFixpoint() {
       return spec_valid;
     };
 
-    // Phase B (serial): replay the paper's loop in canonical group
-    // order, adopting each speculative plan when its inputs are still
+    // Best-first frontier (progressive mode): when the run is governed
+    // — a verification budget, deadline, or cancellation token could
+    // cut it short — Phase B walks its verification-needing groups in
+    // descending similarity-upper-bound order, so whatever a cut
+    // leaves unverified is the least promising work. Groups the bounds
+    // decide for free (prune, direct merge, empty, dead) go first in
+    // canonical order: they cost no budget, and their merges can only
+    // sharpen later decisions. Ungoverned progressive passes keep pure
+    // canonical order — that is what makes an unbudgeted progressive
+    // run byte-identical (labels and merge_sequence) to the default.
+    const bool frontier_active =
+        options_.progressive &&
+        (guard_.max_verifications() > 0 || guard_.watched());
+    std::vector<size_t> order;
+    if (frontier_active && !plans.empty()) {
+      std::vector<size_t> free_list, verify_list;
+      free_list.reserve(groups.size());
+      for (size_t k = 0; k < groups.size(); ++k) {
+        const GroupPlan& p = plans[k];
+        const bool needs_verify = p.loaded && !p.same_root &&
+                                  !p.pairs.empty() &&
+                                  p.bounds.upper >= options_.delta &&
+                                  p.bounds.upper != p.bounds.lower;
+        (needs_verify ? verify_list : free_list).push_back(k);
+      }
+      std::sort(verify_list.begin(), verify_list.end(),
+                [&](size_t a, size_t b) {
+                  const double ua = plans[a].bounds.upper;
+                  const double ub = plans[b].bounds.upper;
+                  if (ua != ub) return ua > ub;
+                  return a < b;  // Canonical order breaks ties.
+                });
+      // A frontier capacity bounds the reordering: only the top-C
+      // groups jump the queue; the tail reverts to canonical order
+      // behind them.
+      if (options_.frontier_capacity > 0 &&
+          verify_list.size() > options_.frontier_capacity) {
+        std::sort(verify_list.begin() +
+                      static_cast<std::ptrdiff_t>(options_.frontier_capacity),
+                  verify_list.end());
+      }
+      stats_.frontier_groups += verify_list.size();
+      if (c_frontier_groups_ != nullptr) {
+        c_frontier_groups_->Inc(verify_list.size());
+      }
+      order = std::move(free_list);
+      order.insert(order.end(), verify_list.begin(), verify_list.end());
+    } else {
+      order.resize(groups.size());
+      for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+    }
+
+    // First budget/guard cut this pass (null = none): names the cause
+    // for the observer, trace, and outcome.
+    const char* cut_reason = nullptr;
+    bool cut_is_budget = false;
+
+    // Phase B (serial): replay the paper's loop in frontier order
+    // (canonical unless progressive governance reordered it above),
+    // adopting each speculative plan when its inputs are still
     // pass-start fresh and recomputing inline otherwise. Merges, votes,
     // stats, and failpoints happen only here.
-    for (size_t gk = 0; gk < groups.size(); ++gk) {
+    for (size_t ok = 0; ok < order.size(); ++ok) {
+      const size_t gk = order[ok];
       auto [g1, g2] = groups[gk];
       if (merged_this_pass[g1] || merged_this_pass[g2]) continue;
       uint32_t i = uf_.Find(g1), j = uf_.Find(g2);
@@ -695,11 +789,36 @@ Status ResolutionEngine::IterateToFixpoint() {
           }
         }
       } else {
-        // Verification (Section IV).
+        // Verification (Section IV). A spent verification budget — or,
+        // in progressive mode, a guard trip — defers the group
+        // unverified into the checkpointable queue instead of paying
+        // for it: the orderly frontier drain. Bound-decided groups
+        // above still resolve (they are free); only budgeted work
+        // stops. Non-progressive runs keep the historical behavior for
+        // deadline/cancel (stop at the next pass boundary).
+        const bool budget_out = BudgetExhausted();
+        if (budget_out || (frontier_active && guard_.Interrupted())) {
+          loop_deferred_.push_back(groups[gk]);
+          ++stats_.budget_deferred_groups;
+          if (c_frontier_deferred_ != nullptr) c_frontier_deferred_->Inc();
+          if (cut_reason == nullptr) {
+            cut_is_budget = budget_out;
+            cut_reason = budget_out           ? "budget"
+                         : guard_.Cancelled() ? "cancelled"
+                                              : "deadline";
+            guard_.NotifyBudgetCut(cut_reason);
+            if (trace_) trace_->tracer().Event("frontier.cut", cut_reason);
+          }
+          continue;
+        }
         HERA_FAILPOINT("verify.km");
         ++stats_.candidates;
         ++stats_.comparisons;
+        ++budget_spent_;
         if (c_verified_groups_ != nullptr) c_verified_groups_->Inc();
+        if (options_.progressive && c_frontier_verified_ != nullptr) {
+          c_frontier_verified_->Inc();
+        }
         VerifyResult vr;
         if (fresh && plan->verified && speculation_valid()) {
           // Adopt the speculative KM result computed in Phase A.
@@ -794,12 +913,29 @@ Status ResolutionEngine::IterateToFixpoint() {
       wal_entry.simplified_sum = simplified_nodes_sum_ - simplified_sum_before;
       wal_entry.simplified_count =
           simplified_nodes_count_ - simplified_count_before;
+      wal_entry.frontier_groups =
+          stats_.frontier_groups - pass_before.frontier_groups;
+      wal_entry.budget_deferred =
+          stats_.budget_deferred_groups - pass_before.budget_deferred_groups;
       wal_entry.deferred_after = loop_deferred_;
       HERA_RETURN_NOT_OK(ckpt_->AppendWal(std::move(wal_entry)));
     }
     // Pass (and its WAL record) complete: the loop state is a valid
     // iteration boundary again.
     loop_needs_reset_ = false;
+    if (cut_reason != nullptr) {
+      // Budget/guard cut mid-pass: the pass is complete and durably
+      // logged (its deferred groups ride in deferred_after), so stop
+      // at this iteration boundary with a truncated outcome. The
+      // final snapshot below makes the cut resumable; a resumed run
+      // drains the deferred queue and converges to the same labels as
+      // an uninterrupted one.
+      RaiseOutcome(cut_is_budget ? RunOutcome::kTruncatedBudget
+                                 : TruncationOutcome());
+      if (trace_) trace_->tracer().Event("truncated", cut_reason);
+      truncated_break = true;
+      break;
+    }
   }
 
   // A clean fixpoint exit invalidates the loop state on purpose: a
@@ -969,6 +1105,17 @@ Status ResolutionEngine::ReplayWalEntry(const persist::WalEntry& entry) {
   stats_.direct_merges += static_cast<size_t>(entry.direct);
   stats_.candidates += static_cast<size_t>(entry.candidates);
   if (c_verified_groups_ != nullptr) c_verified_groups_->Inc(entry.candidates);
+  stats_.frontier_groups += static_cast<size_t>(entry.frontier_groups);
+  stats_.budget_deferred_groups += static_cast<size_t>(entry.budget_deferred);
+  if (c_frontier_groups_ != nullptr) {
+    c_frontier_groups_->Inc(entry.frontier_groups);
+  }
+  if (c_frontier_deferred_ != nullptr) {
+    c_frontier_deferred_->Inc(entry.budget_deferred);
+  }
+  if (options_.progressive && c_frontier_verified_ != nullptr) {
+    c_frontier_verified_->Inc(entry.candidates);
+  }
   stats_.comparisons += static_cast<size_t>(entry.comparisons);
   stats_.deferred_candidate_groups +=
       static_cast<size_t>(entry.deferred_groups);

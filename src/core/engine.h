@@ -196,6 +196,18 @@ class ResolutionEngine {
   /// counters are tracked separately and summed into stats_).
   size_t join_shed_posting_ = 0;
 
+  /// Verifier invocations since the last ArmGuard, charged against
+  /// guard().max_verifications(). Reset by ArmGuard (the budget is
+  /// per-run, like a deadline) and never persisted, so a resumed run
+  /// starts with a fresh budget and WAL replay costs nothing.
+  size_t budget_spent_ = 0;
+
+  /// True when the verification budget is configured and spent.
+  bool BudgetExhausted() const {
+    return guard_.max_verifications() > 0 &&
+           budget_spent_ >= guard_.max_verifications();
+  }
+
   double simplified_nodes_sum_ = 0.0;
   size_t simplified_nodes_count_ = 0;
 
@@ -230,6 +242,14 @@ class ResolutionEngine {
   /// same sites as their stats_ counterparts, including WAL replay.
   obs::Counter* c_merges_ = nullptr;
   obs::Counter* c_verified_groups_ = nullptr;
+  /// Progressive-mode quality family (quality.frontier_*): groups that
+  /// entered best-first ordering, groups verified under it, and groups
+  /// deferred unverified at a budget/guard cut. Together with the
+  /// sampled `merges` track they yield the recall-vs-verified-pairs
+  /// curve (merges found per verification spent).
+  obs::Counter* c_frontier_groups_ = nullptr;
+  obs::Counter* c_frontier_verified_ = nullptr;
+  obs::Counter* c_frontier_deferred_ = nullptr;
   /// Flat-backend traffic (flat.probes_batched / flat.rehashes). Join
   /// reports Inc these directly; the value-pair index's cumulative
   /// totals are folded in via the seen-markers below.

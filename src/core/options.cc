@@ -46,6 +46,8 @@ const char* RunOutcomeToString(RunOutcome outcome) {
       return "degraded";
     case RunOutcome::kIterationCap:
       return "iteration_cap";
+    case RunOutcome::kTruncatedBudget:
+      return "truncated_budget";
     case RunOutcome::kTruncatedDeadline:
       return "truncated_deadline";
     case RunOutcome::kTruncatedCancelled:
@@ -57,7 +59,8 @@ const char* RunOutcomeToString(RunOutcome outcome) {
 bool RunOutcomeFromString(const std::string& name, RunOutcome* out) {
   for (RunOutcome o :
        {RunOutcome::kCompleted, RunOutcome::kDegraded, RunOutcome::kIterationCap,
-        RunOutcome::kTruncatedDeadline, RunOutcome::kTruncatedCancelled}) {
+        RunOutcome::kTruncatedBudget, RunOutcome::kTruncatedDeadline,
+        RunOutcome::kTruncatedCancelled}) {
     if (name == RunOutcomeToString(o)) {
       *out = o;
       return true;

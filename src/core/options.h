@@ -142,6 +142,29 @@ struct HeraOptions {
   /// when checkpoint_dir is set. Passes between snapshots cost one
   /// WAL fsync each.
   size_t checkpoint_every = 8;
+
+  /// Progressive (budget-aware) execution. When the run is governed —
+  /// a deadline, cancellation token, or verification budget
+  /// (RunGuard::WithMaxVerifications) is set — each pass verifies its
+  /// candidate groups best-first: ordered by descending similarity
+  /// upper bound (the exact OverlapUpperBound machinery of the
+  /// verification path) instead of canonical index order, so work shed
+  /// at the cut is the *least promising* work. On a cut, unverified
+  /// groups drain into the checkpointable deferred queue and the run
+  /// ends with a truncated outcome + final snapshot; `--resume` picks
+  /// them up and converges to the same labels as an uninterrupted run.
+  /// Ungoverned progressive runs keep canonical order — labels and
+  /// merge_sequence stay byte-identical to progressive=false at every
+  /// thread count and index backend. See docs/operational_limits.md
+  /// ("Progressive mode").
+  bool progressive = false;
+
+  /// Ceiling on the best-first frontier per pass (0 = unbounded):
+  /// only the `frontier_capacity` highest-upper-bound groups are
+  /// reordered ahead; the rest keep canonical order behind them. Caps
+  /// the O(V log V) ordering cost on huge passes; with a budget far
+  /// below capacity, quality is unchanged.
+  size_t frontier_capacity = 0;
 };
 
 /// Checks option ranges: xi, delta in [0, 1]; vote_prior_p in
@@ -158,6 +181,7 @@ enum class RunOutcome {
   kCompleted = 0,          ///< Fixpoint reached, nothing shed.
   kDegraded,               ///< Ceiling breached; load was shed.
   kIterationCap,           ///< max_iterations hit while still merging.
+  kTruncatedBudget,        ///< Verification budget spent; partial result.
   kTruncatedDeadline,      ///< Deadline expired; partial result.
   kTruncatedCancelled,     ///< Cancelled via token; partial result.
 };
@@ -206,6 +230,18 @@ struct HeraStats {
   /// True when the similarity join stopped early (deadline/cancel) and
   /// the index is missing pairs the full join would have found.
   bool join_truncated = false;
+  /// Join candidates generated but dropped unverified at a guard trip
+  /// boundary (exact at the trip: candidates == verified +
+  /// shed_join_candidates for truncated joins).
+  size_t shed_join_candidates = 0;
+  /// Candidate groups that entered best-first frontier ordering
+  /// (progressive mode with governance active), cumulative over
+  /// passes.
+  size_t frontier_groups = 0;
+  /// Groups deferred unverified because the verification budget ran
+  /// out or the guard tripped mid-pass in progressive mode. Deferred
+  /// groups persist in the checkpoint and are re-examined on resume.
+  size_t budget_deferred_groups = 0;
 
   /// Every merge in application order, as (surviving rid, absorbed
   /// rid); accumulates across incremental rounds. The determinism

@@ -1,0 +1,84 @@
+#include "data/ambiguity_generator.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hera {
+
+namespace {
+
+/// A distinctive token: long enough that two independently drawn cores
+/// share almost no 2-grams, so cross-entity similarity stays far below
+/// xi and the corpus does not collapse into one cluster.
+std::string DistinctCore(Rng& rng, size_t len = 24) {
+  std::string t;
+  t.reserve(len);
+  for (size_t c = 0; c < len; ++c) {
+    t += static_cast<char>('a' + rng.Uniform(26));
+  }
+  return t;
+}
+
+}  // namespace
+
+Dataset GenerateAmbiguousDataset(const AmbiguityGeneratorConfig& config) {
+  Dataset ds;
+  Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + 1);
+  const uint32_t sa = ds.schemas().Register(Schema("SrcA", {"x", "y"}));
+  const uint32_t sb = ds.schemas().Register(Schema("SrcB", {"u", "v"}));
+  std::vector<uint32_t> truth;
+  uint32_t next_entity = 0;
+
+  // Decoys first: low record ids put them at the head of the canonical
+  // group order, which is exactly where a blind budget burns first.
+  // The pair shares only a prefix of its core, so both similarities sit
+  // in [xi, 1): the two fields of the first record still both prefer
+  // the partner's first field (ambiguous bounds, upper >= delta), but
+  // the achievable one-to-one matching stays below delta — verification
+  // runs and correctly concludes non-match. Ground truth: distinct
+  // entities.
+  for (size_t d = 0; d < config.num_decoys; ++d) {
+    std::string core = DistinctCore(rng);
+    std::string half = core.substr(0, 14);
+    ds.AddRecord(sa, {Value(core + " one two"), Value(core + " one tw")});
+    truth.push_back(next_entity++);
+    ds.AddRecord(sb, {Value(half + " one two"),
+                      Value("decoy" + std::to_string(d) + " zz")});
+    truth.push_back(next_entity++);
+  }
+
+  // True entities: three records each, built from one distinct core
+  // and two truncations of it (typo = core minus one char, clip = core
+  // minus two):
+  //   A = {core, typo}   B = {core, junk}   C = {typo, clip}
+  // A-B: both A fields best-match B's core field (the multiple field),
+  // so upper > lower and the merge costs a KM verification. B-C shares
+  // only one similar pair (B's junk matches nothing), so its upper
+  // bound is below delta and the group prunes for free — no shortcut
+  // merge for the frontier to exploit. A-C is skipped this pass once
+  // A-B merges, and the next pass verifies the merged super-record
+  // against C: C's typo again matches two fields (core and typo) while
+  // clip keeps the achievable one-to-one matching comfortably above
+  // delta — the second verification, one pass later, concluding in a
+  // merge.
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    std::string core = DistinctCore(rng) + " alpha";
+    std::string typo = core.substr(0, core.size() - 1);
+    std::string clip = core.substr(0, core.size() - 2);
+    const uint32_t entity = next_entity++;
+    ds.AddRecord(sa, {Value(core), Value(typo)});
+    truth.push_back(entity);
+    ds.AddRecord(sb, {Value(core), Value(DistinctCore(rng) + " beta")});
+    truth.push_back(entity);
+    ds.AddRecord(sb, {Value(typo), Value(clip)});
+    truth.push_back(entity);
+  }
+
+  ds.entity_of() = std::move(truth);
+  return ds;
+}
+
+}  // namespace hera

@@ -1,0 +1,45 @@
+// Generator for matching-ambiguous datasets: records engineered so
+// candidate groups land in the bound band lower < delta <= upper and
+// must go through KM verification (Section IV) instead of the bound
+// shortcuts. The publication/movie corpora resolve almost entirely via
+// exact bounds, which starves any harness that wants to budget, order,
+// or profile the verification path — this corpus is that workload.
+
+#ifndef HERA_DATA_AMBIGUITY_GENERATOR_H_
+#define HERA_DATA_AMBIGUITY_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "record/dataset.h"
+
+namespace hera {
+
+struct AmbiguityGeneratorConfig {
+  /// True entities. Each contributes three records across two schemas
+  /// whose pairwise field graphs contain a "multiple field" (one field
+  /// similar to two fields of the partner), so every merge on the way
+  /// to the entity costs a KM verification — two per entity, spread
+  /// over two compare-and-merge passes via in-pass deferral.
+  size_t num_entities = 50;
+
+  /// Decoy record pairs: verification-shaped work that does not pay
+  /// off. A decoy pair's bounds straddle delta (so it must be
+  /// verified) but its one-to-one matching lands below delta (so the
+  /// verification concludes non-match). Decoys carry *lower* upper
+  /// bounds than true groups and are emitted at low record ids: a
+  /// blind (canonical-order) budget spends on them first, a best-first
+  /// frontier correctly postpones them.
+  size_t num_decoys = 0;
+
+  uint64_t seed = 1;
+};
+
+/// Generates the corpus with ground truth on Dataset::entity_of.
+/// Deterministic in the config. Intended for xi = 0.5, delta = 0.5
+/// (the engine defaults).
+Dataset GenerateAmbiguousDataset(const AmbiguityGeneratorConfig& config);
+
+}  // namespace hera
+
+#endif  // HERA_DATA_AMBIGUITY_GENERATOR_H_

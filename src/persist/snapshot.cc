@@ -230,6 +230,12 @@ std::string EncodeCore(const EngineState& s) {
     w.PutU32(a);
     w.PutU32(b);
   }
+
+  // v2: progressive-mode stats. Appended last so the field order above
+  // matches v1 byte-for-byte up to here.
+  w.PutU64(st.shed_join_candidates);
+  w.PutU64(st.frontier_groups);
+  w.PutU64(st.budget_deferred_groups);
   return w.Take();
 }
 
@@ -308,6 +314,13 @@ Status DecodeCore(std::string_view payload, EngineState* s) {
     HERA_RETURN_NOT_OK(r.GetU32(&a2));
     HERA_RETURN_NOT_OK(r.GetU32(&b2));
   }
+
+  HERA_RETURN_NOT_OK(r.GetU64(&u));
+  st.shed_join_candidates = u;
+  HERA_RETURN_NOT_OK(r.GetU64(&u));
+  st.frontier_groups = u;
+  HERA_RETURN_NOT_OK(r.GetU64(&u));
+  st.budget_deferred_groups = u;
   if (!r.AtEnd()) return Status::IOError("trailing bytes in core section");
   return Status::OK();
 }

@@ -38,8 +38,10 @@ namespace hera {
 namespace persist {
 
 /// Current snapshot format version. Bump on any layout change; readers
-/// reject versions they do not know.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// reject versions they do not know. v2 added the progressive-mode
+/// stats (frontier_groups, budget_deferred_groups, shed_join_candidates)
+/// to the core block and two per-pass deltas to WAL entries.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Run kind recorded in the header: resuming a batch checkpoint through
 /// IncrementalHera (or vice versa) is refused.

@@ -30,6 +30,8 @@ std::string EncodeWalEntry(const WalEntry& entry) {
   w.PutU64(entry.deferred_groups);
   w.PutF64(entry.simplified_sum);
   w.PutU64(entry.simplified_count);
+  w.PutU64(entry.frontier_groups);
+  w.PutU64(entry.budget_deferred);
 
   w.PutU32(static_cast<uint32_t>(entry.merges.size()));
   for (const WalMerge& m : entry.merges) {
@@ -71,6 +73,8 @@ StatusOr<WalEntry> DecodeWalEntry(std::string_view payload) {
   HERA_RETURN_NOT_OK(r.GetU64(&e.deferred_groups));
   HERA_RETURN_NOT_OK(r.GetF64(&e.simplified_sum));
   HERA_RETURN_NOT_OK(r.GetU64(&e.simplified_count));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.frontier_groups));
+  HERA_RETURN_NOT_OK(r.GetU64(&e.budget_deferred));
 
   uint32_t num_merges = 0;
   HERA_RETURN_NOT_OK(r.GetU32(&num_merges));

@@ -55,6 +55,11 @@ struct WalEntry {
   uint64_t deferred_groups = 0;
   double simplified_sum = 0.0;
   uint64_t simplified_count = 0;
+  /// Groups that entered best-first frontier ordering this pass
+  /// (progressive mode; 0 otherwise).
+  uint64_t frontier_groups = 0;
+  /// Groups deferred unverified at a budget/guard cut this pass.
+  uint64_t budget_deferred = 0;
 
   std::vector<WalMerge> merges;
   /// Candidate groups the pass deferred to the next iteration.

@@ -41,6 +41,10 @@ namespace {
 struct JoinCounters {
   size_t candidates = 0;
   size_t verified = 0;
+  /// Candidates counted but dropped unverified when the guard tripped
+  /// at their batch's weighted Tick(n) check (trip-boundary exactness:
+  /// candidates == verified + shed_candidates for truncated runs).
+  size_t shed_candidates = 0;
   /// Token-path pairs that shared at least one indexed prefix token,
   /// counted once per pair (the marker dedup fires before any filter).
   size_t encountered = 0;
@@ -51,6 +55,7 @@ struct JoinCounters {
   void Fold(const JoinCounters& o) {
     candidates += o.candidates;
     verified += o.verified;
+    shed_candidates += o.shed_candidates;
     encountered += o.encountered;
     pruned_length += o.pruned_length;
     pruned_positional += o.pruned_positional;
@@ -89,6 +94,7 @@ void FinishReport(JoinReport* report, const JoinCounters& totals,
   report->shed_posting_entries = shed_posting;
   report->candidates = totals.candidates;
   report->verified = totals.verified;
+  report->shed_candidates = totals.shed_candidates;
   report->emitted = out.size();
   report->pruned_prefix =
       token_pairs > totals.encountered ? token_pairs - totals.encountered : 0;
@@ -684,6 +690,10 @@ Status PrefixFilterJoin::Join(const std::vector<LabeledValue>& values,
 
             co.counters.candidates += candidates.size();
             if (ticker.Tick(candidates.size())) {
+              // This batch was counted as candidates but never reaches
+              // the verify scan below — record it shed so the trip
+              // boundary stays exact (candidates == verified + shed).
+              co.counters.shed_candidates += candidates.size();
               stop.store(true, std::memory_order_relaxed);
               break;
             }

@@ -52,6 +52,11 @@ struct JoinReport {
   /// truncated mid-verification or pruned by the positional/suffix
   /// filters below).
   size_t verified = 0;
+  /// Candidates generated but dropped unverified at a guard trip
+  /// boundary — exact at the trip, including the batch whose weighted
+  /// Tick(n) check fired: for truncated joins,
+  /// candidates == verified + shed_candidates on the record-pair path.
+  size_t shed_candidates = 0;
   /// Pairs that met xi and were emitted into `out`.
   size_t emitted = 0;
   /// Per-filter pruning counters for the token path (all zero for the

@@ -20,6 +20,7 @@
 #include "core/hera.h"
 #include "core/incremental.h"
 #include "core/options.h"
+#include "data/ambiguity_generator.h"
 #include "data/publication_generator.h"
 #ifndef HERA_DISABLE_OBS
 #include "obs/perfetto.h"
@@ -56,6 +57,18 @@ Dataset MakePublications(uint64_t seed = 7) {
   config.null_prob = 0.2;
   config.corruption.typo_prob = 0.45;
   return GeneratePublicationDataset(config);
+}
+
+/// A verification-heavy corpus for budget-cut tests: the publication
+/// generator resolves almost entirely via bound shortcuts, while every
+/// merge here costs a KM verification (plus decoys that verify to
+/// non-matches), so small budgets genuinely bind mid-run.
+Dataset MakeAmbiguous() {
+  AmbiguityGeneratorConfig config;
+  config.num_entities = 12;
+  config.num_decoys = 8;
+  config.seed = 7;
+  return GenerateAmbiguousDataset(config);
 }
 
 /// Snapshot filenames in `dir`, ascending by epoch.
@@ -412,6 +425,84 @@ TEST(PersistResumeTest, ResumeReproducesReferenceAtEveryIterationCut) {
   }
 }
 
+// Progressive budget cuts are durable stopping points: cutting a run
+// at any verification budget and resuming with the budget lifted must
+// land on exactly the labels of the uninterrupted run. Deferral is
+// confluent — the cut changes *when* groups are verified, never what
+// the fixpoint concludes — and labels are canonical min-rid names, so
+// label equality is exact, not just partition-isomorphic.
+TEST(PersistResumeTest, ResumeReproducesLabelsAtEveryBudgetCut) {
+  Dataset ds = MakeAmbiguous();
+  HeraOptions base;
+  auto ref = Hera(base).Run(ds);
+  ASSERT_TRUE(ref.ok());
+
+  // The cut grid must cover the *governed progressive* run's own
+  // verification count: the frontier reorders verification, so its
+  // total can differ from the canonical run's. A budget of k binds iff
+  // the unlimited governed run spends more than k.
+  HeraOptions gauge = base;
+  gauge.progressive = true;
+  gauge.guard.WithMaxVerifications(1u << 30);
+  auto gauged = Hera(gauge).Run(ds);
+  ASSERT_TRUE(gauged.ok());
+  ASSERT_EQ(gauged->stats.outcome, RunOutcome::kCompleted);
+  ASSERT_EQ(gauged->entity_of, ref->entity_of);
+  const size_t total_verifications = gauged->stats.candidates;
+  ASSERT_GE(total_verifications, 8u)
+      << "dataset too easy to exercise budget cuts";
+
+  // Serial + ordered sweeps a dense grid of cut points; the other
+  // backend/thread combinations spot-check a coarse set — the cut
+  // machinery is identical, only join/phase-A internals differ.
+  struct Config {
+    IndexBackend backend;
+    size_t threads;
+    bool dense;
+  };
+  const Config configs[] = {
+      {IndexBackend::kOrdered, 0, true},
+      {IndexBackend::kOrdered, 4, false},
+      {IndexBackend::kFlat, 0, false},
+      {IndexBackend::kFlat, 4, false},
+  };
+  for (const Config& config : configs) {
+    std::vector<size_t> cuts;
+    if (config.dense) {
+      const size_t stride = std::max<size_t>(1, total_verifications / 12);
+      for (size_t k = 1; k < total_verifications; k += stride) cuts.push_back(k);
+    } else {
+      cuts = {1, total_verifications / 2, total_verifications - 1};
+    }
+    for (size_t k : cuts) {
+      HeraOptions opts = base;
+      opts.index_backend = config.backend;
+      opts.num_threads = config.threads;
+      opts.progressive = true;
+      opts.checkpoint_dir = TestDir("budget_cut_" + std::to_string(k));
+      opts.checkpoint_every = 1;
+      opts.guard.WithMaxVerifications(k);
+      auto cut = Hera(opts).Run(ds);
+      ASSERT_TRUE(cut.ok()) << cut.status();
+      ASSERT_EQ(cut->stats.outcome, RunOutcome::kTruncatedBudget)
+          << "budget " << k;
+      ASSERT_EQ(cut->stats.candidates, k);
+
+      HeraOptions ropts = opts;
+      ropts.guard = RunGuard();  // Lift the budget; fresh guard.
+      auto resumed = Hera(ropts).Resume(ds);
+      ASSERT_TRUE(resumed.ok()) << resumed.status();
+      EXPECT_EQ(resumed->stats.outcome, RunOutcome::kCompleted)
+          << "budget " << k;
+      EXPECT_EQ(resumed->entity_of, ref->entity_of)
+          << "budget " << k << " backend "
+          << (config.backend == IndexBackend::kFlat ? "flat" : "ordered")
+          << " threads " << config.threads;
+      std::filesystem::remove_all(opts.checkpoint_dir);
+    }
+  }
+}
+
 TEST(PersistResumeTest, ResumeAfterCompletedRunIsIdempotent) {
   Dataset ds = MakePublications();
   HeraOptions opts;
@@ -669,6 +760,68 @@ TEST(PersistIncrementalTest, PersistFailpointsAreKnownAndPropagate) {
   failpoint::DisarmAll();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+// A short write (ENOSPC-style) while persisting the budget-cut
+// checkpoint must degrade to a clean error with the previous epoch
+// intact — never a torn or half-replaced snapshot. The failpoint fires
+// inside AtomicWriteFile, after the temp file is created but before
+// any byte lands, which is exactly the window a full disk hits.
+TEST(PersistIncrementalTest, ShortWriteAtBudgetCutKeepsPreviousEpochIntact) {
+  Dataset ds = MakeAmbiguous();
+  HeraOptions base;
+  auto ref = Hera(base).Run(ds);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_GE(ref->stats.candidates, 4u);
+
+  // Leave a healthy checkpointed prefix on disk: cut by iterations.
+  HeraOptions opts = base;
+  opts.checkpoint_dir = TestDir("short_write");
+  opts.checkpoint_every = 1;
+  opts.max_iterations = 1;
+  ASSERT_TRUE(Hera(opts).Run(ds).ok());
+  std::vector<std::string> before = SnapshotFiles(opts.checkpoint_dir);
+  ASSERT_FALSE(before.empty());
+
+  // Resume under a binding budget with the write failpoint armed: the
+  // budget cut tries to persist its truncation snapshot, the write
+  // dies, and the run surfaces the injected error.
+  HeraOptions cut_opts = opts;
+  cut_opts.max_iterations = base.max_iterations;
+  cut_opts.checkpoint_every = 1000;  // Only the truncation snapshot writes.
+  cut_opts.progressive = true;
+  cut_opts.guard = RunGuard();
+  cut_opts.guard.WithMaxVerifications(2);
+  failpoint::Arm("persist.write.short", Status::IOError("injected short write"));
+  auto failed = Hera(cut_opts).Resume(ds);
+  failpoint::DisarmAll();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+
+  // The previous epochs are untouched and every snapshot still decodes;
+  // no temp-file debris either.
+  std::vector<std::string> after = SnapshotFiles(opts.checkpoint_dir);
+  EXPECT_EQ(after, before);
+  for (const std::string& path : after) {
+    auto image = ReadFileToString(path);
+    ASSERT_TRUE(image.ok());
+    EXPECT_TRUE(persist::DecodeSnapshot(*image).ok()) << path;
+  }
+  for (const auto& entry :
+       std::filesystem::directory_iterator(opts.checkpoint_dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << entry.path();
+  }
+
+  // Disarmed, the same directory resumes to the reference labels.
+  HeraOptions ropts = opts;
+  ropts.max_iterations = base.max_iterations;
+  ropts.guard = RunGuard();
+  auto resumed = Hera(ropts).Resume(ds);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->stats.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(resumed->entity_of, ref->entity_of);
 }
 
 #endif  // HERA_DISABLE_FAILPOINTS

@@ -17,6 +17,7 @@
 #include "common/run_guard.h"
 #include "core/hera.h"
 #include "core/incremental.h"
+#include "data/ambiguity_generator.h"
 #include "data/csv.h"
 #include "data/publication_generator.h"
 #include "eval/metrics.h"
@@ -435,11 +436,224 @@ TEST(GovernanceTest, RunOutcomeNamesAreStable) {
   EXPECT_STREQ(RunOutcomeToString(RunOutcome::kCompleted), "completed");
   EXPECT_STREQ(RunOutcomeToString(RunOutcome::kDegraded), "degraded");
   EXPECT_STREQ(RunOutcomeToString(RunOutcome::kIterationCap), "iteration_cap");
+  EXPECT_STREQ(RunOutcomeToString(RunOutcome::kTruncatedBudget),
+               "truncated_budget");
   EXPECT_STREQ(RunOutcomeToString(RunOutcome::kTruncatedDeadline),
                "truncated_deadline");
   EXPECT_STREQ(RunOutcomeToString(RunOutcome::kTruncatedCancelled),
                "truncated_cancelled");
 }
+
+// ------------------------------------------------- progressive execution
+
+// The publication corpora resolve almost entirely through the bound
+// shortcuts (a handful of KM verifications end to end), so they cannot
+// make a verification budget bind. The ambiguity corpus is built for
+// exactly that: every merge costs a verification and decoys add
+// verification-shaped work that never pays off.
+Dataset MakeAmbiguous(size_t decoys = 20) {
+  AmbiguityGeneratorConfig cfg;
+  cfg.num_entities = 30;
+  cfg.num_decoys = decoys;
+  cfg.seed = 7;
+  return GenerateAmbiguousDataset(cfg);
+}
+
+// Ungoverned progressive is a no-op by construction: the frontier only
+// engages when a budget, deadline, or token could cut the run, so with
+// none of those the pass order stays canonical and labels AND the merge
+// sequence are byte-identical to the default — at every thread count
+// and on both index backends.
+TEST(ProgressiveTest, UngovernedRunIsByteIdenticalToDefault) {
+  Dataset ds = MakePublications();
+  for (IndexBackend backend : {IndexBackend::kOrdered, IndexBackend::kFlat}) {
+    for (size_t threads : {size_t{0}, size_t{4}, size_t{8}}) {
+      HeraOptions base;
+      base.index_backend = backend;
+      base.num_threads = threads;
+      auto plain = Hera(base).Run(ds);
+      ASSERT_TRUE(plain.ok()) << plain.status();
+
+      HeraOptions popts = base;
+      popts.progressive = true;
+      auto prog = Hera(popts).Run(ds);
+      ASSERT_TRUE(prog.ok()) << prog.status();
+      EXPECT_EQ(prog->stats.outcome, RunOutcome::kCompleted);
+      EXPECT_EQ(prog->entity_of, plain->entity_of)
+          << "backend=" << (backend == IndexBackend::kFlat ? "flat" : "ordered")
+          << " threads=" << threads;
+      EXPECT_EQ(prog->stats.merge_sequence, plain->stats.merge_sequence)
+          << "backend=" << (backend == IndexBackend::kFlat ? "flat" : "ordered")
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ProgressiveTest, VerificationBudgetTruncatesWithValidLabels) {
+  Dataset ds = MakeAmbiguous();
+  auto plain = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_GT(plain->stats.candidates, 5u) << "dataset needs no verification";
+
+  HeraOptions opts;
+  opts.progressive = true;
+  opts.guard.WithMaxVerifications(5);
+  auto cut = Hera(opts).Run(ds);
+  ASSERT_TRUE(cut.ok()) << cut.status();
+  EXPECT_EQ(cut->stats.outcome, RunOutcome::kTruncatedBudget);
+  // The budget is spent exactly, never overshot.
+  EXPECT_EQ(cut->stats.candidates, 5u);
+  EXPECT_GT(cut->stats.frontier_groups, 0u);
+  EXPECT_GT(cut->stats.budget_deferred_groups, 0u);
+  ExpectValidLabeling(*cut, ds.size());
+}
+
+// Blind shedding (the non-progressive baseline of the bench): the same
+// budget under canonical order also stops exactly at the budget with a
+// valid partial labeling — only the *choice* of shed work differs.
+TEST(ProgressiveTest, BlindShedBudgetAlsoTruncatesExactly) {
+  Dataset ds = MakeAmbiguous();
+  HeraOptions opts;
+  opts.guard.WithMaxVerifications(5);
+  auto cut = Hera(opts).Run(ds);
+  ASSERT_TRUE(cut.ok()) << cut.status();
+  EXPECT_EQ(cut->stats.outcome, RunOutcome::kTruncatedBudget);
+  EXPECT_EQ(cut->stats.candidates, 5u);
+  EXPECT_GT(cut->stats.budget_deferred_groups, 0u);
+  // No frontier ordering happened in the blind baseline.
+  EXPECT_EQ(cut->stats.frontier_groups, 0u);
+  ExpectValidLabeling(*cut, ds.size());
+}
+
+// The point of the frontier: at the same partial budget, spending it
+// best-first (high upper bounds before decoys) recovers strictly more
+// of the ground truth than spending it in canonical order, because the
+// decoys sit at low record ids where a blind budget burns first.
+TEST(ProgressiveTest, BestFirstBeatsBlindShedAtHalfBudget) {
+  Dataset ds = MakeAmbiguous(/*decoys=*/30);
+  HeraOptions gauge;
+  gauge.progressive = true;
+  gauge.guard.WithMaxVerifications(1u << 30);
+  auto full = Hera(gauge).Run(ds);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_EQ(full->stats.outcome, RunOutcome::kCompleted);
+  const size_t budget = full->stats.candidates / 2;
+  ASSERT_GT(budget, 0u);
+
+  double recall[2];
+  for (bool progressive : {false, true}) {
+    HeraOptions opts;
+    opts.progressive = progressive;
+    opts.guard.WithMaxVerifications(budget);
+    auto cut = Hera(opts).Run(ds);
+    ASSERT_TRUE(cut.ok()) << cut.status();
+    EXPECT_EQ(cut->stats.outcome, RunOutcome::kTruncatedBudget);
+    EXPECT_EQ(cut->stats.candidates, budget);
+    recall[progressive] = EvaluatePairs(cut->entity_of, ds.entity_of()).recall;
+  }
+  EXPECT_GT(recall[1], recall[0])
+      << "best-first recall=" << recall[1] << " blind recall=" << recall[0];
+}
+
+// A budget generous enough never to bind must not change the fixpoint:
+// the frontier reorders verification, but deferral-confluence carries
+// the run to the same partition (and labels are canonical min-rids).
+TEST(ProgressiveTest, NonBindingBudgetReachesDefaultFixpoint) {
+  Dataset ds = MakeAmbiguous();
+  auto plain = Hera(HeraOptions{}).Run(ds);
+  ASSERT_TRUE(plain.ok());
+  HeraOptions opts;
+  opts.progressive = true;
+  opts.guard.WithMaxVerifications(1u << 30);
+  auto prog = Hera(opts).Run(ds);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  EXPECT_EQ(prog->stats.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(prog->stats.budget_deferred_groups, 0u);
+  EXPECT_EQ(prog->entity_of, plain->entity_of);
+}
+
+// A small frontier capacity only bounds how much of the pass is
+// reordered; with the budget inside the reordered head, the spent
+// budget and outcome are unchanged.
+TEST(ProgressiveTest, FrontierCapacityCapsOrderingNotCorrectness) {
+  Dataset ds = MakeAmbiguous();
+  HeraOptions opts;
+  opts.progressive = true;
+  opts.frontier_capacity = 2;
+  opts.guard.WithMaxVerifications(2);
+  auto cut = Hera(opts).Run(ds);
+  ASSERT_TRUE(cut.ok()) << cut.status();
+  EXPECT_EQ(cut->stats.outcome, RunOutcome::kTruncatedBudget);
+  EXPECT_EQ(cut->stats.candidates, 2u);
+  ExpectValidLabeling(*cut, ds.size());
+}
+
+TEST(ProgressiveTest, BudgetObserverFiresExactlyOnceWithReason) {
+  Dataset ds = MakeAmbiguous();
+  int fired = 0;
+  std::string reason;
+  HeraOptions opts;
+  opts.progressive = true;
+  opts.guard.WithMaxVerifications(3).WithBudgetObserver(
+      [&](const char* r) {
+        ++fired;
+        reason = r;
+      });
+  auto cut = Hera(opts).Run(ds);
+  ASSERT_TRUE(cut.ok()) << cut.status();
+  ASSERT_EQ(cut->stats.outcome, RunOutcome::kTruncatedBudget);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(reason, "budget");
+}
+
+// A cancellation mid-run under progressive drains through the same
+// orderly frontier path: the observer reports "cancelled" and the
+// partial labeling stays valid.
+TEST(ProgressiveTest, CancellationDrainsFrontierWithObserver) {
+  Dataset ds = MakePublications();
+  CancellationToken token = CancellationToken::Make();
+  token.RequestCancel();
+  int fired = 0;
+  std::string reason;
+  HeraOptions opts;
+  opts.progressive = true;
+  opts.guard.WithCancellation(token).WithBudgetObserver([&](const char* r) {
+    ++fired;
+    reason = r;
+  });
+  auto cut = Hera(opts).Run(ds);
+  ASSERT_TRUE(cut.ok()) << cut.status();
+  EXPECT_EQ(cut->stats.outcome, RunOutcome::kTruncatedCancelled);
+  ExpectValidLabeling(*cut, ds.size());
+  if (fired > 0) {  // Fires only if a pass reached its verify stage.
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(reason, "cancelled");
+  }
+}
+
+#ifndef HERA_DISABLE_OBS
+
+TEST(ProgressiveTest, FrontierCountersSurfaceInReport) {
+  Dataset ds = MakeAmbiguous();
+  HeraOptions opts;
+  opts.progressive = true;
+  opts.collect_report = true;
+  opts.guard.WithMaxVerifications(5);
+  auto cut = Hera(opts).Run(ds);
+  ASSERT_TRUE(cut.ok()) << cut.status();
+  ASSERT_TRUE(cut->report.collected);
+  const auto& counters = cut->report.counters;
+  ASSERT_TRUE(counters.count("quality.frontier_groups"));
+  ASSERT_TRUE(counters.count("quality.frontier_verified"));
+  ASSERT_TRUE(counters.count("quality.frontier_deferred"));
+  EXPECT_EQ(counters.at("quality.frontier_groups"),
+            cut->stats.frontier_groups);
+  EXPECT_EQ(counters.at("quality.frontier_verified"), cut->stats.candidates);
+  EXPECT_EQ(counters.at("quality.frontier_deferred"),
+            cut->stats.budget_deferred_groups);
+}
+
+#endif  // HERA_DISABLE_OBS
 
 // --------------------------------------------------------- fault injection
 

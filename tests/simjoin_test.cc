@@ -175,6 +175,43 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.3, 0.5, 0.7, 0.9, 1.0),
                        ::testing::Values(1u, 2u, 3u, 4u)));
 
+// A guard trip between candidate generation and verification must not
+// lose pairs from the accounting: the batch whose weighted Tick(n)
+// fired was counted as candidates but never verified, and is reported
+// shed — candidates == verified + shed_candidates holds exactly at the
+// trip boundary.
+TEST(PrefixFilterJoinTest, ShedCandidatesExactAtGuardTrip) {
+  // Identical values across many records: candidate lists grow with
+  // the probe index, so the 1024-op ticker boundary is crossed inside
+  // a large Tick(candidates.size()) batch.
+  std::vector<std::string> strings(200, "same value");
+  auto values = MakeValues(strings);
+  auto metric = MakeSimilarity("jaccard_q2");
+
+  CancellationToken token = CancellationToken::Make();
+  token.RequestCancel();  // Trips at the first ticker boundary.
+  RunGuard guard;
+  guard.WithCancellation(token);
+  std::vector<ValuePair> out;
+  JoinReport report;
+  ASSERT_TRUE(
+      PrefixFilterJoin().Join(values, *metric, 1.0, guard, &out, &report).ok());
+  EXPECT_TRUE(report.truncated);
+  EXPECT_GT(report.candidates, 0u);
+  EXPECT_GT(report.shed_candidates, 0u);
+  EXPECT_EQ(report.candidates, report.verified + report.shed_candidates);
+
+  // Unguarded control: nothing is shed and every candidate is verified.
+  std::vector<ValuePair> full;
+  JoinReport full_report;
+  ASSERT_TRUE(PrefixFilterJoin()
+                  .Join(values, *metric, 1.0, RunGuard(), &full, &full_report)
+                  .ok());
+  EXPECT_FALSE(full_report.truncated);
+  EXPECT_EQ(full_report.shed_candidates, 0u);
+  EXPECT_EQ(full_report.candidates, full_report.verified);
+}
+
 // Similarity values reported by the fast join must equal the metric's.
 TEST(PrefixFilterJoinTest, ReportedSimilaritiesMatchMetric) {
   auto values = MakeValues({"2 Norman Street", "2 West Norman", "West Norman"});
