@@ -2,6 +2,7 @@
 //
 //   hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]
 //                    [--threads N] [--index-backend ordered|flat]
+//                    [--kernel-dispatch auto|avx2|sse4|scalar]
 //                    [--out labels.csv] [--quiet]
 //                    [--emit-report report.json] [--log-level LEVEL]
 //                    [--trace-out trace.json] [--timeline-csv FILE]
@@ -31,6 +32,11 @@
 // "ordered" (the default node-based containers) or "flat" (the
 // batched, prefetch-pipelined flat table — same labels and merge
 // order, lower probe cost; see docs/performance.md).
+// --kernel-dispatch (or HERA_KERNEL_DISPATCH; the flag wins) picks the
+// SIMD tier for the similarity kernels: "auto" (default: best
+// supported), "avx2", "sse4", or "scalar". Tiers unsupported by the
+// CPU clamp down; labels and merge order are byte-identical at every
+// tier (see docs/performance.md, "SIMD kernel tier").
 //
 // Durability: --checkpoint-dir makes the run resumable after a kill or
 // a --deadline-ms truncation (snapshots + WAL, docs/file_format.md);
@@ -79,6 +85,7 @@ int Usage() {
       "usage:\n"
       "  hera_cli resolve <input.hera> [--xi X] [--delta D] [--metric NAME]\n"
       "                   [--threads N] [--index-backend ordered|flat]\n"
+      "                   [--kernel-dispatch auto|avx2|sse4|scalar]\n"
       "                   [--out labels.csv] [--quiet]\n"
       "                   [--emit-report report.json] [--log-level LEVEL]\n"
       "                   [--trace-out trace.json] [--timeline-csv FILE]\n"
@@ -144,6 +151,17 @@ int CmdResolve(int argc, char** argv) {
       !IndexBackendFromString(backend_name, &opts.index_backend)) {
     std::fprintf(stderr, "unknown index backend %s (want ordered|flat)\n",
                  backend_name);
+    return Usage();
+  }
+  const char* dispatch_name = std::getenv("HERA_KERNEL_DISPATCH");
+  if (const char* v = FlagValue(argc, argv, "--kernel-dispatch")) {
+    dispatch_name = v;
+  }
+  if (dispatch_name != nullptr &&
+      !KernelDispatchFromString(dispatch_name, &opts.kernel_dispatch)) {
+    std::fprintf(stderr,
+                 "unknown kernel dispatch %s (want auto|avx2|sse4|scalar)\n",
+                 dispatch_name);
     return Usage();
   }
   if (const char* v = FlagValue(argc, argv, "--checkpoint-dir")) {

@@ -14,6 +14,7 @@
 #include "index/bounds.h"
 #include "obs/metrics.h"
 #include "parallel/parallel_for.h"
+#include "sim/kernel.h"
 
 namespace hera {
 
@@ -24,8 +25,16 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
       guard_(options.guard),
       predictor_(options.vote_prior_p, options.vote_rho) {
   assert(simv_ != nullptr);
+  // Apply the SIMD tier before any kernel can run. Process-global by
+  // design (see sim/kernel_dispatch.h); purely a speed knob, so one
+  // engine re-applying it under another is harmless.
+  SetActiveKernelDispatch(options_.kernel_dispatch);
   if (options_.use_prefix_filter_join) {
-    auto pf = std::make_unique<PrefixFilterJoin>();
+    // Index at the metric's own gram size (q = 2 for non-gram metrics)
+    // so q != 2 gram metrics get the exact filters + encoded kernels
+    // instead of silently verifying on the string path.
+    const int metric_q = GramMetricSize(simv_->Name());
+    auto pf = std::make_unique<PrefixFilterJoin>(metric_q > 0 ? metric_q : 2);
     token_cache_ = std::make_shared<TokenCache>(pf->q());
     pf->SetTokenCache(token_cache_);
     pf->SetEncodedKernels(options_.use_encoded_kernels);
@@ -89,6 +98,14 @@ ResolutionEngine::ResolutionEngine(const HeraOptions& options,
         ->Set(static_cast<double>(options_.flat_pipeline_depth));
     c_flat_probes_ = m.GetCounter("flat.probes_batched");
     c_flat_rehashes_ = m.GetCounter("flat.rehashes");
+    // Which kernel tier actually ran (0 = scalar, 1 = sse4, 2 = avx2)
+    // — the resolved tier, not the requested one, so a clamped-down
+    // run is visible in its report. The kernel.* counters carry this
+    // run's deltas of the process-global totals.
+    m.GetGauge("kernel.dispatch_tier")
+        ->Set(static_cast<double>(
+            KernelDispatchGaugeValue(ActiveKernelDispatch())));
+    kernel_counters_base_ = KernelCountersNow();
     joiner_->SetCollectWorkerSpans(true);
     trace_->SetTimelineIntervalMs(
         static_cast<double>(options_.timeline_interval_ms));
@@ -299,6 +316,21 @@ void ResolutionEngine::SyncPairCacheMetrics() {
   if (s.hits > hits->value()) hits->Inc(s.hits - hits->value());
 }
 
+void ResolutionEngine::SyncKernelMetrics() {
+  if (!trace_) return;
+  // The kernel counters are process-global (hot loops cannot afford
+  // per-engine indirection); publish this engine's delta against the
+  // construction-time baseline, catching the counters up rather than
+  // double counting across rounds.
+  KernelCounterSnapshot now = KernelCountersNow();
+  obs::Counter* simd = trace_->metrics().GetCounter("kernel.simd_intersections");
+  uint64_t simd_delta = now.simd_intersections - kernel_counters_base_.simd_intersections;
+  if (simd_delta > simd->value()) simd->Inc(simd_delta - simd->value());
+  obs::Counter* myers = trace_->metrics().GetCounter("kernel.myers_calls");
+  uint64_t myers_delta = now.myers_calls - kernel_counters_base_.myers_calls;
+  if (myers_delta > myers->value()) myers->Inc(myers_delta - myers->value());
+}
+
 void ResolutionEngine::HarvestIndexMetrics() {
   if (!trace_) return;
   trace_->metrics().GetGauge("index.size")->Set(static_cast<double>(index_.size()));
@@ -366,6 +398,7 @@ StatusOr<size_t> ResolutionEngine::IndexNewRecords() {
   HarvestIndexMetrics();
   SyncTokenCacheMetrics();
   SyncPairCacheMetrics();
+  SyncKernelMetrics();
   // New pairs invalidate any carried loop state: the next fixpoint loop
   // must rescan every group.
   loop_needs_reset_ = true;
@@ -964,6 +997,7 @@ Status ResolutionEngine::IterateToFixpoint() {
       c_flat_rehashes_->Inc(fr - flat_index_rehashes_seen_);
       flat_index_rehashes_seen_ = fr;
     }
+    SyncKernelMetrics();
   }
 
   stats_.avg_simplified_nodes =

@@ -167,6 +167,12 @@ class ResolutionEngine {
   /// the verified-pair similarity cache.
   void SyncPairCacheMetrics();
 
+  /// Publishes this run's kernel.simd_intersections / kernel.myers_calls
+  /// deltas from the process-global kernel counters
+  /// (sim/kernel_dispatch.h), against the baseline captured at engine
+  /// construction.
+  void SyncKernelMetrics();
+
   HeraOptions options_;
   ValueSimilarityPtr simv_;
   std::unique_ptr<SimilarityJoin> joiner_;
@@ -257,6 +263,9 @@ class ResolutionEngine {
   obs::Counter* c_flat_rehashes_ = nullptr;
   uint64_t flat_index_probes_seen_ = 0;
   uint64_t flat_index_rehashes_seen_ = 0;
+  /// Process-global kernel counter values at engine construction; the
+  /// kernel.* report counters carry this engine's deltas only.
+  KernelCounterSnapshot kernel_counters_base_;
 
   /// Background timeline sampler (null unless timeline_interval_ms is
   /// set). Declared after trace_: its probes and clock read through

@@ -2,6 +2,7 @@
 
 #include "core/engine.h"
 #include "persist/checkpoint.h"
+#include "sim/kernel.h"
 #include "sim/metrics.h"
 
 namespace hera {
@@ -154,7 +155,10 @@ StatusOr<std::vector<ValuePair>> ComputeSimilarValuePairs(
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
   if (options.use_prefix_filter_join) {
-    PrefixFilterJoin join;
+    // Same gram-size derivation as ResolutionEngine: q != 2 gram
+    // metrics index and verify at their own q.
+    const int metric_q = GramMetricSize(simv->Name());
+    PrefixFilterJoin join(metric_q > 0 ? metric_q : 2);
     join.SetExecutor(pool.get());
     join.SetEncodedKernels(options.use_encoded_kernels);
     join.SetIndexBackend(options.index_backend, options.flat_pipeline_depth);

@@ -12,6 +12,7 @@
 #include "common/run_guard.h"
 #include "common/status.h"
 #include "index/flat_table.h"
+#include "sim/kernel_dispatch.h"
 #include "sim/similarity.h"
 
 namespace hera {
@@ -44,6 +45,18 @@ struct HeraOptions {
   /// either way. Off restores the pre-kernel verification path (A/B
   /// comparisons). See docs/performance.md.
   bool use_encoded_kernels = true;
+
+  /// SIMD tier for the similarity kernels (sim/kernel_dispatch.h):
+  /// kAuto picks the best tier the CPU supports (AVX2 > SSE4 >
+  /// scalar), honoring the HERA_KERNEL_DISPATCH environment override;
+  /// a named tier clamps down to what the CPU can run. Applied
+  /// process-globally at engine construction. Purely a speed knob:
+  /// every tier computes bit-identical scores, so labels and
+  /// merge_sequence never change with it (and it is deliberately
+  /// excluded from checkpoint fingerprints — a snapshot written on an
+  /// AVX2 box resumes identically on a scalar one). See
+  /// docs/performance.md ("SIMD kernel tier").
+  KernelDispatch kernel_dispatch = KernelDispatch::kAuto;
 
   /// Memoize verified value-pair similarities across joins, fixpoint
   /// rounds, and incremental batches (sim/pair_cache.h). Scores are a

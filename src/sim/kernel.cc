@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/kernel_simd.h"
+
 namespace hera {
 
 namespace {
@@ -27,6 +29,60 @@ double FormulaOf(SetSimKind kind, size_t inter, size_t na, size_t nb) {
              std::sqrt(static_cast<double>(na) * static_cast<double>(nb));
   }
   return 0.0;  // Unreachable.
+}
+
+/// Merge-shaped intersection on an explicit (already-resolved) tier:
+/// the vector kernel when the tier has one and both inputs fill at
+/// least one window, the scalar merge otherwise. Exact on every path.
+inline size_t IntersectMergeShaped(const uint32_t* a, size_t na,
+                                   const uint32_t* b, size_t nb,
+                                   KernelDispatch tier) {
+#ifdef HERA_X86_SIMD
+  if (tier == KernelDispatch::kAvx2 && std::min(na, nb) >= 8) {
+    CountSimdIntersection();
+    return simd::IntersectAvx2(a, na, b, nb);
+  }
+  if (tier == KernelDispatch::kSse4 && std::min(na, nb) >= 4) {
+    CountSimdIntersection();
+    return simd::IntersectSse4(a, na, b, nb);
+  }
+#else
+  (void)tier;
+#endif
+  return IntersectSizeMerge(a, na, b, nb);
+}
+
+/// Bounded merge-shaped intersection: exact count when >= min_req,
+/// else simd::kAbandonedIntersect. The scalar branch applies the same
+/// integer abandon test per step that the vector kernels apply per
+/// block — abandon timing differs, the returned value never does.
+inline size_t IntersectBoundedMergeShaped(const uint32_t* a, size_t na,
+                                          const uint32_t* b, size_t nb,
+                                          size_t min_req,
+                                          KernelDispatch tier) {
+#ifdef HERA_X86_SIMD
+  if (tier == KernelDispatch::kAvx2 && std::min(na, nb) >= 8) {
+    CountSimdIntersection();
+    return simd::IntersectBoundedAvx2(a, na, b, nb, min_req);
+  }
+  if (tier == KernelDispatch::kSse4 && std::min(na, nb) >= 4) {
+    CountSimdIntersection();
+    return simd::IntersectBoundedSse4(a, na, b, nb, min_req);
+  }
+#else
+  (void)tier;
+#endif
+  size_t i = 0, j = 0, inter = 0;
+  while (i < na && j < nb) {
+    if (inter + std::min(na - i, nb - j) < min_req) {
+      return simd::kAbandonedIntersect;
+    }
+    uint32_t x = a[i], y = b[j];
+    inter += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return inter < min_req ? simd::kAbandonedIntersect : inter;
 }
 
 }  // namespace
@@ -103,7 +159,13 @@ size_t IntersectSize(const std::vector<uint32_t>& a,
   if (s.size() * kGallopSkew < l.size()) {
     return IntersectSizeGallop(s.data(), s.size(), l.data(), l.size());
   }
-  return IntersectSizeMerge(s.data(), s.size(), l.data(), l.size());
+  return IntersectMergeShaped(s.data(), s.size(), l.data(), l.size(),
+                              ActiveKernelDispatch());
+}
+
+size_t IntersectSizeSimd(const uint32_t* a, size_t na, const uint32_t* b,
+                         size_t nb, KernelDispatch tier) {
+  return IntersectMergeShaped(a, na, b, nb, ResolveKernelDispatch(tier));
 }
 
 double SetSimilarity(SetSimKind kind, const std::vector<uint32_t>& a,
@@ -135,6 +197,12 @@ size_t MinOverlapForThreshold(SetSimKind kind, size_t na, size_t nb,
 
 double SetSimilarityBounded(SetSimKind kind, const std::vector<uint32_t>& a,
                             const std::vector<uint32_t>& b, double xi) {
+  return SetSimilarityBounded(kind, a, b, xi, ActiveKernelDispatch());
+}
+
+double SetSimilarityBounded(SetSimKind kind, const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b, double xi,
+                            KernelDispatch tier) {
   if (a.empty() || b.empty()) return 0.0 >= xi ? 0.0 : kBelowThreshold;
   const size_t na = a.size(), nb = b.size();
   const size_t min_req = MinOverlapForThreshold(kind, na, nb, xi);
@@ -171,21 +239,28 @@ double SetSimilarityBounded(SetSimKind kind, const std::vector<uint32_t>& a,
       }
     }
   } else {
-    const uint32_t* pa = a.data();
-    const uint32_t* pb = b.data();
-    size_t i = 0, j = 0;
-    inter = 0;
-    while (i < na && j < nb) {
-      if (inter + std::min(na - i, nb - j) < min_req) return kBelowThreshold;
-      uint32_t x = pa[i], y = pb[j];
-      inter += (x == y);
-      i += (x <= y);
-      j += (y <= x);
-    }
+    inter = IntersectBoundedMergeShaped(a.data(), na, b.data(), nb, min_req,
+                                        tier);
+    if (inter == simd::kAbandonedIntersect) return kBelowThreshold;
   }
   if (inter < min_req) return kBelowThreshold;
   // Monotonicity: formula(inter) >= formula(min_req) >= xi.
   return FormulaOf(kind, inter, na, nb);
+}
+
+double BestSetSimilarityBounded(
+    SetSimKind kind, const std::vector<uint32_t>& a,
+    const std::vector<const std::vector<uint32_t>*>& bs, double floor) {
+  // One tier resolution for the whole row; the per-cell overload would
+  // reload the dispatch atomic on every cell of a dense weight matrix.
+  const KernelDispatch tier = ActiveKernelDispatch();
+  double best = 0.0;
+  for (const std::vector<uint32_t>* b : bs) {
+    if (b == nullptr) continue;
+    double s = SetSimilarityBounded(kind, a, *b, std::max(floor, best), tier);
+    if (s != kBelowThreshold && s > best) best = s;
+  }
+  return best;
 }
 
 size_t OverlapUpperBound(const uint32_t* a, size_t na, const uint32_t* b,
@@ -231,6 +306,23 @@ bool GramMetricKind(const std::string& metric_name, int q, SetSimKind* kind) {
     }
   }
   return false;
+}
+
+int GramMetricSize(const std::string& metric_name) {
+  // Parse the "_q<k>" suffix (possibly inside a one-argument hybrid
+  // wrapper) and confirm through GramMetricKind so the two can never
+  // disagree about what counts as gram-family.
+  size_t pos = metric_name.rfind("_q");
+  if (pos == std::string::npos) return 0;
+  int q = 0;
+  for (size_t i = pos + 2;
+       i < metric_name.size() && metric_name[i] >= '0' && metric_name[i] <= '9';
+       ++i) {
+    q = q * 10 + (metric_name[i] - '0');
+    if (q > 64) return 0;
+  }
+  SetSimKind kind;
+  return q > 0 && GramMetricKind(metric_name, q, &kind) ? q : 0;
 }
 
 }  // namespace hera

@@ -21,7 +21,18 @@
 //     bit tests — no branches on the comparison ladder.
 //   - gallop: when one set is much smaller, walk the small set and
 //     binary-expand into the large one (O(ns log nl)).
-//   - merge:  the classic two-pointer merge, otherwise.
+//   - simd:   merge-shaped inputs on an AVX2/SSE4 dispatch tier run
+//     the block all-pairs vector kernel (sim/kernel_simd.h) — same
+//     exact count, one vector-width window per step.
+//   - merge:  the classic two-pointer merge, otherwise (and always on
+//     the scalar tier).
+//
+// Which vector tier runs is the process-global dispatch knob
+// (sim/kernel_dispatch.h): HeraOptions::kernel_dispatch /
+// HERA_KERNEL_DISPATCH, resolved against CPUID with scalar as the
+// universal fallback. Tiers are a speed knob only — every tier
+// computes the same integer counts, hence bit-identical similarity
+// scores.
 //
 // Thresholded verification (SetSimilarityBounded) converts the
 // threshold into the minimum intersection size that can reach it
@@ -38,6 +49,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "sim/kernel_dispatch.h"
 
 namespace hera {
 
@@ -75,9 +88,18 @@ bool BitmapEligible(const std::vector<uint32_t>& a,
 size_t IntersectSizeBitmap(const std::vector<uint32_t>& a,
                            const std::vector<uint32_t>& b);
 
-/// Exact |a ∩ b|, dispatching bitmap / gallop / merge on shape.
+/// Exact |a ∩ b|, dispatching bitmap / gallop / simd / merge on shape
+/// and the active dispatch tier.
 size_t IntersectSize(const std::vector<uint32_t>& a,
                      const std::vector<uint32_t>& b);
+
+/// Exact |a ∩ b| on an explicit dispatch tier: the block all-pairs
+/// vector kernel on kAvx2/kSse4, the scalar merge on kScalar (kAuto
+/// resolves first). Same count on every tier; exposed for the fuzz
+/// tests and bench_kernel, and the primitive IntersectSize slots into
+/// its shape dispatch.
+size_t IntersectSizeSimd(const uint32_t* a, size_t na, const uint32_t* b,
+                         size_t nb, KernelDispatch tier);
 
 /// Similarity of two encoded gram sets; bit-equal to the string-path
 /// metric of the same kind and q (empty either side -> 0.0, matching
@@ -103,6 +125,24 @@ size_t MinOverlapForThreshold(SetSimKind kind, size_t na, size_t nb, double xi);
 double SetSimilarityBounded(SetSimKind kind, const std::vector<uint32_t>& a,
                             const std::vector<uint32_t>& b, double xi);
 
+/// SetSimilarityBounded on an explicit dispatch tier. The overload
+/// above resolves ActiveKernelDispatch() per call; batch loops resolve
+/// the tier once and reuse it. Bit-identical results on every tier.
+double SetSimilarityBounded(SetSimKind kind, const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b, double xi,
+                            KernelDispatch tier);
+
+/// Batched weight-row entry point: the best bounded similarity of `a`
+/// against every non-null set in `bs`, resolving the dispatch tier
+/// once for the whole row and ratcheting the floor upward as cells
+/// land (each cell is bounded by max(floor, best so far)). Returns the
+/// exact maximum whenever it is >= floor; otherwise some value below
+/// floor (0.0 when nothing scored). Null entries are skipped — they
+/// stand for cells the caller scores another way.
+double BestSetSimilarityBounded(SetSimKind kind, const std::vector<uint32_t>& a,
+                                const std::vector<const std::vector<uint32_t>*>& bs,
+                                double floor);
+
 /// Upper bound on |a ∩ b| from sorted id spans without computing the
 /// intersection: partition on a median element and recurse `depth`
 /// levels (depth 0 is min(na, nb)). Sound for any depth — never less
@@ -117,6 +157,13 @@ size_t OverlapUpperBound(const uint32_t* a, size_t na, const uint32_t* b,
 /// same wrapped as "hybrid(<kind>_q<q>)". Returns false otherwise
 /// (different q, edit/Jaro/TF-IDF families, two-argument hybrids).
 bool GramMetricKind(const std::string& metric_name, int q, SetSimKind* kind);
+
+/// The gram length of a gram-family metric name — the q at which
+/// GramMetricKind matches — or 0 for non-gram metrics (edit, Jaro,
+/// TF-IDF, two-argument hybrids). Join construction uses this to index
+/// at the metric's own gram size instead of assuming q = 2, which is
+/// what arms the encoded-kernel verify path for q != 2 metrics.
+int GramMetricSize(const std::string& metric_name);
 
 }  // namespace hera
 

@@ -1,0 +1,110 @@
+// AVX2 set-intersection kernel. This translation unit is compiled with
+// -mavx2 -mpopcnt (src/sim/CMakeLists.txt); nothing here may be called
+// without a CPUID check — kernel.cc routes through the dispatch tier.
+
+#include "sim/kernel_simd.h"
+
+#ifdef HERA_X86_SIMD
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace hera {
+namespace simd {
+
+namespace {
+
+/// Scalar two-pointer merge over the tails, continuing an in-progress
+/// count. Identical to IntersectSizeMerge in kernel.cc.
+size_t MergeTail(const uint32_t* a, size_t i, size_t na, const uint32_t* b,
+                 size_t j, size_t nb, size_t inter) {
+  while (i < na && j < nb) {
+    uint32_t x = a[i], y = b[j];
+    inter += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return inter;
+}
+
+/// Hits between one 8-lane window of `a` and one 8-lane window of `b`:
+/// compare va against all 8 rotations of vb and popcount the combined
+/// mask. Deduplicated inputs mean each a-lane matches at most one
+/// b-lane, so the mask bits are distinct hits.
+inline int BlockHits8(__m256i va, __m256i vb) {
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  __m256i match = _mm256_cmpeq_epi32(va, vb);
+  __m256i vr = vb;
+  for (int r = 1; r < 8; ++r) {
+    vr = _mm256_permutevar8x32_epi32(vr, rot1);
+    match = _mm256_or_si256(match, _mm256_cmpeq_epi32(va, vr));
+  }
+  return __builtin_popcount(
+      static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(match))));
+}
+
+}  // namespace
+
+size_t IntersectAvx2(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const uint32_t amax = a[i + 7], bmax = b[j + 7];
+    // Disjoint windows: skip the whole block without lane compares.
+    if (amax < b[j]) {
+      i += 8;
+      continue;
+    }
+    if (bmax < a[i]) {
+      j += 8;
+      continue;
+    }
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    inter += static_cast<size_t>(BlockHits8(va, vb));
+    // Advance the window(s) whose maximum is covered; every element of
+    // an advanced window has been compared against all candidates.
+    i += (amax <= bmax) ? 8 : 0;
+    j += (bmax <= amax) ? 8 : 0;
+  }
+  return MergeTail(a, i, na, b, j, nb, inter);
+}
+
+size_t IntersectBoundedAvx2(const uint32_t* a, size_t na, const uint32_t* b,
+                            size_t nb, size_t min_req) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    // Even if every remaining element matched, min_req is out of
+    // reach: abandon. Integer test — exactness preserved.
+    if (inter + std::min(na - i, nb - j) < min_req) {
+      return kAbandonedIntersect;
+    }
+    const uint32_t amax = a[i + 7], bmax = b[j + 7];
+    if (amax < b[j]) {
+      i += 8;
+      continue;
+    }
+    if (bmax < a[i]) {
+      j += 8;
+      continue;
+    }
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    inter += static_cast<size_t>(BlockHits8(va, vb));
+    i += (amax <= bmax) ? 8 : 0;
+    j += (bmax <= amax) ? 8 : 0;
+  }
+  if (inter + std::min(na - i, nb - j) < min_req) return kAbandonedIntersect;
+  inter = MergeTail(a, i, na, b, j, nb, inter);
+  return inter < min_req ? kAbandonedIntersect : inter;
+}
+
+}  // namespace simd
+}  // namespace hera
+
+#endif  // HERA_X86_SIMD

@@ -1,0 +1,97 @@
+// SSE set-intersection kernel: the 4-lane analogue of the AVX2 kernel,
+// for CPUs without AVX2. Compiled with -msse4.2 -mpopcnt
+// (src/sim/CMakeLists.txt); only reachable through the dispatch tier.
+
+#include "sim/kernel_simd.h"
+
+#ifdef HERA_X86_SIMD
+
+#include <nmmintrin.h>
+
+#include <algorithm>
+
+namespace hera {
+namespace simd {
+
+namespace {
+
+size_t MergeTail(const uint32_t* a, size_t i, size_t na, const uint32_t* b,
+                 size_t j, size_t nb, size_t inter) {
+  while (i < na && j < nb) {
+    uint32_t x = a[i], y = b[j];
+    inter += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return inter;
+}
+
+/// Hits between one 4-lane window of `a` and one of `b`: va against all
+/// 4 rotations of vb.
+inline int BlockHits4(__m128i va, __m128i vb) {
+  __m128i match = _mm_cmpeq_epi32(va, vb);
+  __m128i vr = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+  match = _mm_or_si128(match, _mm_cmpeq_epi32(va, vr));
+  vr = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+  match = _mm_or_si128(match, _mm_cmpeq_epi32(va, vr));
+  vr = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+  match = _mm_or_si128(match, _mm_cmpeq_epi32(va, vr));
+  return __builtin_popcount(
+      static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(match))));
+}
+
+}  // namespace
+
+size_t IntersectSse4(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const uint32_t amax = a[i + 3], bmax = b[j + 3];
+    if (amax < b[j]) {
+      i += 4;
+      continue;
+    }
+    if (bmax < a[i]) {
+      j += 4;
+      continue;
+    }
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    inter += static_cast<size_t>(BlockHits4(va, vb));
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  return MergeTail(a, i, na, b, j, nb, inter);
+}
+
+size_t IntersectBoundedSse4(const uint32_t* a, size_t na, const uint32_t* b,
+                            size_t nb, size_t min_req) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    if (inter + std::min(na - i, nb - j) < min_req) {
+      return kAbandonedIntersect;
+    }
+    const uint32_t amax = a[i + 3], bmax = b[j + 3];
+    if (amax < b[j]) {
+      i += 4;
+      continue;
+    }
+    if (bmax < a[i]) {
+      j += 4;
+      continue;
+    }
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    inter += static_cast<size_t>(BlockHits4(va, vb));
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  if (inter + std::min(na - i, nb - j) < min_req) return kAbandonedIntersect;
+  inter = MergeTail(a, i, na, b, j, nb, inter);
+  return inter < min_req ? kAbandonedIntersect : inter;
+}
+
+}  // namespace simd
+}  // namespace hera
+
+#endif  // HERA_X86_SIMD

@@ -1,10 +1,14 @@
 #include "sim/string_metrics.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <vector>
 
+#include "sim/kernel_dispatch.h"
 #include "text/normalize.h"
 #include "text/qgram.h"
 #include "text/tfidf.h"
@@ -54,22 +58,194 @@ double QgramCosine(std::string_view a, std::string_view b, int q) {
          std::sqrt(static_cast<double>(ga.size()) * static_cast<double>(gb.size()));
 }
 
-size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+namespace {
+
+/// "No limit" sentinel for the bounded edit-distance kernels.
+constexpr size_t kNoLimit = std::numeric_limits<size_t>::max();
+
+constexpr uint64_t kHighBit = uint64_t{1} << 63;
+
+/// One column step of one 64-row block of the Myers bit-parallel
+/// recurrence (Hyyrö/edlib formulation). pv/mv are the vertical +1/-1
+/// delta vectors for this block, eq the pattern-match bits for the
+/// current text byte, hin the horizontal delta entering from the block
+/// below (-1, 0, +1). Returns the horizontal delta leaving the top of
+/// the block, and writes the pre-shift horizontal vectors so the
+/// caller can read the score delta at the pattern's last row.
+struct BlockStep {
+  int hout;
+  uint64_t ph;  // pre-shift horizontal +1 bits; bit i = row i+1 of block
+  uint64_t mh;  // pre-shift horizontal -1 bits
+};
+
+inline BlockStep AdvanceMyersBlock(uint64_t& pv, uint64_t& mv, uint64_t eq,
+                                   int hin) {
+  const uint64_t xv = eq | mv;
+  if (hin < 0) eq |= 1;
+  const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+  const uint64_t ph = mv | ~(xh | pv);
+  const uint64_t mh = pv & xh;
+  int hout = 0;
+  if (ph & kHighBit) {
+    hout = 1;
+  } else if (mh & kHighBit) {
+    hout = -1;
+  }
+  uint64_t ph_shift = ph << 1;
+  uint64_t mh_shift = mh << 1;
+  if (hin < 0) {
+    mh_shift |= 1;
+  } else if (hin > 0) {
+    ph_shift |= 1;
+  }
+  pv = mh_shift | ~(xv | ph_shift);
+  mv = ph_shift & xv;
+  return {hout, ph, mh};
+}
+
+/// Myers for patterns of <= 64 bytes: the whole pattern in one word.
+/// With `limit`, returns limit + 1 as soon as the score minus the
+/// remaining columns exceeds it (the score changes by at most one per
+/// column, so the final distance provably exceeds the limit too).
+size_t Myers64(std::string_view pat, std::string_view txt, size_t limit) {
+  const size_t m = pat.size(), n = txt.size();
+  uint64_t peq[256] = {};
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(pat[i])] |= uint64_t{1} << i;
+  }
+  uint64_t pv = ~uint64_t{0}, mv = 0;
+  size_t score = m;
+  const uint64_t last_row = uint64_t{1} << (m - 1);
+  for (size_t j = 0; j < n; ++j) {
+    BlockStep step =
+        AdvanceMyersBlock(pv, mv, peq[static_cast<unsigned char>(txt[j])], 1);
+    if (step.ph & last_row) {
+      ++score;
+    } else if (step.mh & last_row) {
+      --score;
+    }
+    if (limit != kNoLimit && score > limit + (n - 1 - j)) return limit + 1;
+  }
+  return score;
+}
+
+/// Blocked Myers for patterns longer than one word: ceil(m/64) blocks
+/// per column with horizontal carries between them. Rows above m in
+/// the top block are padding (eq bits 0); carries propagate upward
+/// only, so they never affect the tracked row m.
+size_t MyersBlocked(std::string_view pat, std::string_view txt, size_t limit) {
+  const size_t m = pat.size(), n = txt.size();
+  const size_t w = (m + 63) / 64;
+  std::vector<uint64_t> peq(256 * w, 0);
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<size_t>(static_cast<unsigned char>(pat[i])) * w +
+        (i >> 6)] |= uint64_t{1} << (i & 63);
+  }
+  std::vector<uint64_t> pv(w, ~uint64_t{0});
+  std::vector<uint64_t> mv(w, 0);
+  size_t score = m;
+  const size_t top = w - 1;
+  const uint64_t last_row = uint64_t{1} << ((m - 1) & 63);
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t* eq_row =
+        &peq[static_cast<size_t>(static_cast<unsigned char>(txt[j])) * w];
+    int hin = 1;
+    for (size_t v = 0; v <= top; ++v) {
+      BlockStep step = AdvanceMyersBlock(pv[v], mv[v], eq_row[v], hin);
+      if (v == top) {
+        if (step.ph & last_row) {
+          ++score;
+        } else if (step.mh & last_row) {
+          --score;
+        }
+      }
+      hin = step.hout;
+    }
+    if (limit != kNoLimit && score > limit + (n - 1 - j)) return limit + 1;
+  }
+  return score;
+}
+
+/// The row DP with the same banded early exit the Myers kernels use:
+/// once even the best cell of the row cannot get back under the limit
+/// with the columns that remain, the final distance cannot either.
+size_t DpBounded(std::string_view a, std::string_view b, size_t limit) {
   if (a.size() > b.size()) std::swap(a, b);
-  // Single-row DP: O(min(|a|,|b|)) space.
   std::vector<size_t> row(a.size() + 1);
   std::iota(row.begin(), row.end(), size_t{0});
   for (size_t j = 1; j <= b.size(); ++j) {
     size_t prev_diag = row[0];
     row[0] = j;
+    size_t row_min = j;
     for (size_t i = 1; i <= a.size(); ++i) {
       size_t cur = row[i];
       size_t sub_cost = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
       row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub_cost});
+      row_min = std::min(row_min, row[i]);
       prev_diag = cur;
+    }
+    if (limit != kNoLimit && row_min > limit + (b.size() - j)) {
+      return limit + 1;
     }
   }
   return row[a.size()];
+}
+
+/// Lower bound on the edit distance from byte histograms: one edit
+/// changes the summed per-byte count difference by at most 2, so
+/// lev >= ceil(diff / 2). Exact inputs, integer math — safe to use as
+/// a bail-out at any threshold.
+size_t HistogramLowerBound(std::string_view a, std::string_view b) {
+  std::array<int32_t, 256> counts{};
+  for (char c : a) ++counts[static_cast<unsigned char>(c)];
+  for (char c : b) --counts[static_cast<unsigned char>(c)];
+  size_t diff = 0;
+  for (int32_t d : counts) {
+    diff += static_cast<size_t>(d < 0 ? -d : d);
+  }
+  return (diff + 1) / 2;
+}
+
+/// Histogram scan is ~256 adds + the two passes; below this length the
+/// banded kernel is cheaper than the filter.
+constexpr size_t kHistogramFilterMinLen = 16;
+
+size_t MyersDistance(std::string_view a, std::string_view b, size_t limit) {
+  if (a.size() > b.size()) std::swap(a, b);  // Pattern = shorter side.
+  if (a.empty()) return b.size();
+  CountMyersCall();
+  return a.size() <= 64 ? Myers64(a, b, limit) : MyersBlocked(a, b, limit);
+}
+
+}  // namespace
+
+size_t LevenshteinDistanceDp(std::string_view a, std::string_view b) {
+  return DpBounded(a, b, kNoLimit);
+}
+
+size_t LevenshteinDistanceMyers(std::string_view a, std::string_view b) {
+  return MyersDistance(a, b, kNoLimit);
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  // Tier dispatch is a speed knob only: the DP and the Myers kernel
+  // compute the same integer for every pair of byte strings
+  // (tests/kernel_test.cc fuzzes the equality).
+  if (ActiveKernelDispatch() == KernelDispatch::kScalar) {
+    return LevenshteinDistanceDp(a, b);
+  }
+  return MyersDistance(a, b, kNoLimit);
+}
+
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t limit) {
+  const size_t gap =
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  if (gap > limit) return limit + 1;  // lev >= length gap.
+  if (ActiveKernelDispatch() == KernelDispatch::kScalar) {
+    return DpBounded(a, b, limit);
+  }
+  return MyersDistance(a, b, limit);
 }
 
 double NormalizedLevenshtein(std::string_view a, std::string_view b) {
@@ -78,6 +254,53 @@ double NormalizedLevenshtein(std::string_view a, std::string_view b) {
   size_t dist = LevenshteinDistance(na, nb);
   size_t denom = std::max(na.size(), nb.size());
   return 1.0 - static_cast<double>(dist) / static_cast<double>(denom);
+}
+
+double NormalizedLevenshteinAtLeast(std::string_view a, std::string_view b,
+                                    double floor) {
+  std::string na = Normalize(a), nb = Normalize(b);
+  return NormalizedLevenshteinAtLeastNormalized(na, nb, floor);
+}
+
+double NormalizedLevenshteinAtLeastNormalized(std::string_view na,
+                                              std::string_view nb,
+                                              double floor) {
+  if (na.empty() && nb.empty()) return 1.0 >= floor ? 1.0 : 0.0;
+  const size_t denom = std::max(na.size(), nb.size());
+  // The exact score expression NormalizedLevenshtein evaluates; using
+  // the same doubles here makes the distance budget exact rather than
+  // epsilon-fudged (same technique as MinOverlapForThreshold).
+  auto score_of = [denom](size_t d) {
+    return 1.0 - static_cast<double>(d) / static_cast<double>(denom);
+  };
+  if (score_of(0) < floor) return 0.0;  // floor > 1.0: nothing reaches it.
+  // Largest distance whose score still reaches the floor. score_of is
+  // nonincreasing in d (IEEE division is monotone), so binary search.
+  size_t max_dist = denom;
+  if (score_of(denom) < floor) {
+    size_t lo = 0, hi = denom;  // Invariant: score_of(lo) >= floor > score_of(hi).
+    while (hi - lo > 1) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (score_of(mid) >= floor) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    max_dist = lo;
+  }
+  // Pre-filters: cheap exact lower bounds on the distance. When one
+  // already overshoots the budget the score is provably < floor — bail
+  // without any DP/Myers work.
+  const size_t gap = denom - std::min(na.size(), nb.size());
+  if (gap > max_dist) return 0.0;
+  if (max_dist < denom && denom >= kHistogramFilterMinLen &&
+      HistogramLowerBound(na, nb) > max_dist) {
+    return 0.0;
+  }
+  size_t dist = LevenshteinDistanceBounded(na, nb, max_dist);
+  if (dist > max_dist) return 0.0;
+  return score_of(dist);
 }
 
 double Jaro(std::string_view a, std::string_view b) {
@@ -123,6 +346,27 @@ double JaroWinkler(std::string_view a, std::string_view b) {
 
 namespace {
 
+/// Upper bound on JaroWinkler(x, y) from token lengths alone (inputs
+/// in normal form, as WordTokens emits). Matches <= min(|x|, |y|) caps
+/// both m/len terms, the transposition term is <= 1, and the Winkler
+/// prefix adds at most 4 * 0.1 of the headroom. Every step uses the
+/// same doubles (and the same rounding direction) the real metric
+/// does, so bound >= JaroWinkler(x, y) holds exactly, never within an
+/// epsilon.
+double JaroWinklerUpperBound(size_t la, size_t lb) {
+  if (la == 0 && lb == 0) return 1.0;
+  if (la == 0 || lb == 0) return 0.0;
+  // Max prefix boost expressed as the same product JaroWinkler forms
+  // (4 * 0.1 in doubles is slightly above the literal 0.4 — using the
+  // literal would under-estimate and break soundness in the last bit).
+  constexpr double kMaxPrefixBoost = 4.0 * 0.1;
+  const double mn = static_cast<double>(std::min(la, lb));
+  const double jaro_ub = (mn / static_cast<double>(la) +
+                          mn / static_cast<double>(lb) + 1.0) /
+                         3.0;
+  return jaro_ub + kMaxPrefixBoost * (1.0 - jaro_ub);
+}
+
 double MongeElkanOneWay(const std::vector<std::string>& ta,
                         const std::vector<std::string>& tb) {
   if (ta.empty()) return tb.empty() ? 1.0 : 0.0;
@@ -130,7 +374,12 @@ double MongeElkanOneWay(const std::vector<std::string>& ta,
   double sum = 0.0;
   for (const auto& x : ta) {
     double best = 0.0;
-    for (const auto& y : tb) best = std::max(best, JaroWinkler(x, y));
+    for (const auto& y : tb) {
+      // A candidate whose length-only upper bound cannot beat the
+      // running best cannot change the max: skip the full metric.
+      if (JaroWinklerUpperBound(x.size(), y.size()) <= best) continue;
+      best = std::max(best, JaroWinkler(x, y));
+    }
     sum += best;
   }
   return sum / static_cast<double>(ta.size());

@@ -17,6 +17,9 @@
 #include <tuple>
 #include <vector>
 
+#include "sim/kernel_dispatch.h"
+#include "sim/string_metrics.h"
+
 #include "baselines/homogeneous.h"
 #include "blocking/token_blocking.h"
 #include "core/hera.h"
@@ -90,6 +93,212 @@ TEST(KernelIntersectTest, BitmapEligibilityIsAWindowTest) {
   EXPECT_FALSE(BitmapEligible(fits, far));
 }
 
+constexpr SetSimKind kAllKinds[] = {SetSimKind::kJaccard, SetSimKind::kDice,
+                                    SetSimKind::kOverlap, SetSimKind::kCosine};
+
+// --------------------------------------------- SIMD dispatch + kernels
+
+/// Tiers that can actually run on this machine (resolution clamps, so
+/// every named tier is testable everywhere — unsupported ones just
+/// alias a lower tier).
+const KernelDispatch kSweepTiers[] = {KernelDispatch::kScalar,
+                                      KernelDispatch::kSse4,
+                                      KernelDispatch::kAvx2};
+
+TEST(KernelDispatchTest, StringRoundTripAndUnknownNames) {
+  for (KernelDispatch t : {KernelDispatch::kAuto, KernelDispatch::kAvx2,
+                           KernelDispatch::kSse4, KernelDispatch::kScalar}) {
+    KernelDispatch back;
+    ASSERT_TRUE(KernelDispatchFromString(KernelDispatchToString(t), &back));
+    EXPECT_EQ(back, t);
+  }
+  KernelDispatch t;
+  EXPECT_FALSE(KernelDispatchFromString("", &t));
+  EXPECT_FALSE(KernelDispatchFromString("avx512", &t));
+  EXPECT_FALSE(KernelDispatchFromString("AVX2", &t));
+}
+
+TEST(KernelDispatchTest, ResolutionNeverReturnsAutoAndClampsDown) {
+  for (KernelDispatch req : {KernelDispatch::kAuto, KernelDispatch::kAvx2,
+                             KernelDispatch::kSse4, KernelDispatch::kScalar}) {
+    KernelDispatch got = ResolveKernelDispatch(req);
+    EXPECT_NE(got, KernelDispatch::kAuto);
+    EXPECT_TRUE(CpuSupportsKernelDispatch(got));
+  }
+  // Scalar is always supported and always resolves to itself.
+  EXPECT_EQ(ResolveKernelDispatch(KernelDispatch::kScalar),
+            KernelDispatch::kScalar);
+  EXPECT_TRUE(CpuSupportsKernelDispatch(KernelDispatch::kScalar));
+  EXPECT_NE(BestSupportedKernelDispatch(), KernelDispatch::kAuto);
+  // Gauge values are the documented 0/1/2 encoding.
+  EXPECT_EQ(KernelDispatchGaugeValue(KernelDispatch::kScalar), 0);
+  EXPECT_EQ(KernelDispatchGaugeValue(KernelDispatch::kSse4), 1);
+  EXPECT_EQ(KernelDispatchGaugeValue(KernelDispatch::kAvx2), 2);
+}
+
+TEST(KernelSimdTest, AllTiersMatchReferenceAtVectorWidthBuckets) {
+  std::mt19937 rng(2024);
+  // Length buckets straddle the 4-lane (SSE) and 8-lane (AVX2) block
+  // boundaries plus the scalar tail: off-by-one bugs in the block loop
+  // or MergeTail land exactly there.
+  const size_t buckets[] = {0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63,
+                            64, 65, 100};
+  for (size_t na : buckets) {
+    for (size_t nb : buckets) {
+      for (int rep = 0; rep < 6; ++rep) {
+        // Alternate dense (many hits, windows overlap) and sparse
+        // (disjoint-window skip path) universes.
+        uint32_t hi = rep % 2 == 0 ? static_cast<uint32_t>(na + nb + 8)
+                                   : 1000000;
+        auto a = RandomSet(&rng, na, 0, hi);
+        auto b = RandomSet(&rng, nb, 0, hi);
+        size_t want = ReferenceIntersect(a, b);
+        for (KernelDispatch tier : kSweepTiers) {
+          EXPECT_EQ(
+              IntersectSizeSimd(a.data(), a.size(), b.data(), b.size(), tier),
+              want)
+              << "tier=" << KernelDispatchToString(tier) << " na=" << a.size()
+              << " nb=" << b.size();
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSimdTest, BoundedSimilarityBitEqualAcrossTiers) {
+  std::mt19937 rng(31337);
+  const double xis[] = {0.0, 0.2, 0.5, 0.8, 0.95, 1.0};
+  for (int trial = 0; trial < 400; ++trial) {
+    uint32_t hi = trial % 2 == 0 ? 300 : 50000;
+    auto a = RandomSet(&rng, rng() % 130, 0, hi);
+    auto b = RandomSet(&rng, rng() % 130, 0, hi);
+    SetSimKind kind = kAllKinds[trial % 4];
+    double full = SetSimilarity(kind, a, b);
+    for (double xi : xis) {
+      double want = full >= xi ? full : kBelowThreshold;
+      for (KernelDispatch tier : kSweepTiers) {
+        // Bit-equal including the sentinel: abandon timing differs per
+        // tier (per-block vs per-element) but the decision cannot.
+        EXPECT_EQ(SetSimilarityBounded(kind, a, b, xi, tier), want)
+            << "tier=" << KernelDispatchToString(tier) << " xi=" << xi;
+      }
+    }
+  }
+}
+
+TEST(KernelSimdTest, SimdCounterAdvancesOnVectorTiers) {
+  std::mt19937 rng(5);
+  auto a = RandomSet(&rng, 64, 0, 10000);
+  auto b = RandomSet(&rng, 64, 0, 10000);
+  if (ResolveKernelDispatch(KernelDispatch::kSse4) == KernelDispatch::kScalar) {
+    GTEST_SKIP() << "no vector tier on this CPU";
+  }
+  uint64_t before = KernelCountersNow().simd_intersections;
+  IntersectSizeSimd(a.data(), a.size(), b.data(), b.size(),
+                    KernelDispatch::kSse4);
+  EXPECT_GT(KernelCountersNow().simd_intersections, before);
+  // The scalar tier never touches the SIMD counter.
+  uint64_t mid = KernelCountersNow().simd_intersections;
+  IntersectSizeSimd(a.data(), a.size(), b.data(), b.size(),
+                    KernelDispatch::kScalar);
+  EXPECT_EQ(KernelCountersNow().simd_intersections, mid);
+}
+
+// ------------------------------------------- Myers edit-distance kernel
+
+/// Reference corpus for the edit kernels: ASCII, multi-byte UTF-8,
+/// embedded NULs, and strings crossing the 64/128 block boundaries.
+std::vector<std::string> EditCorpus() {
+  std::vector<std::string> corpus = {
+      "",
+      "a",
+      "kitten",
+      "sitting",
+      "The Matrix (1999)",
+      "the matrix",
+      "Ein schöner Tag — naïve café",
+      "数据库 систем records",
+      std::string("nul\0inside", 10),       // embedded NUL
+      std::string("\0\0\0", 3),             // all NULs
+      std::string(63, 'x'),                 // one word exactly
+      std::string(64, 'x'),                 // word boundary
+      std::string(65, 'x'),                 // first multi-block length
+      std::string(64, 'x') + "y",
+      std::string(128, 'a'),                // two-block boundary
+      std::string(129, 'b'),
+      "entity resolution on heterogeneous records",
+  };
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<int> byte(0, 255);  // Full byte alphabet.
+  std::uniform_int_distribution<int> narrow('a', 'd');
+  for (int i = 0; i < 30; ++i) {
+    std::string s;
+    size_t len = rng() % 150;
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(i % 2 == 0 ? narrow(rng) : byte(rng)));
+    }
+    corpus.push_back(std::move(s));
+  }
+  return corpus;
+}
+
+TEST(MyersTest, MatchesDpOnCorpusAndBothDirections) {
+  const std::vector<std::string> corpus = EditCorpus();
+  for (const std::string& a : corpus) {
+    for (const std::string& b : corpus) {
+      size_t want = LevenshteinDistanceDp(a, b);
+      EXPECT_EQ(LevenshteinDistanceMyers(a, b), want)
+          << "|a|=" << a.size() << " |b|=" << b.size();
+      // The dispatching entry point agrees on every tier.
+      EXPECT_EQ(LevenshteinDistance(a, b), want);
+    }
+  }
+}
+
+TEST(MyersTest, BoundedIsExactAtOrAboveTheDistance) {
+  const std::vector<std::string> corpus = EditCorpus();
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string& a = corpus[rng() % corpus.size()];
+    const std::string& b = corpus[rng() % corpus.size()];
+    size_t d = LevenshteinDistanceDp(a, b);
+    // Exact at the distance and above it...
+    EXPECT_EQ(LevenshteinDistanceBounded(a, b, d), d);
+    EXPECT_EQ(LevenshteinDistanceBounded(a, b, d + 3), d);
+    // ...and strictly greater than any limit below it.
+    if (d > 0) {
+      EXPECT_GT(LevenshteinDistanceBounded(a, b, d - 1), d - 1);
+    }
+  }
+}
+
+TEST(MyersTest, NormalizedAtLeastIsExactOrZero) {
+  const std::vector<std::string> corpus = EditCorpus();
+  std::mt19937 rng(9);
+  const double floors[] = {0.0, 0.15, 0.5, 0.75, 0.9, 1.0};
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string& a = corpus[rng() % corpus.size()];
+    const std::string& b = corpus[rng() % corpus.size()];
+    double full = NormalizedLevenshtein(a, b);
+    for (double floor : floors) {
+      double got = NormalizedLevenshteinAtLeast(a, b, floor);
+      if (full >= floor) {
+        // Bit-equal: the threshold conversion uses the same double
+        // expression NormalizedLevenshtein evaluates.
+        EXPECT_EQ(got, full) << "floor=" << floor;
+      } else {
+        EXPECT_EQ(got, 0.0) << "floor=" << floor;
+      }
+    }
+  }
+}
+
+TEST(MyersTest, CounterAdvancesOffTheScalarTier) {
+  uint64_t before = KernelCountersNow().myers_calls;
+  LevenshteinDistanceMyers("heterogeneous", "heterogenous");
+  EXPECT_GT(KernelCountersNow().myers_calls, before);
+}
+
 // ------------------------------------- threshold conversion exactness
 
 double Formula(SetSimKind kind, size_t inter, size_t na, size_t nb) {
@@ -108,9 +317,6 @@ double Formula(SetSimKind kind, size_t inter, size_t na, size_t nb) {
   }
   return 0.0;
 }
-
-constexpr SetSimKind kAllKinds[] = {SetSimKind::kJaccard, SetSimKind::kDice,
-                                    SetSimKind::kOverlap, SetSimKind::kCosine};
 
 TEST(KernelThresholdTest, MinOverlapMatchesBruteForce) {
   const double xis[] = {0.0, 0.1, 0.25, 0.5, 0.5000000001, 0.75, 0.9, 1.0};
@@ -249,6 +455,21 @@ TEST(KernelBitEqualityTest, GramMetricKindRecognizesExactlyTheKernelFamily) {
   EXPECT_FALSE(GramMetricKind("jaro_winkler", 2, &kind));
   EXPECT_FALSE(GramMetricKind("hybrid(jaccard_q2,numeric)", 2, &kind));
   EXPECT_FALSE(GramMetricKind("jaccard_q22", 2, &kind));
+}
+
+TEST(KernelBitEqualityTest, GramMetricSizeParsesExactlyTheKernelFamily) {
+  EXPECT_EQ(GramMetricSize("jaccard_q2"), 2);
+  EXPECT_EQ(GramMetricSize("jaccard_q3"), 3);
+  EXPECT_EQ(GramMetricSize("hybrid(dice_q3)"), 3);
+  EXPECT_EQ(GramMetricSize("overlap_q1"), 1);
+  EXPECT_EQ(GramMetricSize("cosine_q12"), 12);
+  // Non-gram families and malformed suffixes map to 0.
+  EXPECT_EQ(GramMetricSize("edit"), 0);
+  EXPECT_EQ(GramMetricSize("jaro_winkler"), 0);
+  EXPECT_EQ(GramMetricSize("hybrid(jaccard_q2,numeric)"), 0);
+  EXPECT_EQ(GramMetricSize("jaccard_q"), 0);
+  EXPECT_EQ(GramMetricSize("jaccard_q0"), 0);
+  EXPECT_EQ(GramMetricSize("soft_tfidf_q2"), 0);  // Not a kernel metric.
 }
 
 TEST(KernelBitEqualityTest, NewMetricRegistryEntriesResolve) {
@@ -523,6 +744,124 @@ TEST(KernelEngineTest, KnobsAndThreadsNeverChangeTheRun) {
   }
 }
 
+TEST(KernelEngineTest, DispatchTierNeverChangesTheRun) {
+  MovieGeneratorConfig mconfig;
+  mconfig.num_records = 200;
+  mconfig.num_entities = 40;
+  mconfig.seed = 3;
+  PublicationGeneratorConfig pconfig;
+  pconfig.num_records = 160;
+  pconfig.num_entities = 40;
+  pconfig.seed = 19;
+  const Dataset datasets[] = {GenerateMovieDataset(mconfig),
+                              GeneratePublicationDataset(pconfig)};
+  for (const Dataset& ds : datasets) {
+    HeraOptions base;
+    base.kernel_dispatch = KernelDispatch::kScalar;
+    auto want_result = Hera(base).Run(ds);
+    ASSERT_TRUE(want_result.ok());
+    ASSERT_GT(want_result->stats.merges, 0u);
+    RunSignature want = SignatureOf(*want_result);
+    for (KernelDispatch tier : kSweepTiers) {
+      for (size_t threads : {size_t{0}, size_t{4}, size_t{8}}) {
+        for (IndexBackend backend :
+             {IndexBackend::kOrdered, IndexBackend::kFlat}) {
+          HeraOptions opts;
+          opts.kernel_dispatch = tier;
+          opts.num_threads = threads;
+          opts.index_backend = backend;
+          auto got = Hera(opts).Run(ds);
+          ASSERT_TRUE(got.ok());
+          ExpectSameSignature(
+              want, SignatureOf(*got),
+              std::string("tier=") + KernelDispatchToString(tier) +
+                  " threads=" + std::to_string(threads) + " backend=" +
+                  (backend == IndexBackend::kFlat ? "flat" : "ordered"));
+        }
+      }
+    }
+  }
+  // Leave the process-global tier back at auto for the other tests.
+  SetActiveKernelDispatch(KernelDispatch::kAuto);
+}
+
+TEST(KernelEngineTest, EditMetricRunIdenticalAcrossTiers) {
+  // Routes the Myers kernel through a whole resolution: the edit
+  // metric's verification path and the baselines' dense loops.
+  MovieGeneratorConfig config;
+  config.num_records = 140;
+  config.num_entities = 28;
+  config.seed = 23;
+  Dataset ds = GenerateMovieDataset(config);
+  HeraOptions base;
+  base.metric = "edit";
+  base.xi = 0.6;
+  base.kernel_dispatch = KernelDispatch::kScalar;
+  auto want_result = Hera(base).Run(ds);
+  ASSERT_TRUE(want_result.ok());
+  ASSERT_GT(want_result->stats.merges, 0u);
+  RunSignature want = SignatureOf(*want_result);
+  for (KernelDispatch tier :
+       {KernelDispatch::kSse4, KernelDispatch::kAvx2, KernelDispatch::kAuto}) {
+    HeraOptions opts;
+    opts.metric = "edit";
+    opts.xi = 0.6;
+    opts.kernel_dispatch = tier;
+    auto got = Hera(opts).Run(ds);
+    ASSERT_TRUE(got.ok());
+    ExpectSameSignature(want, SignatureOf(*got),
+                        std::string("edit tier=") +
+                            KernelDispatchToString(tier));
+  }
+  SetActiveKernelDispatch(KernelDispatch::kAuto);
+}
+
+TEST(KernelEngineTest, Q3MetricArmsKernelsAndStaysLossless) {
+  // q = 3 metrics index at their own gram size (GramMetricSize), which
+  // arms the encoded kernels and the exact PPJoin+ filters. The trigram
+  // universe outgrows the bitmap window, so this is also the path where
+  // a whole resolution actually reaches the SIMD merge kernel.
+  PublicationGeneratorConfig config;
+  config.num_records = 260;
+  config.num_entities = 52;
+  config.seed = 31;
+  Dataset ds = GeneratePublicationDataset(config);
+  HeraOptions base;
+  base.metric = "jaccard_q3";
+  base.kernel_dispatch = KernelDispatch::kScalar;
+  auto want_result = Hera(base).Run(ds);
+  ASSERT_TRUE(want_result.ok());
+  ASSERT_GT(want_result->stats.merges, 0u);
+  RunSignature want = SignatureOf(*want_result);
+  // The prefix-filter join at q = 3 is lossless: the O(n^2) oracle
+  // resolves to the same labels.
+  {
+    HeraOptions oracle;
+    oracle.metric = "jaccard_q3";
+    oracle.use_prefix_filter_join = false;
+    auto got = Hera(oracle).Run(ds);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(want.labels, SignatureOf(*got).labels) << "nested-loop oracle";
+  }
+  for (KernelDispatch tier : kSweepTiers) {
+    HeraOptions opts;
+    opts.metric = "jaccard_q3";
+    opts.kernel_dispatch = tier;
+    uint64_t before = KernelCountersNow().simd_intersections;
+    auto got = Hera(opts).Run(ds);
+    ASSERT_TRUE(got.ok());
+    ExpectSameSignature(want, SignatureOf(*got),
+                        std::string("jaccard_q3 tier=") +
+                            KernelDispatchToString(tier));
+    // On a vector tier the trigram sets actually reach the SIMD merge.
+    if (ResolveKernelDispatch(tier) != KernelDispatch::kScalar) {
+      EXPECT_GT(KernelCountersNow().simd_intersections, before)
+          << KernelDispatchToString(tier);
+    }
+  }
+  SetActiveKernelDispatch(KernelDispatch::kAuto);
+}
+
 // --------------------------------------- dense weight loops (baselines)
 
 /// Random value mix: strings from the shared corpus, numbers, nulls.
@@ -559,7 +898,7 @@ double BruteBest(const std::vector<Value>& a, const std::vector<Value>& b,
 
 TEST(BestPairScorerTest, ExactWheneverMaxReachesFloor) {
   const char* metrics[] = {"jaccard_q2", "dice_q2", "overlap_q3",
-                           "hybrid(jaccard_q2)", "edit"};
+                           "hybrid(jaccard_q2)", "edit", "hybrid(edit)"};
   const std::vector<std::string> corpus = TestCorpus();
   for (const char* name : metrics) {
     auto simv = MakeSimilarity(name);
@@ -593,6 +932,11 @@ TEST(BestPairScorerTest, KernelDetectionMatchesTheMetricFamily) {
   EXPECT_FALSE(BestPairScorer(*MakeSimilarity("jaro_winkler")).kernel_active());
   EXPECT_FALSE(
       BestPairScorer(*MakeSimilarity("jaccard_q2"), false).kernel_active());
+  // Edit-family metrics take the bounded Myers path instead.
+  EXPECT_TRUE(BestPairScorer(*MakeSimilarity("edit")).edit_active());
+  EXPECT_TRUE(BestPairScorer(*MakeSimilarity("hybrid(edit)")).edit_active());
+  EXPECT_FALSE(BestPairScorer(*MakeSimilarity("edit"), false).edit_active());
+  EXPECT_FALSE(BestPairScorer(*MakeSimilarity("jaccard_q2")).edit_active());
 }
 
 TEST(BestPairScorerTest, ClusterSimilarityIdenticalWithScorerOnAndOff) {

@@ -45,6 +45,11 @@ import sys
 MANIFEST = [
     ("BENCH_kernel.json", "verify.speedup", "higher", 0.6),
     ("BENCH_kernel.json", "verify.speedup_cold", "higher", 0.6),
+    # SIMD tier ratios. A vector kernel that silently degrades to the
+    # scalar merge pins simd_speedup at ~1.0; a Myers regression to the
+    # row DP pins speedup_64 at ~1.0 — both far past a 40% allowance.
+    ("BENCH_kernel.json", "verify.simd_speedup", "higher", 0.6),
+    ("BENCH_kernel.json", "myers.speedup_64", "higher", 0.6),
     ("BENCH_flat_index.json", "candgen.batched_speedup", "higher", 0.6),
     # Deterministic (counts verifications and measures recall, no wall
     # clock), so the tolerance is tight. A frontier that degrades to
